@@ -1,0 +1,140 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation section in one run, writing rendered text to stdout and CSV
+// series into an output directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		nodes  = flag.Int("nodes", 48, "nodes per experiment (paper: 256)")
+		rounds = flag.Int("rounds", 64, "rounds per experiment (paper: 1000/3000)")
+		seed   = flag.Uint64("seed", 42, "experiment seed")
+		outDir = flag.String("out", "results", "directory for CSV series")
+		paper  = flag.Bool("paper", false, "run at full paper scale (256 nodes; slow)")
+	)
+	flag.Parse()
+	if *paper {
+		*nodes = experiments.PaperNodes
+		*rounds = experiments.PaperRoundsCIFAR
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fail(err)
+	}
+	o := experiments.Options{Nodes: *nodes, Rounds: *rounds, Seed: *seed, Out: os.Stdout}
+
+	section("Table 1")
+	experiments.Table1(o)
+	section("Table 2")
+	experiments.Table2(o)
+
+	section("Figure 1")
+	f1, err := experiments.Figure1(o)
+	if err != nil {
+		fail(err)
+	}
+	writeCSV(*outDir, "figure1.csv", []string{"round", "dpsgd_acc", "allreduce_acc"},
+		f1.DPSGD.X, f1.DPSGD.Y, f1.AllReduce.Y)
+
+	section("Figure 2")
+	if err := experiments.Figure2(o); err != nil {
+		fail(err)
+	}
+
+	section("Figure 3")
+	if _, err := experiments.Figure3(o, nil); err != nil {
+		fail(err)
+	}
+
+	section("Figure 4")
+	f4, err := experiments.Figure4(o)
+	if err != nil {
+		fail(err)
+	}
+	var rds, accs, stds []float64
+	for _, p := range f4.Points {
+		rds = append(rds, float64(p.Round))
+		accs = append(accs, p.MeanAcc)
+		stds = append(stds, p.StdAcc)
+	}
+	writeCSV(*outDir, "figure4.csv", []string{"round", "mean_acc", "std_acc"}, rds, accs, stds)
+
+	section("Figure 5")
+	f5, err := experiments.Figure5(o, nil, nil)
+	if err != nil {
+		fail(err)
+	}
+	for _, a := range f5.Arms {
+		name := fmt.Sprintf("figure5_%s_d%d_%s.csv", a.Dataset, a.Degree, sanitize(a.Algo))
+		writeCSV(*outDir, name, []string{"round", "acc", "energy_wh"},
+			a.AccVsRound.X, a.AccVsRound.Y, a.AccVsEnergy.X)
+	}
+
+	section("Figure 6")
+	f6, err := experiments.Figure6(o, nil, nil)
+	if err != nil {
+		fail(err)
+	}
+	for _, a := range f6.Arms {
+		name := fmt.Sprintf("figure6_%s_d%d_%s.csv", a.Dataset, a.Degree, sanitize(a.Algo))
+		writeCSV(*outDir, name, []string{"energy_wh", "acc"}, a.AccVsEnergy.X, a.AccVsEnergy.Y)
+	}
+
+	section("Figure 7")
+	if err := experiments.Figure7(o); err != nil {
+		fail(err)
+	}
+
+	section("Table 3")
+	t3 := experiments.Table3(o, f5)
+	section("Table 4")
+	t4 := experiments.Table4(o, f6)
+	section("Section 5.1 fairness (extension)")
+	if _, err := experiments.Section51Fairness(o); err != nil {
+		fail(err)
+	}
+	section("Headline")
+	experiments.SummaryHeadline(o, t3, t4)
+	fmt.Printf("\nCSV series written to %s/\n", *outDir)
+}
+
+func section(name string) {
+	fmt.Printf("\n===== %s =====\n", name)
+}
+
+func sanitize(s string) string {
+	out := []rune{}
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+func writeCSV(dir, name string, headers []string, cols ...[]float64) {
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	if err := report.CSV(f, headers, cols...); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(1)
+}

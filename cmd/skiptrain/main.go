@@ -1,0 +1,278 @@
+// Command skiptrain runs a single decentralized-learning experiment from
+// flags: any of the paper's five algorithms on either dataset stand-in,
+// with the topology, schedule, and scale under CLI control.
+//
+// Examples:
+//
+//	skiptrain -algo dpsgd -dataset cifar -nodes 64 -rounds 100
+//	skiptrain -algo skiptrain -gt 4 -gs 4 -degree 6
+//	skiptrain -algo constrained -dataset femnist -nodes 48
+//	skiptrain -exp fig1          # run a whole paper experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/async"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/energy"
+	"repro/internal/experiments"
+	"repro/internal/graph"
+	"repro/internal/nn"
+	"repro/internal/report"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		algo    = flag.String("algo", "skiptrain", "dpsgd | skiptrain | constrained | greedy | allreduce | async | async-skiptrain")
+		ds      = flag.String("dataset", "cifar", "cifar | femnist")
+		nodes   = flag.Int("nodes", 48, "number of nodes (paper: 256)")
+		degree  = flag.Int("degree", 6, "topology degree (paper: 6, 8, 10)")
+		rounds  = flag.Int("rounds", 64, "total rounds T")
+		gt      = flag.Int("gt", 0, "Γtrain (0 = tuned value for the degree)")
+		gs      = flag.Int("gs", -1, "Γsync (-1 = tuned value for the degree)")
+		lr      = flag.Float64("lr", 0.2, "learning rate η")
+		batch   = flag.Int("batch", 16, "batch size |ξ|")
+		steps   = flag.Int("steps", 8, "local steps E")
+		seed    = flag.Uint64("seed", 42, "experiment seed")
+		evalInt = flag.Int("eval", 8, "evaluate every N rounds")
+		exp     = flag.String("exp", "", "run a full paper experiment instead: fig1|fig2|fig3|fig4|fig5|fig6|fig7|tables")
+	)
+	flag.Parse()
+
+	if *exp != "" {
+		if err := runExperiment(*exp, *nodes, *rounds, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := runSingle(*algo, *ds, *nodes, *degree, *rounds, *gt, *gs, *lr, *batch, *steps, *seed, *evalInt); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+func runExperiment(name string, nodes, rounds int, seed uint64) error {
+	o := experiments.Options{Nodes: nodes, Rounds: rounds, Seed: seed, Out: os.Stdout}
+	switch strings.ToLower(name) {
+	case "fig1":
+		_, err := experiments.Figure1(o)
+		return err
+	case "fig2":
+		return experiments.Figure2(o)
+	case "fig3":
+		_, err := experiments.Figure3(o, nil)
+		return err
+	case "fig4":
+		_, err := experiments.Figure4(o)
+		return err
+	case "fig5":
+		_, err := experiments.Figure5(o, nil, nil)
+		return err
+	case "fig6":
+		_, err := experiments.Figure6(o, nil, nil)
+		return err
+	case "fig7":
+		return experiments.Figure7(o)
+	case "tables":
+		experiments.Table1(o)
+		experiments.Table2(o)
+		f5, err := experiments.Figure5(experiments.Options{Nodes: nodes, Rounds: rounds, Seed: seed}, nil, nil)
+		if err != nil {
+			return err
+		}
+		t3 := experiments.Table3(o, f5)
+		f6, err := experiments.Figure6(experiments.Options{Nodes: nodes, Rounds: rounds, Seed: seed}, nil, nil)
+		if err != nil {
+			return err
+		}
+		t4 := experiments.Table4(o, f6)
+		experiments.SummaryHeadline(o, t3, t4)
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+}
+
+func runSingle(algo, ds string, nodes, degree, rounds, gt, gs int, lr float64, batch, steps int, seed uint64, evalInt int) error {
+	g, err := graph.Regular(nodes, degree, seed)
+	if err != nil {
+		return err
+	}
+	w := graph.Metropolis(g)
+
+	var part dataset.Partition
+	var test *dataset.Dataset
+	var classes int
+	var workload energy.Workload
+	var fraction float64
+	var paperRounds int
+	switch ds {
+	case "cifar":
+		cfg := dataset.SyntheticConfig{Classes: 10, Dim: 32, Train: nodes * 40, Test: 640, Noise: 2.5, Seed: seed}
+		train, testAll, err := dataset.Generate(cfg)
+		if err != nil {
+			return err
+		}
+		part, err = dataset.ShardPartition(train, nodes, 2, seed)
+		if err != nil {
+			return err
+		}
+		_, test = testAll.Split(testAll.Len() / 2)
+		classes, workload, fraction, paperRounds = 10, energy.CIFAR10Workload(), 0.10, experiments.PaperRoundsCIFAR
+	case "femnist":
+		cfg := dataset.FEMNISTWriters(seed)
+		cfg.Writers = nodes + nodes/4
+		cfg.Noise = 2.5
+		writers, testAll, err := dataset.GenerateWriters(cfg)
+		if err != nil {
+			return err
+		}
+		part, err = dataset.WriterPartition(writers, nodes)
+		if err != nil {
+			return err
+		}
+		_, test = testAll.Split(testAll.Len() / 2)
+		classes, workload, fraction, paperRounds = 62, energy.FEMNISTWorkload(), 0.50, experiments.PaperRoundsFEMNIST
+	default:
+		return fmt.Errorf("unknown dataset %q", ds)
+	}
+
+	gamma := core.Gamma{GammaTrain: 4, GammaSync: 4}
+	switch degree {
+	case 8:
+		gamma = core.Gamma{GammaTrain: 3, GammaSync: 3}
+	case 10:
+		gamma = core.Gamma{GammaTrain: 4, GammaSync: 2}
+	}
+	if gt > 0 {
+		gamma.GammaTrain = gt
+	}
+	if gs >= 0 {
+		gamma.GammaSync = gs
+	}
+
+	budgets := func() *energy.Budget {
+		assigned := energy.AssignDevices(nodes, energy.Devices())
+		taus := make([]int, nodes)
+		for i, d := range assigned {
+			tau := d.RoundBudget(workload, fraction) * rounds / paperRounds
+			if tau < 1 {
+				tau = 1
+			}
+			taus[i] = tau
+		}
+		return energy.NewBudget(taus)
+	}
+
+	var a core.Algorithm
+	switch algo {
+	case "dpsgd":
+		a = core.DPSGD()
+	case "skiptrain":
+		a = core.SkipTrain(gamma)
+	case "constrained":
+		a = core.SkipTrainConstrained(gamma, rounds, budgets(), nodes)
+	case "greedy":
+		a = core.Greedy(budgets())
+	case "allreduce":
+		a = core.AllReduce()
+	case "async", "async-skiptrain":
+		inner := core.DPSGD()
+		if algo == "async-skiptrain" {
+			inner = core.SkipTrain(gamma)
+		}
+		return runAsync(inner, ds, g, part, test, classes, workload, rounds, lr, batch, steps, seed)
+	default:
+		return fmt.Errorf("unknown algorithm %q", algo)
+	}
+
+	cfg := sim.Config{
+		Graph: g, Weights: w,
+		Algo:   a,
+		Rounds: rounds,
+		ModelFactory: func(node int, r *rng.RNG) *nn.Network {
+			return nn.LogisticRegression(32, classes, r)
+		},
+		LR: lr, BatchSize: batch, LocalSteps: steps,
+		Partition: part, Test: test,
+		EvalEvery: evalInt, EvalSubsample: 320,
+		EvalGlobalModel: algo == "allreduce",
+		Devices:         energy.AssignDevices(nodes, energy.Devices()),
+		Workload:        workload,
+		Seed:            seed,
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%s on %s-like data: %d nodes, %d-regular, %d rounds\n",
+		a.Label, ds, nodes, degree, rounds)
+	tb := report.NewTable("", "round", "kind", "trained", "mean acc %", "std %", "cum train Wh", "cum comm Wh")
+	for _, m := range res.Evaluations() {
+		tb.AddRowf("%d|%s|%d|%.2f|%.2f|%.4f|%.5f",
+			m.Round+1, m.Kind, m.TrainedCount, m.MeanAcc*100, m.StdAcc*100, m.CumTrainWh, m.CumCommWh)
+	}
+	tb.Render(os.Stdout)
+	var curve []float64
+	for _, m := range res.Evaluations() {
+		curve = append(curve, m.MeanAcc)
+	}
+	fmt.Printf("accuracy trend: %s\n", report.Sparkline(curve))
+	fmt.Printf("final: %.2f%% ± %.2f | train %.4f Wh, comm %.5f Wh (sim scale)\n",
+		res.FinalMeanAcc*100, res.FinalStdAcc*100, res.TotalTrainWh, res.TotalCommWh)
+	return nil
+}
+
+// runAsync executes the experiment on the asynchronous engine (the paper's
+// Section 5.3 future-work extension): rounds are reinterpreted as the
+// per-node step budget, and the horizon is sized so the slowest device can
+// finish them.
+func runAsync(a core.Algorithm, ds string, g *graph.Graph, part dataset.Partition,
+	test *dataset.Dataset, classes int, workload energy.Workload,
+	rounds int, lr float64, batch, steps int, seed uint64) error {
+	devices := energy.AssignDevices(g.N, energy.Devices())
+	slowest := 0.0
+	for _, d := range devices {
+		if s := d.TrainRoundSeconds(workload); s > slowest {
+			slowest = s
+		}
+	}
+	res, err := async.Run(async.Config{
+		Graph:        g,
+		Algo:         a,
+		Horizon:      slowest * float64(rounds) * 1.2,
+		StepsPerNode: rounds,
+		ModelFactory: func(node int, r *rng.RNG) *nn.Network {
+			return nn.LogisticRegression(32, classes, r)
+		},
+		LR: lr, BatchSize: batch, LocalSteps: steps,
+		Partition: part, Test: test,
+		Devices: devices, Workload: workload,
+		EvalEverySeconds: slowest * float64(rounds) / 8,
+		EvalSubsample:    320,
+		Seed:             seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("asynchronous %s on %s-like data: %d nodes, virtual horizon %.0fs\n",
+		a.Label, ds, g.N, slowest*float64(rounds)*1.2)
+	tb := report.NewTable("", "virtual time s", "mean acc %", "std %", "steps", "train Wh")
+	for _, s := range res.History {
+		tb.AddRowf("%.0f|%.2f|%.2f|%d|%.4f",
+			s.Time, s.MeanAcc*100, s.StdAcc*100, s.StepsTotal, s.TrainWh)
+	}
+	tb.Render(os.Stdout)
+	fmt.Printf("final: %.2f%% ± %.2f | %d gossip messages | %.4f Wh\n",
+		res.FinalMeanAcc*100, res.FinalStdAcc*100, res.GossipsSent, res.TotalTrainWh)
+	return nil
+}

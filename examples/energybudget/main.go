@@ -1,0 +1,114 @@
+// Energy-budget example: a battery-constrained IoT/UAV fleet.
+//
+// A mixed fleet of 24 devices (the four smartphone profiles of the paper's
+// Table 2, standing in for heterogeneous drones/sensors) can each afford
+// only a fraction of the full training schedule before its battery dies.
+// The example compares the three strategies of the paper's Section 4.6:
+//
+//   - D-PSGD        — energy-oblivious: everyone trains every round;
+//   - Greedy        — train every round until the battery dies, then only
+//     relay/synchronize;
+//   - SkipTrain-constrained — spread the battery across the whole mission
+//     with per-node training probabilities (Eq. 5).
+//
+// go run ./examples/energybudget
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/energy"
+	"repro/internal/graph"
+	"repro/internal/nn"
+	"repro/internal/report"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+func main() {
+	const (
+		nodes               = 24
+		degree              = 4
+		rounds              = 60
+		seed                = 3
+		missionBudgetRounds = 18 // each device can train ~30% of the mission
+	)
+
+	g, err := graph.Regular(nodes, degree, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	weights := graph.Metropolis(g)
+
+	data := dataset.SyntheticConfig{Classes: 10, Dim: 32, Train: nodes * 40, Test: 400, Noise: 2.5, Seed: seed}
+	train, test, err := dataset.Generate(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	part, err := dataset.ShardPartition(train, nodes, 2, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Heterogeneous budgets: scale each device's Table 2 budget profile so
+	// the fleet average is missionBudgetRounds.
+	devices := energy.AssignDevices(nodes, energy.Devices())
+	taus := make([]int, nodes)
+	for i, d := range devices {
+		profile := float64(d.RoundBudget(energy.CIFAR10Workload(), 0.10)) // 272..681
+		taus[i] = int(profile / 387.25 * missionBudgetRounds)             // mean-normalize
+		if taus[i] < 1 {
+			taus[i] = 1
+		}
+	}
+
+	gamma := core.Gamma{GammaTrain: 2, GammaSync: 2}
+	run := func(label string, algo core.Algorithm) *sim.Result {
+		res, err := sim.Run(sim.Config{
+			Graph: g, Weights: weights,
+			Algo:   algo,
+			Rounds: rounds,
+			ModelFactory: func(node int, r *rng.RNG) *nn.Network {
+				return nn.LogisticRegression(32, 10, r)
+			},
+			LR: 0.2, BatchSize: 16, LocalSteps: 8,
+			Partition: part, Test: test,
+			EvalEvery: 6,
+			Devices:   devices,
+			Workload:  energy.CIFAR10Workload(),
+			Seed:      seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	newBudget := func() *energy.Budget { return energy.NewBudget(append([]int(nil), taus...)) }
+	dpsgd := run("D-PSGD", core.DPSGD())
+	greedy := run("Greedy", core.Greedy(newBudget()))
+	constrained := run("SkipTrain-constrained",
+		core.SkipTrainConstrained(gamma, rounds, newBudget(), nodes))
+
+	tb := report.NewTable(
+		fmt.Sprintf("Battery-constrained fleet: %d devices, ~%d training rounds of battery each, %d-round mission",
+			nodes, missionBudgetRounds, rounds),
+		"strategy", "final acc %", "training Wh", "battery respected")
+	tb.AddRowf("D-PSGD (oblivious)|%.2f|%.4f|no", dpsgd.FinalMeanAcc*100, dpsgd.TotalTrainWh)
+	tb.AddRowf("Greedy|%.2f|%.4f|yes", greedy.FinalMeanAcc*100, greedy.TotalTrainWh)
+	tb.AddRowf("SkipTrain-constrained|%.2f|%.4f|yes", constrained.FinalMeanAcc*100, constrained.TotalTrainWh)
+	tb.Render(os.Stdout)
+
+	fmt.Println("\nper-node training rounds (budget -> used):")
+	for i := 0; i < 8; i++ {
+		fmt.Printf("  node %2d (%s): %d -> greedy %d, constrained %d\n",
+			i, devices[i].Name, taus[i], greedy.TrainedRounds[i], constrained.TrainedRounds[i])
+	}
+	fmt.Println("\nGreedy burns its battery early; the constrained variant spreads the")
+	fmt.Println("same budget across the mission and synchronizes in between, which is")
+	fmt.Println("exactly why it reaches a better final model in the paper's Figure 6.")
+}

@@ -1,0 +1,106 @@
+// TCP cluster: decentralized learning over real sockets.
+//
+// The same engine that drives the in-process simulations can run nodes as
+// genuine TCP peers — every model exchange is framed, written to a socket,
+// and decoded on the other side, like the paper's DecentralizePy
+// deployment (one process per node, socket transport). This example runs
+// a small SkipTrain cluster on localhost twice — once over channels and
+// once over TCP — and verifies the trajectories are bit-identical, then
+// prints the wire statistics.
+//
+//	go run ./examples/tcpcluster
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/nn"
+	"repro/internal/report"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+func main() {
+	const (
+		nodes  = 8
+		degree = 4
+		rounds = 16
+		seed   = 9
+	)
+
+	g, err := graph.Regular(nodes, degree, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	weights := graph.Metropolis(g)
+	data := dataset.SyntheticConfig{Classes: 6, Dim: 16, Train: nodes * 40, Test: 300, Noise: 2.0, Seed: seed}
+	train, test, err := dataset.Generate(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	part, err := dataset.ShardPartition(train, nodes, 2, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	base := sim.Config{
+		Graph: g, Weights: weights,
+		Algo:   core.SkipTrain(core.Gamma{GammaTrain: 2, GammaSync: 2}),
+		Rounds: rounds,
+		ModelFactory: func(node int, r *rng.RNG) *nn.Network {
+			return nn.LogisticRegression(16, 6, r)
+		},
+		LR: 0.2, BatchSize: 16, LocalSteps: 4,
+		Partition: part, Test: test,
+		EvalEvery: 4,
+		Seed:      seed,
+	}
+
+	// Run 1: in-process channel transport.
+	local, err := sim.Run(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Run 2: every node listens on a real localhost TCP port.
+	tcpNet, err := transport.NewTCP(nodes, "127.0.0.1", 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tcpNet.Close()
+	fmt.Println("node listen addresses:")
+	for i := 0; i < nodes; i++ {
+		fmt.Printf("  node %d: %s\n", i, tcpNet.Addr(i))
+	}
+	cfgTCP := base
+	cfgTCP.Network = tcpNet
+	overTCP, err := sim.Run(cfgTCP)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tb := report.NewTable("\nChannel vs TCP transport (same seed)",
+		"round", "local acc %", "tcp acc %", "identical")
+	for i, m := range local.Evaluations() {
+		mt := overTCP.Evaluations()[i]
+		tb.AddRowf("%d|%.3f|%.3f|%v", m.Round+1, m.MeanAcc*100, mt.MeanAcc*100, m.MeanAcc == mt.MeanAcc)
+	}
+	tb.Render(os.Stdout)
+
+	// Wire accounting: per round every node ships one model per neighbor.
+	paramCount := nn.LogisticRegression(16, 6, rng.New(0)).ParamCount()
+	msgBytes := transport.EncodedSize(paramCount)
+	totalMsgs := nodes * degree * rounds
+	fmt.Printf("\nwire traffic: %d model messages x %d bytes = %.1f MiB over %d rounds\n",
+		totalMsgs, msgBytes, float64(totalMsgs*msgBytes)/(1<<20), rounds)
+	if local.FinalMeanAcc != overTCP.FinalMeanAcc {
+		log.Fatal("transport changed the result — determinism broken")
+	}
+	fmt.Println("trajectories identical across transports — the engine is wire-agnostic.")
+}

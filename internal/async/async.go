@@ -1,0 +1,296 @@
+// Package async implements the asynchronous extension of SkipTrain that
+// the paper leaves as future work (Section 5.3: "asynchronous algorithms
+// offer a more practical approach by relaxing the need for strict
+// synchronization. We leave the exploration and development of an
+// asynchronous extension of SkipTrain for future research").
+//
+// The design follows AD-PSGD (Lian et al., 2018), the asynchronous
+// counterpart the paper cites: nodes run free of barriers; when a node
+// finishes a local step it pushes its model to one random neighbor and
+// averages pairwise with whatever models have arrived meanwhile. SkipTrain
+// transfers directly: a node's local step counter decides — via the same
+// Γtrain/Γsync pattern and training probabilities — whether the step
+// includes local SGD or is gossip-only.
+//
+// The engine is a deterministic discrete-event simulation in virtual time.
+// Each node's step duration comes from its device trace (training a round
+// on a Xiaomi Poco X3 takes 6.1 virtual seconds, on a OnePlus Nord 2 only
+// 2.3 — Table 2), so heterogeneous pacing emerges naturally: fast devices
+// gossip more often, exactly the system-heterogeneity regime asynchronous
+// DL targets. Virtual time also keeps every run bit-reproducible.
+package async
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/energy"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Config describes an asynchronous run.
+type Config struct {
+	Graph *graph.Graph
+	// Algo supplies the schedule and participation policy. Aggregation is
+	// always pairwise gossip averaging (AD-PSGD style); the Weights matrix
+	// of the synchronous engine is not used.
+	Algo core.Algorithm
+	// Horizon is the virtual time to simulate, in seconds.
+	Horizon float64
+	// StepsPerNode optionally bounds the number of local steps any node
+	// may take (0 = unbounded within the horizon).
+	StepsPerNode int
+
+	ModelFactory func(node int, r *rng.RNG) *nn.Network
+	LR           float64
+	BatchSize    int
+	LocalSteps   int
+
+	Partition dataset.Partition
+	Test      *dataset.Dataset
+
+	// Devices set per-node step durations and energy; required.
+	Devices  []energy.Device
+	Workload energy.Workload
+	// SyncSpeedup is how much faster a gossip-only step is than a training
+	// step (communication is cheap); default 10.
+	SyncSpeedup float64
+
+	// EvalEverySeconds evaluates all nodes at this virtual period
+	// (0 = final only). EvalSubsample bounds test samples per evaluation.
+	EvalEverySeconds float64
+	EvalSubsample    int
+
+	Seed uint64
+}
+
+func (c *Config) validate() error {
+	switch {
+	case c.Graph == nil:
+		return fmt.Errorf("async: nil graph")
+	case c.Horizon <= 0:
+		return fmt.Errorf("async: non-positive horizon %v", c.Horizon)
+	case c.ModelFactory == nil:
+		return fmt.Errorf("async: nil model factory")
+	case c.LR <= 0 || c.BatchSize < 1 || c.LocalSteps < 1:
+		return fmt.Errorf("async: bad hyperparameters")
+	case len(c.Partition) != c.Graph.N:
+		return fmt.Errorf("async: partition for %d nodes, graph has %d", len(c.Partition), c.Graph.N)
+	case c.Test == nil || c.Test.Len() == 0:
+		return fmt.Errorf("async: empty test set")
+	case len(c.Devices) != c.Graph.N:
+		return fmt.Errorf("async: %d devices for %d nodes", len(c.Devices), c.Graph.N)
+	case c.Algo.Schedule == nil || c.Algo.Policy == nil:
+		return fmt.Errorf("async: incomplete algorithm")
+	}
+	return c.Workload.Validate()
+}
+
+// Snapshot is one evaluation point in virtual time.
+type Snapshot struct {
+	Time       float64
+	MeanAcc    float64
+	StdAcc     float64
+	Consensus  float64
+	StepsTotal int
+	TrainWh    float64
+}
+
+// Result is the outcome of an asynchronous run.
+type Result struct {
+	History      []Snapshot
+	FinalMeanAcc float64
+	FinalStdAcc  float64
+	TotalTrainWh float64
+	StepsPerNode []int // local steps completed per node
+	TrainedSteps []int // steps that included training
+	GossipsSent  int
+}
+
+// event is a scheduled node wake-up in virtual time.
+type event struct {
+	time float64
+	node int
+	seq  int // tiebreaker for determinism
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+type asyncNode struct {
+	id       int
+	net      *nn.Network
+	batcher  *dataset.Batcher
+	policy   *rng.RNG
+	gossip   *rng.RNG
+	params   tensor.Vector
+	incoming []tensor.Vector // models pushed by peers since last step
+	steps    int
+	trained  int
+}
+
+// Run executes the asynchronous simulation.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.SyncSpeedup <= 0 {
+		cfg.SyncSpeedup = 10
+	}
+	n := cfg.Graph.N
+	nodes := make([]*asyncNode, n)
+	var paramCount int
+	for i := 0; i < n; i++ {
+		model := cfg.ModelFactory(i, rng.Derive(cfg.Seed, uint64(i), 0xa51c))
+		if i == 0 {
+			paramCount = model.ParamCount()
+		} else if model.ParamCount() != paramCount {
+			return nil, fmt.Errorf("async: heterogeneous model sizes")
+		}
+		nodes[i] = &asyncNode{
+			id:      i,
+			net:     model,
+			batcher: dataset.NewBatcher(cfg.Partition[i], rng.Derive(cfg.Seed, uint64(i), 0xba7c4)),
+			policy:  rng.Derive(cfg.Seed, uint64(i), 0x90a1c),
+			gossip:  rng.Derive(cfg.Seed, uint64(i), 0x905517),
+			params:  tensor.NewVector(paramCount),
+		}
+		nodes[i].net.CopyParamsTo(nodes[i].params)
+	}
+
+	res := &Result{StepsPerNode: make([]int, n), TrainedSteps: make([]int, n)}
+	queue := &eventQueue{}
+	heap.Init(queue)
+	seq := 0
+	for i := 0; i < n; i++ {
+		// Stagger starts by a fraction of the node's own step time so the
+		// fleet does not begin in lockstep.
+		start := cfg.Devices[i].TrainRoundSeconds(cfg.Workload) * nodes[i].gossip.Float64()
+		heap.Push(queue, event{time: start, node: i, seq: seq})
+		seq++
+	}
+
+	trainWh := 0.0
+	nextEval := cfg.EvalEverySeconds
+	evalRNG := rng.Derive(cfg.Seed, 0xe7a1)
+	evaluate := func(t float64) {
+		xs, ys := evalSubset(cfg, evalRNG)
+		accs := make([]float64, n)
+		models := make([]tensor.Vector, n)
+		for i, nd := range nodes {
+			accs[i] = nd.net.Accuracy(xs, ys)
+			models[i] = nd.params
+		}
+		mean, std := metrics.MeanStd(accs)
+		steps := 0
+		for _, nd := range nodes {
+			steps += nd.steps
+		}
+		res.History = append(res.History, Snapshot{
+			Time: t, MeanAcc: mean, StdAcc: std,
+			Consensus:  metrics.ConsensusDistance(models),
+			StepsTotal: steps, TrainWh: trainWh,
+		})
+		res.FinalMeanAcc, res.FinalStdAcc = mean, std
+	}
+
+	for queue.Len() > 0 {
+		ev := heap.Pop(queue).(event)
+		if ev.time > cfg.Horizon {
+			break
+		}
+		if cfg.EvalEverySeconds > 0 && ev.time >= nextEval {
+			evaluate(nextEval)
+			nextEval += cfg.EvalEverySeconds
+		}
+		nd := nodes[ev.node]
+		if cfg.StepsPerNode > 0 && nd.steps >= cfg.StepsPerNode {
+			continue
+		}
+
+		// 1. Merge everything that arrived while we were busy (AD-PSGD
+		//    pairwise averaging, generalized to k pending models).
+		if len(nd.incoming) > 0 {
+			vecs := make([]tensor.Vector, 0, len(nd.incoming)+1)
+			vecs = append(vecs, nd.params)
+			vecs = append(vecs, nd.incoming...)
+			tensor.MeanVectorTo(nd.params, vecs)
+			nd.incoming = nd.incoming[:0]
+			nd.net.SetParams(nd.params)
+		}
+
+		// 2. Decide the step kind from the node's own step counter: the
+		//    same Γ pattern and budget policy as the synchronous variant.
+		trainingStep := cfg.Algo.Schedule.Kind(nd.steps) == core.RoundTrain &&
+			cfg.Algo.Policy.Participate(nd.id, nd.steps, nd.policy)
+		dur := cfg.Devices[nd.id].TrainRoundSeconds(cfg.Workload)
+		if trainingStep {
+			for e := 0; e < cfg.LocalSteps; e++ {
+				xs, ys := nd.batcher.Next(cfg.BatchSize)
+				nd.net.TrainBatch(xs, ys, cfg.LR)
+			}
+			nd.net.CopyParamsTo(nd.params)
+			trainWh += cfg.Devices[nd.id].TrainRoundWh(cfg.Workload)
+			nd.trained++
+			res.TrainedSteps[nd.id]++
+		} else {
+			dur /= cfg.SyncSpeedup
+		}
+
+		// 3. Symmetric gossip with one random neighbor: push our model to
+		//    the peer and pull the peer's current model into our own merge
+		//    queue — the event-driven equivalent of AD-PSGD's atomic
+		//    pairwise averaging (push-only gossip mixes half as fast and
+		//    does not preserve the network average).
+		nbrs := cfg.Graph.Adj[nd.id]
+		peer := nbrs[nd.gossip.Intn(len(nbrs))]
+		nodes[peer].incoming = append(nodes[peer].incoming, nd.params.Clone())
+		nd.incoming = append(nd.incoming, nodes[peer].params.Clone())
+		res.GossipsSent++
+
+		nd.steps++
+		res.StepsPerNode[nd.id]++
+		heap.Push(queue, event{time: ev.time + dur, node: nd.id, seq: seq})
+		seq++
+	}
+	evaluate(cfg.Horizon)
+	res.TotalTrainWh = trainWh
+	return res, nil
+}
+
+func evalSubset(cfg Config, r *rng.RNG) ([]tensor.Vector, []int) {
+	test := cfg.Test
+	if cfg.EvalSubsample <= 0 || cfg.EvalSubsample >= test.Len() {
+		return test.Inputs(), test.Labels()
+	}
+	idx := r.Perm(test.Len())[:cfg.EvalSubsample]
+	xs := make([]tensor.Vector, len(idx))
+	ys := make([]int, len(idx))
+	for i, j := range idx {
+		xs[i] = test.Samples[j].X
+		ys[i] = test.Samples[j].Y
+	}
+	return xs, ys
+}

@@ -1,0 +1,250 @@
+package async
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/energy"
+	"repro/internal/graph"
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+func testConfig(t *testing.T, seed uint64) Config {
+	t.Helper()
+	g, err := graph.Regular(12, 4, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := dataset.SyntheticConfig{Classes: 6, Dim: 8, Train: 480, Test: 240, Noise: 1.5, Seed: seed}
+	train, test, err := dataset.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := dataset.ShardPartition(train, 12, 2, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Graph:   g,
+		Algo:    core.SkipTrain(core.Gamma{GammaTrain: 2, GammaSync: 2}),
+		Horizon: 200,
+		ModelFactory: func(node int, r *rng.RNG) *nn.Network {
+			return nn.LogisticRegression(8, 6, r)
+		},
+		LR: 0.1, BatchSize: 8, LocalSteps: 2,
+		Partition: part, Test: test,
+		Devices:          energy.AssignDevices(12, energy.Devices()),
+		Workload:         energy.CIFAR10Workload(),
+		EvalEverySeconds: 50,
+		EvalSubsample:    120,
+		Seed:             seed,
+	}
+}
+
+func TestAsyncLearns(t *testing.T) {
+	res, err := Run(testConfig(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalMeanAcc < 0.35 { // chance = 1/6
+		t.Fatalf("async run did not learn: %.3f", res.FinalMeanAcc)
+	}
+	if res.GossipsSent == 0 {
+		t.Fatal("no gossip happened")
+	}
+	if len(res.History) < 3 {
+		t.Fatalf("expected periodic evaluations, got %d", len(res.History))
+	}
+}
+
+func TestAsyncDeterministic(t *testing.T) {
+	r1, err := Run(testConfig(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(testConfig(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.FinalMeanAcc != r2.FinalMeanAcc || r1.GossipsSent != r2.GossipsSent {
+		t.Fatalf("async runs differ: %.6f/%d vs %.6f/%d",
+			r1.FinalMeanAcc, r1.GossipsSent, r2.FinalMeanAcc, r2.GossipsSent)
+	}
+	for i := range r1.StepsPerNode {
+		if r1.StepsPerNode[i] != r2.StepsPerNode[i] {
+			t.Fatal("per-node step counts differ across identical runs")
+		}
+	}
+}
+
+func TestAsyncHeterogeneousPacing(t *testing.T) {
+	// The OnePlus Nord 2 (2.34 s/round) must complete more steps than the
+	// Poco X3 (6.12 s/round) in the same horizon — the defining property
+	// of the asynchronous engine.
+	res, err := Run(testConfig(t, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Devices assigned round-robin: index 2 is Nord 2, index 3 is Poco X3.
+	fast := res.StepsPerNode[2] + res.StepsPerNode[6] + res.StepsPerNode[10]
+	slow := res.StepsPerNode[3] + res.StepsPerNode[7] + res.StepsPerNode[11]
+	if fast <= slow {
+		t.Fatalf("fast devices took %d steps, slow took %d; pacing broken", fast, slow)
+	}
+}
+
+func TestAsyncScheduleReducesEnergy(t *testing.T) {
+	// SkipTrain(1,1) vs all-train at the same virtual horizon. Unlike the
+	// synchronous engine, skipping does not halve energy here: a gossip
+	// step is 10x faster than a training step, so a (1,1) node reaches its
+	// next training step after 1 + 1/10 training-durations. The analytic
+	// prediction is ratio = speedup/(speedup+1) = 0.909 — asynchronous
+	// energy savings are governed by the sync/train *duration* ratio, not
+	// the schedule alone. This is a genuine finding of the async extension
+	// (see package docs) and the engine must match it.
+	cfgSkip := testConfig(t, 4)
+	cfgSkip.Algo = core.SkipTrain(core.Gamma{GammaTrain: 1, GammaSync: 1})
+	skip, err := Run(cfgSkip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgFull := testConfig(t, 4)
+	cfgFull.Algo = core.DPSGD()
+	full, err := Run(cfgFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := skip.TotalTrainWh / full.TotalTrainWh
+	want := cfgSkip.SyncSpeedup
+	if want == 0 {
+		want = 10
+	}
+	predicted := want / (want + 1)
+	if math.Abs(ratio-predicted) > 0.06 {
+		t.Fatalf("energy ratio %.3f, analytic prediction %.3f", ratio, predicted)
+	}
+	// With slow gossip (speedup 1), the saving approaches the synchronous
+	// engine's one half.
+	cfgSlow := testConfig(t, 4)
+	cfgSlow.Algo = core.SkipTrain(core.Gamma{GammaTrain: 1, GammaSync: 1})
+	cfgSlow.SyncSpeedup = 1
+	slow, err := Run(cfgSlow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowRatio := slow.TotalTrainWh / full.TotalTrainWh
+	if math.Abs(slowRatio-0.5) > 0.08 {
+		t.Fatalf("speedup-1 energy ratio %.3f, want ~0.5", slowRatio)
+	}
+	// Training steps obey the alternating pattern per node: trained steps
+	// are about half of total steps.
+	for i, steps := range skip.StepsPerNode {
+		if steps < 2 {
+			continue
+		}
+		frac := float64(skip.TrainedSteps[i]) / float64(steps)
+		if frac < 0.3 || frac > 0.7 {
+			t.Fatalf("node %d trained %.0f%% of steps under (1,1) schedule", i, frac*100)
+		}
+	}
+}
+
+func TestAsyncConsensusShrinks(t *testing.T) {
+	cfg := testConfig(t, 5)
+	// Gossip-only run: zero budgets mean nobody ever trains, so gossip
+	// must contract the consensus distance.
+	cfg.Algo = core.Greedy(energy.NewBudget(make([]int, 12)))
+	cfg.EvalEverySeconds = 25
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := res.History[0].Consensus
+	last := res.History[len(res.History)-1].Consensus
+	if last >= first {
+		t.Fatalf("gossip did not contract consensus: %.4f -> %.4f", first, last)
+	}
+}
+
+func TestAsyncBudgetRespected(t *testing.T) {
+	cfg := testConfig(t, 6)
+	budgets := make([]int, 12)
+	for i := range budgets {
+		budgets[i] = 3
+	}
+	cfg.Algo = core.Greedy(energy.NewBudget(budgets))
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range res.TrainedSteps {
+		if tr > 3 {
+			t.Fatalf("node %d trained %d steps with budget 3", i, tr)
+		}
+	}
+}
+
+func TestAsyncStepsCap(t *testing.T) {
+	cfg := testConfig(t, 7)
+	cfg.StepsPerNode = 5
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range res.StepsPerNode {
+		if s > 5 {
+			t.Fatalf("node %d took %d steps, cap is 5", i, s)
+		}
+	}
+}
+
+func TestAsyncValidation(t *testing.T) {
+	mutations := map[string]func(*Config){
+		"nil graph":  func(c *Config) { c.Graph = nil },
+		"horizon":    func(c *Config) { c.Horizon = 0 },
+		"factory":    func(c *Config) { c.ModelFactory = nil },
+		"lr":         func(c *Config) { c.LR = 0 },
+		"nil test":   func(c *Config) { c.Test = nil },
+		"devices":    func(c *Config) { c.Devices = c.Devices[:3] },
+		"partition":  func(c *Config) { c.Partition = c.Partition[:3] },
+		"nil policy": func(c *Config) { c.Algo.Policy = nil },
+	}
+	for name, mutate := range mutations {
+		cfg := testConfig(t, 8)
+		mutate(&cfg)
+		if _, err := Run(cfg); err == nil {
+			t.Fatalf("%s: want validation error", name)
+		}
+	}
+}
+
+func TestAsyncEnergyAccountingMatchesSteps(t *testing.T) {
+	cfg := testConfig(t, 9)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.0
+	for i, tr := range res.TrainedSteps {
+		want += float64(tr) * cfg.Devices[i].TrainRoundWh(cfg.Workload)
+	}
+	if math.Abs(res.TotalTrainWh-want) > 1e-9 {
+		t.Fatalf("energy %.6f, expected %.6f from step counts", res.TotalTrainWh, want)
+	}
+}
+
+func TestEventQueueOrdering(t *testing.T) {
+	q := &eventQueue{}
+	*q = append(*q, event{time: 2, node: 0, seq: 0}, event{time: 1, node: 1, seq: 1},
+		event{time: 1, node: 2, seq: 2})
+	// heap.Init via Run path; test Less directly.
+	if !(*q).Less(1, 0) {
+		t.Fatal("earlier time must order first")
+	}
+	if !(*q).Less(1, 2) {
+		t.Fatal("equal times must order by sequence")
+	}
+}

@@ -1,0 +1,169 @@
+// Package compress implements the model-compression techniques the paper's
+// related work builds on (Section 6: sparsification per Alistarh et al.
+// and Sparse-Push, quantized gossip per Hashemi et al.): top-k
+// sparsification with error feedback, and linear 8-bit quantization.
+//
+// SkipTrain reduces energy by skipping training; these operators reduce the
+// *communication* side instead, and compose with any schedule. They are
+// exercised by the communication-ablation benchmarks.
+package compress
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/tensor"
+)
+
+// Sparse is a sparsified vector: values at the given indices, zeros
+// elsewhere. Indices are strictly increasing.
+type Sparse struct {
+	Dim     int
+	Indices []int
+	Values  []float64
+}
+
+// TopK keeps the k entries of v with the largest magnitude (ties broken by
+// lower index) and returns them as a Sparse vector. k is clamped to
+// [0, len(v)].
+func TopK(v tensor.Vector, k int) Sparse {
+	if k < 0 {
+		k = 0
+	}
+	if k > len(v) {
+		k = len(v)
+	}
+	s := Sparse{Dim: len(v)}
+	if k == 0 {
+		return s
+	}
+	idx := make([]int, len(v))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Partial selection: sort by magnitude descending, index ascending.
+	sort.SliceStable(idx, func(a, b int) bool {
+		return math.Abs(v[idx[a]]) > math.Abs(v[idx[b]])
+	})
+	chosen := idx[:k]
+	sort.Ints(chosen)
+	s.Indices = make([]int, k)
+	s.Values = make([]float64, k)
+	for i, j := range chosen {
+		s.Indices[i] = j
+		s.Values[i] = v[j]
+	}
+	return s
+}
+
+// Dense reconstructs the dense vector.
+func (s Sparse) Dense() tensor.Vector {
+	out := tensor.NewVector(s.Dim)
+	for i, j := range s.Indices {
+		out[j] = s.Values[i]
+	}
+	return out
+}
+
+// AddTo accumulates the sparse values into dst (dst += s).
+func (s Sparse) AddTo(dst tensor.Vector) {
+	if len(dst) != s.Dim {
+		panic(fmt.Sprintf("compress: sparse dim %d vs dense %d", s.Dim, len(dst)))
+	}
+	for i, j := range s.Indices {
+		dst[j] += s.Values[i]
+	}
+}
+
+// Density returns the kept fraction of entries.
+func (s Sparse) Density() float64 {
+	if s.Dim == 0 {
+		return 0
+	}
+	return float64(len(s.Indices)) / float64(s.Dim)
+}
+
+// ErrorFeedback implements the memory/error-feedback mechanism that makes
+// biased compressors (like top-k) converge: the residual of each
+// compression is added back before the next one.
+type ErrorFeedback struct {
+	residual tensor.Vector
+	scratch  tensor.Vector
+}
+
+// NewErrorFeedback creates an accumulator for vectors of length dim.
+func NewErrorFeedback(dim int) *ErrorFeedback {
+	return &ErrorFeedback{residual: tensor.NewVector(dim), scratch: tensor.NewVector(dim)}
+}
+
+// Compress adds the stored residual to v, applies top-k, and retains the
+// part that was not transmitted as the new residual. v is not modified.
+func (ef *ErrorFeedback) Compress(v tensor.Vector, k int) Sparse {
+	tensor.AddTo(ef.scratch, v, ef.residual)
+	s := TopK(ef.scratch, k)
+	// residual = corrected - transmitted
+	copy(ef.residual, ef.scratch)
+	for i, j := range s.Indices {
+		ef.residual[j] -= s.Values[i]
+	}
+	return s
+}
+
+// Residual exposes the current residual (view, not copy).
+func (ef *ErrorFeedback) Residual() tensor.Vector { return ef.residual }
+
+// Quantized is a linearly quantized vector: value[i] = Min + Step*code[i].
+type Quantized struct {
+	Min   float64
+	Step  float64
+	Codes []uint8
+}
+
+// Quantize8 maps v onto 256 evenly spaced levels spanning [min, max].
+func Quantize8(v tensor.Vector) Quantized {
+	if len(v) == 0 {
+		return Quantized{}
+	}
+	lo, hi := v[0], v[0]
+	for _, x := range v {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	q := Quantized{Min: lo, Codes: make([]uint8, len(v))}
+	if hi == lo {
+		return q // all codes zero, Step zero
+	}
+	q.Step = (hi - lo) / 255
+	for i, x := range v {
+		code := math.Round((x - lo) / q.Step)
+		if code < 0 {
+			code = 0
+		}
+		if code > 255 {
+			code = 255
+		}
+		q.Codes[i] = uint8(code)
+	}
+	return q
+}
+
+// Dense reconstructs the dequantized vector.
+func (q Quantized) Dense() tensor.Vector {
+	out := tensor.NewVector(len(q.Codes))
+	for i, c := range q.Codes {
+		out[i] = q.Min + q.Step*float64(c)
+	}
+	return out
+}
+
+// MaxError returns the worst-case reconstruction error (half a step).
+func (q Quantized) MaxError() float64 { return q.Step / 2 }
+
+// CompressionRatio returns the byte savings of 8-bit codes over float64
+// payloads, ignoring the constant-size header.
+func (q Quantized) CompressionRatio() float64 { return 8.0 }

@@ -1,0 +1,246 @@
+package compress
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+func TestTopKBasic(t *testing.T) {
+	v := tensor.Vector{0.1, -5, 3, 0, 2}
+	s := TopK(v, 2)
+	if len(s.Indices) != 2 {
+		t.Fatalf("kept %d", len(s.Indices))
+	}
+	// Largest magnitudes: -5 (idx 1) and 3 (idx 2); indices sorted.
+	if s.Indices[0] != 1 || s.Indices[1] != 2 || s.Values[0] != -5 || s.Values[1] != 3 {
+		t.Fatalf("TopK = %+v", s)
+	}
+}
+
+func TestTopKClamps(t *testing.T) {
+	v := tensor.Vector{1, 2}
+	if s := TopK(v, 10); len(s.Indices) != 2 {
+		t.Fatal("k > len should clamp")
+	}
+	if s := TopK(v, -1); len(s.Indices) != 0 {
+		t.Fatal("k < 0 should clamp to 0")
+	}
+	if s := TopK(nil, 3); s.Dim != 0 || len(s.Indices) != 0 {
+		t.Fatal("empty vector")
+	}
+}
+
+func TestTopKDenseRoundTrip(t *testing.T) {
+	v := tensor.Vector{1, -2, 0.5, 4}
+	d := TopK(v, 4).Dense()
+	for i := range v {
+		if d[i] != v[i] {
+			t.Fatal("k = dim must reconstruct exactly")
+		}
+	}
+}
+
+func TestTopKProperty(t *testing.T) {
+	// Property: the kept entries always have magnitude >= any dropped one.
+	f := func(raw []float64, kRaw uint8) bool {
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		for i, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				raw[i] = 0
+			}
+		}
+		v := tensor.Vector(raw)
+		k := int(kRaw) % (len(v) + 1)
+		s := TopK(v, k)
+		if len(s.Indices) != k {
+			return false
+		}
+		kept := map[int]bool{}
+		minKept := math.Inf(1)
+		for _, j := range s.Indices {
+			kept[j] = true
+			if m := math.Abs(v[j]); m < minKept {
+				minKept = m
+			}
+		}
+		for i := range v {
+			if !kept[i] && k > 0 && math.Abs(v[i]) > minKept+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSparseAddTo(t *testing.T) {
+	s := TopK(tensor.Vector{0, 5, 0, -3}, 2)
+	dst := tensor.Vector{1, 1, 1, 1}
+	s.AddTo(dst)
+	want := tensor.Vector{1, 6, 1, -2}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("AddTo = %v", dst)
+		}
+	}
+}
+
+func TestSparseAddToPanics(t *testing.T) {
+	s := TopK(tensor.Vector{1, 2}, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dim mismatch should panic")
+		}
+	}()
+	s.AddTo(tensor.NewVector(5))
+}
+
+func TestDensity(t *testing.T) {
+	s := TopK(tensor.NewVector(100), 10)
+	if s.Density() != 0.1 {
+		t.Fatalf("density = %v", s.Density())
+	}
+	var empty Sparse
+	if empty.Density() != 0 {
+		t.Fatal("empty density should be 0")
+	}
+}
+
+func TestErrorFeedbackConservation(t *testing.T) {
+	// Invariant: transmitted + residual == input + previous residual.
+	r := rng.New(1)
+	ef := NewErrorFeedback(16)
+	for step := 0; step < 10; step++ {
+		v := tensor.NewVector(16)
+		for i := range v {
+			v[i] = r.NormFloat64()
+		}
+		prev := ef.Residual().Clone()
+		s := ef.Compress(v, 4)
+		sum := s.Dense()
+		tensor.AXPY(sum, 1, ef.Residual())
+		want := tensor.NewVector(16)
+		tensor.AddTo(want, v, prev)
+		for i := range want {
+			if math.Abs(sum[i]-want[i]) > 1e-12 {
+				t.Fatalf("step %d: conservation violated at %d", step, i)
+			}
+		}
+	}
+}
+
+func TestErrorFeedbackEventuallyTransmitsEverything(t *testing.T) {
+	// A constant gradient direction suppressed by top-k must eventually be
+	// sent: with error feedback the residual grows until it wins the top-k.
+	ef := NewErrorFeedback(4)
+	v := tensor.Vector{10, 0.1, 0.1, 0.1}
+	sentSmall := false
+	for step := 0; step < 200 && !sentSmall; step++ {
+		s := ef.Compress(v, 1)
+		for _, j := range s.Indices {
+			if j != 0 {
+				sentSmall = true
+			}
+		}
+	}
+	if !sentSmall {
+		t.Fatal("error feedback never flushed the small coordinates")
+	}
+}
+
+func TestQuantize8RoundTrip(t *testing.T) {
+	r := rng.New(2)
+	v := tensor.NewVector(256)
+	for i := range v {
+		v[i] = r.NormFloat64() * 3
+	}
+	q := Quantize8(v)
+	d := q.Dense()
+	for i := range v {
+		if math.Abs(d[i]-v[i]) > q.MaxError()+1e-12 {
+			t.Fatalf("entry %d error %v exceeds bound %v", i, math.Abs(d[i]-v[i]), q.MaxError())
+		}
+	}
+}
+
+func TestQuantize8Extremes(t *testing.T) {
+	v := tensor.Vector{-1, 0, 1}
+	q := Quantize8(v)
+	d := q.Dense()
+	if d[0] != -1 || d[2] != 1 {
+		t.Fatalf("extremes must be exact: %v", d)
+	}
+}
+
+func TestQuantize8Constant(t *testing.T) {
+	v := tensor.Vector{2.5, 2.5, 2.5}
+	q := Quantize8(v)
+	d := q.Dense()
+	for _, x := range d {
+		if x != 2.5 {
+			t.Fatalf("constant vector round trip: %v", d)
+		}
+	}
+}
+
+func TestQuantize8Empty(t *testing.T) {
+	q := Quantize8(nil)
+	if len(q.Dense()) != 0 {
+		t.Fatal("empty quantization")
+	}
+}
+
+func TestQuantizeProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) > 128 {
+			raw = raw[:128]
+		}
+		for i, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				raw[i] = 0
+			}
+		}
+		v := tensor.Vector(raw)
+		q := Quantize8(v)
+		d := q.Dense()
+		for i := range v {
+			if math.Abs(d[i]-v[i]) > q.Step/2+1e-9*(1+math.Abs(v[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressedMixingPreservesLearning(t *testing.T) {
+	// End-to-end sanity: averaging two model vectors through top-k(50%)
+	// with error feedback still moves both toward their midpoint.
+	a := tensor.Vector{4, 0, 2, -2}
+	b := tensor.Vector{0, 4, -2, 2}
+	efA := NewErrorFeedback(4)
+	mid := tensor.NewVector(4)
+	tensor.AddTo(mid, a, b)
+	tensor.ScaleTo(mid, 0.5, mid)
+	cur := a.Clone()
+	for i := 0; i < 50; i++ {
+		// a sends a compressed delta toward the midpoint.
+		delta := tensor.NewVector(4)
+		tensor.SubTo(delta, mid, cur)
+		s := efA.Compress(delta, 2)
+		s.AddTo(cur)
+	}
+	if tensor.Dist2(cur, mid) > 0.05 {
+		t.Fatalf("compressed mixing did not converge to midpoint: %v vs %v", cur, mid)
+	}
+}

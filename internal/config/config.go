@@ -1,0 +1,180 @@
+// Package config holds experiment configurations with the paper's Table 1
+// defaults and JSON round-tripping for reproducible experiment manifests.
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Experiment captures every knob of a paper experiment. The zero value is
+// not valid; start from CIFAR10Defaults or FEMNISTDefaults.
+type Experiment struct {
+	Name string `json:"name"`
+
+	// Topology.
+	Nodes  int `json:"nodes"`
+	Degree int `json:"degree"`
+
+	// Table 1 hyperparameters.
+	LearningRate float64 `json:"learning_rate"` // η
+	BatchSize    int     `json:"batch_size"`    // |ξ|
+	LocalSteps   int     `json:"local_steps"`   // E
+	ModelSize    int     `json:"model_size"`    // |x|, drives the energy model
+	Rounds       int     `json:"rounds"`        // T
+
+	// SkipTrain schedule (ignored by D-PSGD).
+	GammaTrain int `json:"gamma_train"`
+	GammaSync  int `json:"gamma_sync"`
+
+	// Energy-constrained setting.
+	BatteryFraction float64 `json:"battery_fraction"` // share of battery usable
+
+	// Simulation-scale knobs (see DESIGN.md §2: learning runs on synthetic
+	// data with compact models; energy runs on the paper's model sizes).
+	DataClasses   int     `json:"data_classes"`
+	DataDim       int     `json:"data_dim"`
+	TrainSamples  int     `json:"train_samples"`
+	TestSamples   int     `json:"test_samples"`
+	Noise         float64 `json:"noise"`
+	ShardsPerNode int     `json:"shards_per_node"` // 0 = writer/natural partition
+	EvalEvery     int     `json:"eval_every"`
+	EvalSubsample int     `json:"eval_subsample"`
+
+	Seed uint64 `json:"seed"`
+}
+
+// CIFAR10Defaults returns the paper's CIFAR-10 configuration (Table 1):
+// η=0.1, batch 32, 20 local steps, |x|=89834, T=1000, 2-shard partition,
+// 10% battery budgets.
+func CIFAR10Defaults() Experiment {
+	return Experiment{
+		Name:            "cifar10",
+		Nodes:           256,
+		Degree:          6,
+		LearningRate:    0.1,
+		BatchSize:       32,
+		LocalSteps:      20,
+		ModelSize:       89834,
+		Rounds:          1000,
+		GammaTrain:      4,
+		GammaSync:       4,
+		BatteryFraction: 0.10,
+		DataClasses:     10,
+		DataDim:         32,
+		TrainSamples:    25600,
+		TestSamples:     5120, // split 50/50 into validation and test, as in the paper
+		Noise:           1.0,
+		ShardsPerNode:   2,
+		EvalEvery:       8,
+		EvalSubsample:   512,
+		Seed:            42,
+	}
+}
+
+// FEMNISTDefaults returns the paper's FEMNIST configuration (Table 1):
+// η=0.1, batch 16, 7 local steps, |x|=1690046, T=3000, natural writer
+// partition, 50% battery budgets.
+func FEMNISTDefaults() Experiment {
+	e := CIFAR10Defaults()
+	e.Name = "femnist"
+	e.BatchSize = 16
+	e.LocalSteps = 7
+	e.ModelSize = 1690046
+	e.Rounds = 3000
+	e.GammaTrain = 4
+	e.GammaSync = 4
+	e.BatteryFraction = 0.50
+	e.DataClasses = 62
+	e.DataDim = 32
+	e.ShardsPerNode = 0 // natural writer partition
+	return e
+}
+
+// Validate checks internal consistency.
+func (e Experiment) Validate() error {
+	switch {
+	case e.Nodes < 2:
+		return fmt.Errorf("config: need >= 2 nodes, got %d", e.Nodes)
+	case e.Degree < 2 || e.Degree >= e.Nodes:
+		return fmt.Errorf("config: degree %d invalid for %d nodes", e.Degree, e.Nodes)
+	case e.Nodes*e.Degree%2 != 0:
+		return fmt.Errorf("config: nodes*degree must be even")
+	case e.LearningRate <= 0:
+		return fmt.Errorf("config: learning rate %v", e.LearningRate)
+	case e.BatchSize < 1 || e.LocalSteps < 1 || e.Rounds < 1:
+		return fmt.Errorf("config: batch/steps/rounds must be positive")
+	case e.GammaTrain < 1 || e.GammaSync < 0:
+		return fmt.Errorf("config: gamma (%d,%d) invalid", e.GammaTrain, e.GammaSync)
+	case e.BatteryFraction <= 0 || e.BatteryFraction > 1:
+		return fmt.Errorf("config: battery fraction %v outside (0,1]", e.BatteryFraction)
+	case e.DataClasses < 2 || e.DataDim < 1:
+		return fmt.Errorf("config: data geometry %d classes x %d dims", e.DataClasses, e.DataDim)
+	case e.TrainSamples < e.Nodes:
+		return fmt.Errorf("config: %d train samples for %d nodes", e.TrainSamples, e.Nodes)
+	case e.TestSamples < 2:
+		return fmt.Errorf("config: %d test samples", e.TestSamples)
+	case e.ModelSize < 1:
+		return fmt.Errorf("config: model size %d", e.ModelSize)
+	}
+	return nil
+}
+
+// Scale shrinks an experiment by the given node and round factors for
+// laptop-scale runs, keeping ratios (samples per node, schedule) intact.
+func (e Experiment) Scale(nodes, rounds int) Experiment {
+	out := e
+	if nodes > 0 && nodes < e.Nodes {
+		out.TrainSamples = e.TrainSamples * nodes / e.Nodes
+		if out.TrainSamples < nodes*e.ShardsPerNode {
+			out.TrainSamples = nodes * max(1, e.ShardsPerNode) * 8
+		}
+		out.Nodes = nodes
+		if out.Degree >= nodes {
+			out.Degree = 2 + (nodes%2+nodes)%2 // fall back to something small and even-product
+			if out.Degree >= nodes {
+				out.Degree = 2
+			}
+		}
+		if out.Nodes*out.Degree%2 != 0 {
+			out.Degree++
+		}
+	}
+	if rounds > 0 && rounds < e.Rounds {
+		out.Rounds = rounds
+	}
+	return out
+}
+
+// Save writes the experiment as JSON to path.
+func (e Experiment) Save(path string) error {
+	data, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Load reads an experiment from a JSON file and validates it.
+func Load(path string) (Experiment, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Experiment{}, err
+	}
+	var e Experiment
+	if err := json.Unmarshal(data, &e); err != nil {
+		return Experiment{}, fmt.Errorf("config: parse %s: %w", path, err)
+	}
+	if err := e.Validate(); err != nil {
+		return Experiment{}, err
+	}
+	return e, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

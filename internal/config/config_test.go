@@ -1,0 +1,122 @@
+package config
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestTable1Defaults(t *testing.T) {
+	c := CIFAR10Defaults()
+	// Table 1 of the paper, CIFAR-10 column.
+	if c.LearningRate != 0.1 || c.BatchSize != 32 || c.LocalSteps != 20 ||
+		c.ModelSize != 89834 || c.Rounds != 1000 {
+		t.Fatalf("CIFAR-10 defaults do not match Table 1: %+v", c)
+	}
+	f := FEMNISTDefaults()
+	if f.LearningRate != 0.1 || f.BatchSize != 16 || f.LocalSteps != 7 ||
+		f.ModelSize != 1690046 || f.Rounds != 3000 {
+		t.Fatalf("FEMNIST defaults do not match Table 1: %+v", f)
+	}
+	if f.BatteryFraction != 0.50 || c.BatteryFraction != 0.10 {
+		t.Fatal("battery fractions do not match Section 4.2")
+	}
+	if c.Nodes != 256 || f.Nodes != 256 {
+		t.Fatal("paper runs 256 nodes")
+	}
+}
+
+func TestValidateDefaults(t *testing.T) {
+	if err := CIFAR10Defaults().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := FEMNISTDefaults().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesBadConfigs(t *testing.T) {
+	mutations := map[string]func(*Experiment){
+		"nodes":   func(e *Experiment) { e.Nodes = 1 },
+		"degree":  func(e *Experiment) { e.Degree = 1 },
+		"odd nd":  func(e *Experiment) { e.Nodes = 255; e.Degree = 7 },
+		"lr":      func(e *Experiment) { e.LearningRate = 0 },
+		"batch":   func(e *Experiment) { e.BatchSize = 0 },
+		"gamma":   func(e *Experiment) { e.GammaTrain = 0 },
+		"battery": func(e *Experiment) { e.BatteryFraction = 0 },
+		"classes": func(e *Experiment) { e.DataClasses = 1 },
+		"samples": func(e *Experiment) { e.TrainSamples = 10 },
+		"model":   func(e *Experiment) { e.ModelSize = 0 },
+	}
+	for name, mutate := range mutations {
+		e := CIFAR10Defaults()
+		mutate(&e)
+		if err := e.Validate(); err == nil {
+			t.Fatalf("%s: want validation error", name)
+		}
+	}
+}
+
+func TestScale(t *testing.T) {
+	e := CIFAR10Defaults()
+	s := e.Scale(32, 100)
+	if s.Nodes != 32 || s.Rounds != 100 {
+		t.Fatalf("scaled to %d nodes %d rounds", s.Nodes, s.Rounds)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("scaled config invalid: %v", err)
+	}
+	// Scaling up is a no-op.
+	s2 := e.Scale(10000, 10000)
+	if s2.Nodes != 256 || s2.Rounds != 1000 {
+		t.Fatal("scale must not grow the experiment")
+	}
+}
+
+func TestScaleKeepsEvenDegreeProduct(t *testing.T) {
+	e := CIFAR10Defaults()
+	for _, n := range []int{9, 16, 33, 64} {
+		s := e.Scale(n, 0)
+		if s.Nodes*s.Degree%2 != 0 {
+			t.Fatalf("scale(%d) gives odd n*d: %d*%d", n, s.Nodes, s.Degree)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("scale(%d): %v", n, err)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	e := FEMNISTDefaults()
+	path := filepath.Join(t.TempDir(), "exp.json")
+	if err := e.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != e {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", e, got)
+	}
+}
+
+func TestLoadRejectsInvalid(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"nodes": 2, "degree": 5}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("invalid config should fail Load")
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file should fail Load")
+	}
+	malformed := filepath.Join(t.TempDir(), "malformed.json")
+	if err := os.WriteFile(malformed, []byte(`{not json`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(malformed); err == nil {
+		t.Fatal("malformed JSON should fail Load")
+	}
+}

@@ -1,0 +1,244 @@
+// Package core implements the paper's contribution: the SkipTrain family of
+// energy-aware decentralized learning algorithms (Section 3).
+//
+// An algorithm is the product of two orthogonal decisions:
+//
+//   - a Schedule fixes the coordinated round pattern shared by all nodes —
+//     D-PSGD trains every round, SkipTrain alternates Γtrain training
+//     rounds with Γsync synchronization rounds (Section 3.1);
+//   - a Policy lets each node decide, inside a coordinated training round,
+//     whether to actually train — always (unconstrained), greedily until
+//     the energy budget τ_i runs out, or probabilistically with
+//     p_i = min(τ_i / T_train, 1) (SkipTrain-constrained, Section 3.2).
+//
+// Every stochastic choice flows through a per-node RNG stream, so runs are
+// reproducible bit-for-bit.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/energy"
+	"repro/internal/rng"
+)
+
+// RoundKind is the coordinated type of a round.
+type RoundKind int
+
+const (
+	// RoundTrain rounds perform train + share + aggregate (a full D-PSGD
+	// round; Figure 2 "train").
+	RoundTrain RoundKind = iota
+	// RoundSync rounds perform share + aggregate only (Figure 2 "sync").
+	RoundSync
+)
+
+// String returns the Figure 2 label of the round kind.
+func (k RoundKind) String() string {
+	if k == RoundTrain {
+		return "train"
+	}
+	return "sync"
+}
+
+// Schedule fixes the coordinated round pattern. Rounds are 0-based.
+type Schedule interface {
+	// Kind returns the coordinated type of round t.
+	Kind(t int) RoundKind
+	// Name identifies the schedule in reports.
+	Name() string
+}
+
+// AllTrain is the D-PSGD schedule: every round is a training round.
+type AllTrain struct{}
+
+// Kind always returns RoundTrain.
+func (AllTrain) Kind(int) RoundKind { return RoundTrain }
+
+// Name returns "all-train".
+func (AllTrain) Name() string { return "all-train" }
+
+// Gamma is the SkipTrain schedule: blocks of GammaTrain training rounds
+// followed by GammaSync synchronization rounds (Algorithm 2, line 5:
+// t mod (Γtrain+Γsync) < Γtrain selects training).
+type Gamma struct {
+	GammaTrain int
+	GammaSync  int
+}
+
+// NewGamma validates and returns a Gamma schedule.
+func NewGamma(gammaTrain, gammaSync int) (Gamma, error) {
+	if gammaTrain < 1 || gammaSync < 0 {
+		return Gamma{}, fmt.Errorf("core: invalid gamma schedule train=%d sync=%d", gammaTrain, gammaSync)
+	}
+	return Gamma{GammaTrain: gammaTrain, GammaSync: gammaSync}, nil
+}
+
+// Kind implements the Algorithm 2 round test.
+func (g Gamma) Kind(t int) RoundKind {
+	if t%(g.GammaTrain+g.GammaSync) < g.GammaTrain {
+		return RoundTrain
+	}
+	return RoundSync
+}
+
+// Name returns e.g. "skiptrain(3,3)".
+func (g Gamma) Name() string { return fmt.Sprintf("skiptrain(%d,%d)", g.GammaTrain, g.GammaSync) }
+
+// CountTrainRounds returns the exact number of coordinated training rounds
+// a schedule yields over horizon T. For Gamma schedules this is the exact
+// version of Eq. (4)'s T_train = Γtrain/(Γtrain+Γsync) * T; the paper's
+// energy numbers (e.g. Table 3's 1008.71 Wh = 668 training rounds) come
+// from this count, not from the real-valued formula.
+func CountTrainRounds(s Schedule, T int) int {
+	n := 0
+	for t := 0; t < T; t++ {
+		if s.Kind(t) == RoundTrain {
+			n++
+		}
+	}
+	return n
+}
+
+// TTrain returns Eq. (4): the nominal maximum number of training rounds
+// T_train = Γtrain/(Γtrain+Γsync) * T used to derive training
+// probabilities.
+func (g Gamma) TTrain(T int) float64 {
+	return float64(g.GammaTrain) / float64(g.GammaTrain+g.GammaSync) * float64(T)
+}
+
+// TrainingProbability returns Eq. (5): p_i = min(τ_i / T_train, 1).
+func TrainingProbability(tau int, tTrain float64) float64 {
+	if tTrain <= 0 {
+		return 1
+	}
+	p := float64(tau) / tTrain
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// Policy decides whether a node participates in a coordinated training
+// round. Implementations must be safe for concurrent use by distinct nodes;
+// the per-node RNG is owned by the calling node.
+type Policy interface {
+	// Participate reports whether node trains in round t. It may consume
+	// from the node's energy budget.
+	Participate(node, t int, r *rng.RNG) bool
+	// Name identifies the policy in reports.
+	Name() string
+}
+
+// AlwaysTrain participates in every training round (unconstrained setting).
+type AlwaysTrain struct{}
+
+// Participate always returns true.
+func (AlwaysTrain) Participate(int, int, *rng.RNG) bool { return true }
+
+// Name returns "always".
+func (AlwaysTrain) Name() string { return "always" }
+
+// GreedyPolicy trains in every round while the budget lasts, then stops —
+// the Greedy baseline of Section 3.2.
+type GreedyPolicy struct {
+	Budget *energy.Budget
+}
+
+// Participate consumes one budget unit when available.
+func (p GreedyPolicy) Participate(node, _ int, _ *rng.RNG) bool {
+	return p.Budget.Consume(node)
+}
+
+// Name returns "greedy".
+func (GreedyPolicy) Name() string { return "greedy" }
+
+// ProbabilisticPolicy is the SkipTrain-constrained participation rule
+// (Algorithm 2, lines 5-7): in a coordinated training round a node with
+// remaining budget τ_i^t > 0 trains with probability p_i, spreading its
+// budget across the whole horizon.
+type ProbabilisticPolicy struct {
+	Budget *energy.Budget
+	probs  []float64
+}
+
+// NewProbabilisticPolicy derives per-node training probabilities from the
+// schedule, horizon, and budgets, per Eq. (4)-(5).
+func NewProbabilisticPolicy(g Gamma, T int, budget *energy.Budget, nodes int) *ProbabilisticPolicy {
+	tTrain := g.TTrain(T)
+	probs := make([]float64, nodes)
+	for i := range probs {
+		probs[i] = TrainingProbability(budget.Initial(i), tTrain)
+	}
+	return &ProbabilisticPolicy{Budget: budget, probs: probs}
+}
+
+// Probability exposes p_i for inspection and tests.
+func (p *ProbabilisticPolicy) Probability(node int) float64 { return p.probs[node] }
+
+// Participate implements Algorithm 2 lines 5-11: check budget, flip the
+// coin, and consume budget only when actually training.
+func (p *ProbabilisticPolicy) Participate(node, _ int, r *rng.RNG) bool {
+	if p.Budget.Remaining(node) <= 0 {
+		return false
+	}
+	if r.Float64() <= p.probs[node] {
+		return p.Budget.Consume(node)
+	}
+	return false
+}
+
+// Name returns "probabilistic".
+func (*ProbabilisticPolicy) Name() string { return "probabilistic" }
+
+// Aggregation selects how models are combined after sharing.
+type Aggregation int
+
+const (
+	// AggNeighborhood is the D-PSGD weighted neighborhood average
+	// (Algorithm 1 line 8) using the Metropolis-Hastings matrix W.
+	AggNeighborhood Aggregation = iota
+	// AggGlobal is the hypothetical all-reduce of Figure 1: every round all
+	// models are averaged globally.
+	AggGlobal
+)
+
+// Algorithm bundles schedule, policy and aggregation into one of the
+// paper's five configurations.
+type Algorithm struct {
+	Label       string
+	Schedule    Schedule
+	Policy      Policy
+	Aggregation Aggregation
+}
+
+// DPSGD returns the baseline D-PSGD algorithm (Algorithm 1).
+func DPSGD() Algorithm {
+	return Algorithm{Label: "D-PSGD", Schedule: AllTrain{}, Policy: AlwaysTrain{}}
+}
+
+// AllReduce returns D-PSGD with global averaging every round, the upper
+// bound of Figure 1.
+func AllReduce() Algorithm {
+	return Algorithm{Label: "All-Reduce", Schedule: AllTrain{}, Policy: AlwaysTrain{}, Aggregation: AggGlobal}
+}
+
+// SkipTrain returns the unconstrained SkipTrain algorithm with the given
+// coordinated schedule.
+func SkipTrain(g Gamma) Algorithm {
+	return Algorithm{Label: fmt.Sprintf("SkipTrain Γt=%d Γs=%d", g.GammaTrain, g.GammaSync),
+		Schedule: g, Policy: AlwaysTrain{}}
+}
+
+// SkipTrainConstrained returns the energy-constrained SkipTrain variant
+// (Algorithm 2) for the given horizon and budgets.
+func SkipTrainConstrained(g Gamma, T int, budget *energy.Budget, nodes int) Algorithm {
+	return Algorithm{Label: fmt.Sprintf("SkipTrain-constrained Γt=%d Γs=%d", g.GammaTrain, g.GammaSync),
+		Schedule: g, Policy: NewProbabilisticPolicy(g, T, budget, nodes)}
+}
+
+// Greedy returns the Greedy baseline: train every round until the budget is
+// exhausted, then only synchronize.
+func Greedy(budget *energy.Budget) Algorithm {
+	return Algorithm{Label: "Greedy", Schedule: AllTrain{}, Policy: GreedyPolicy{Budget: budget}}
+}

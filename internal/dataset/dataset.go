@@ -1,0 +1,149 @@
+// Package dataset provides the data substrate of the reproduction:
+// synthetic classification datasets with the label structure of CIFAR-10
+// and FEMNIST, plus the paper's non-IID partitioning schemes.
+//
+// Real CIFAR-10/FEMNIST images cannot be used here (the build is offline
+// and CPU-bound; see DESIGN.md §2). Instead, each class c draws a random
+// prototype vector mu_c and samples are mu_c + noise. That preserves what
+// the paper's experiments actually rely on: samples of the same class
+// cluster, classes are separable but overlapping, and a node that trains on
+// 2 of 10 labels drifts toward a biased model that mixing must correct.
+package dataset
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Sample is one labeled example.
+type Sample struct {
+	X tensor.Vector
+	Y int
+}
+
+// Dataset is an in-memory set of samples with shared metadata.
+type Dataset struct {
+	Samples    []Sample
+	NumClasses int
+	Dim        int
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return len(d.Samples) }
+
+// Inputs returns the sample inputs as a slice of vectors (views, not copies).
+func (d *Dataset) Inputs() []tensor.Vector {
+	xs := make([]tensor.Vector, len(d.Samples))
+	for i := range d.Samples {
+		xs[i] = d.Samples[i].X
+	}
+	return xs
+}
+
+// Labels returns the sample labels.
+func (d *Dataset) Labels() []int {
+	ys := make([]int, len(d.Samples))
+	for i := range d.Samples {
+		ys[i] = d.Samples[i].Y
+	}
+	return ys
+}
+
+// ClassHistogram returns the per-class sample counts.
+func (d *Dataset) ClassHistogram() []int {
+	h := make([]int, d.NumClasses)
+	for _, s := range d.Samples {
+		h[s.Y]++
+	}
+	return h
+}
+
+// Subset returns a dataset sharing sample storage with d, restricted to the
+// given indices.
+func (d *Dataset) Subset(idx []int) *Dataset {
+	out := &Dataset{NumClasses: d.NumClasses, Dim: d.Dim, Samples: make([]Sample, len(idx))}
+	for i, j := range idx {
+		out.Samples[i] = d.Samples[j]
+	}
+	return out
+}
+
+// Split partitions d into two datasets of sizes n and Len()-n, in order.
+// It panics if n is out of range. The paper builds its validation set this
+// way: "extracting 50% of the samples from the test set" (Section 4.2).
+func (d *Dataset) Split(n int) (*Dataset, *Dataset) {
+	if n < 0 || n > d.Len() {
+		panic(fmt.Sprintf("dataset: split point %d out of range [0,%d]", n, d.Len()))
+	}
+	a := &Dataset{NumClasses: d.NumClasses, Dim: d.Dim, Samples: d.Samples[:n]}
+	b := &Dataset{NumClasses: d.NumClasses, Dim: d.Dim, Samples: d.Samples[n:]}
+	return a, b
+}
+
+// Shuffled returns a copy of d with samples in random order.
+func (d *Dataset) Shuffled(r *rng.RNG) *Dataset {
+	out := &Dataset{NumClasses: d.NumClasses, Dim: d.Dim, Samples: make([]Sample, d.Len())}
+	copy(out.Samples, d.Samples)
+	r.Shuffle(len(out.Samples), func(i, j int) {
+		out.Samples[i], out.Samples[j] = out.Samples[j], out.Samples[i]
+	})
+	return out
+}
+
+// Batcher yields minibatches by sampling without replacement per epoch,
+// reshuffling when exhausted — the standard SGD data order.
+type Batcher struct {
+	ds    *Dataset
+	r     *rng.RNG
+	order []int
+	pos   int
+	xs    []tensor.Vector
+	ys    []int
+}
+
+// NewBatcher creates a batcher over ds with its own RNG stream.
+func NewBatcher(ds *Dataset, r *rng.RNG) *Batcher {
+	if ds.Len() == 0 {
+		panic("dataset: batcher over empty dataset")
+	}
+	b := &Batcher{ds: ds, r: r, order: r.Perm(ds.Len())}
+	return b
+}
+
+// Next returns the next minibatch of up to size samples. The returned
+// slices are reused across calls.
+func (b *Batcher) Next(size int) ([]tensor.Vector, []int) {
+	if size <= 0 {
+		panic("dataset: non-positive batch size")
+	}
+	if size > b.ds.Len() {
+		size = b.ds.Len()
+	}
+	b.xs = b.xs[:0]
+	b.ys = b.ys[:0]
+	for len(b.xs) < size {
+		if b.pos == len(b.order) {
+			b.r.Shuffle(len(b.order), func(i, j int) { b.order[i], b.order[j] = b.order[j], b.order[i] })
+			b.pos = 0
+		}
+		s := b.ds.Samples[b.order[b.pos]]
+		b.pos++
+		b.xs = append(b.xs, s.X)
+		b.ys = append(b.ys, s.Y)
+	}
+	return b.xs, b.ys
+}
+
+// sortByLabel returns sample indices ordered by (label, original index) —
+// the deterministic "sort by label" step of the 2-shard partitioner.
+func sortByLabel(d *Dataset) []int {
+	idx := make([]int, d.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return d.Samples[idx[a]].Y < d.Samples[idx[b]].Y })
+	return idx
+}

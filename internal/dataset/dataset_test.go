@@ -1,0 +1,251 @@
+package dataset
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func mustGenerate(t *testing.T, cfg SyntheticConfig) (*Dataset, *Dataset) {
+	t.Helper()
+	train, test, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return train, test
+}
+
+func TestGenerateSizesAndLabels(t *testing.T) {
+	cfg := SyntheticConfig{Classes: 10, Dim: 8, Train: 1000, Test: 200, Noise: 1, Seed: 1}
+	train, test := mustGenerate(t, cfg)
+	if train.Len() != 1000 || test.Len() != 200 {
+		t.Fatalf("sizes: %d/%d", train.Len(), test.Len())
+	}
+	for _, s := range train.Samples {
+		if s.Y < 0 || s.Y >= 10 {
+			t.Fatalf("label out of range: %d", s.Y)
+		}
+		if len(s.X) != 8 {
+			t.Fatalf("dim = %d", len(s.X))
+		}
+	}
+}
+
+func TestGenerateBalanced(t *testing.T) {
+	cfg := SyntheticConfig{Classes: 4, Dim: 4, Train: 400, Test: 100, Noise: 1, Seed: 2}
+	train, test := mustGenerate(t, cfg)
+	for _, h := range [][]int{train.ClassHistogram(), test.ClassHistogram()} {
+		for c, cnt := range h {
+			if cnt != h[0] {
+				t.Fatalf("class %d count %d != %d (unbalanced)", c, cnt, h[0])
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := CIFARLike(7)
+	cfg.Train, cfg.Test = 100, 40
+	a1, b1 := mustGenerate(t, cfg)
+	a2, b2 := mustGenerate(t, cfg)
+	for i := range a1.Samples {
+		if a1.Samples[i].Y != a2.Samples[i].Y || a1.Samples[i].X[0] != a2.Samples[i].X[0] {
+			t.Fatal("train generation not deterministic")
+		}
+	}
+	for i := range b1.Samples {
+		if b1.Samples[i].Y != b2.Samples[i].Y {
+			t.Fatal("test generation not deterministic")
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	cfg := CIFARLike(1)
+	cfg.Train, cfg.Test = 50, 20
+	a, _ := mustGenerate(t, cfg)
+	cfg.Seed = 2
+	b, _ := mustGenerate(t, cfg)
+	same := true
+	for i := range a.Samples {
+		if a.Samples[i].X[0] != b.Samples[i].X[0] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []SyntheticConfig{
+		{Classes: 1, Dim: 4, Train: 10, Test: 10, Noise: 1},
+		{Classes: 3, Dim: 0, Train: 10, Test: 10, Noise: 1},
+		{Classes: 3, Dim: 4, Train: 0, Test: 10, Noise: 1},
+		{Classes: 3, Dim: 4, Train: 10, Test: 10, Noise: -1},
+	}
+	for i, cfg := range bad {
+		if _, _, err := Generate(cfg); err == nil {
+			t.Fatalf("case %d: want error", i)
+		}
+	}
+}
+
+func TestSplit(t *testing.T) {
+	cfg := SyntheticConfig{Classes: 2, Dim: 2, Train: 10, Test: 10, Noise: 1, Seed: 3}
+	_, test := mustGenerate(t, cfg)
+	val, tst := test.Split(5)
+	if val.Len() != 5 || tst.Len() != 5 {
+		t.Fatalf("split sizes %d/%d", val.Len(), tst.Len())
+	}
+	// Disjointness: paper requires validation and test sets disjoint.
+	seen := map[*float64]bool{}
+	for _, s := range val.Samples {
+		seen[&s.X[0]] = true
+	}
+	for _, s := range tst.Samples {
+		if seen[&s.X[0]] {
+			t.Fatal("validation and test overlap")
+		}
+	}
+}
+
+func TestSplitPanics(t *testing.T) {
+	d := &Dataset{NumClasses: 2, Dim: 1, Samples: make([]Sample, 3)}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range split should panic")
+		}
+	}()
+	d.Split(4)
+}
+
+func TestBatcherCoversEpoch(t *testing.T) {
+	cfg := SyntheticConfig{Classes: 2, Dim: 2, Train: 20, Test: 4, Noise: 1, Seed: 4}
+	train, _ := mustGenerate(t, cfg)
+	b := NewBatcher(train, rng.New(1))
+	seen := map[*float64]int{}
+	for i := 0; i < 4; i++ {
+		xs, _ := b.Next(5)
+		if len(xs) != 5 {
+			t.Fatalf("batch size %d", len(xs))
+		}
+		for _, x := range xs {
+			seen[&x[0]]++
+		}
+	}
+	// One full epoch: every sample exactly once.
+	if len(seen) != 20 {
+		t.Fatalf("epoch covered %d distinct samples, want 20", len(seen))
+	}
+	for _, c := range seen {
+		if c != 1 {
+			t.Fatal("sample repeated within epoch")
+		}
+	}
+}
+
+func TestBatcherWrapsAround(t *testing.T) {
+	cfg := SyntheticConfig{Classes: 2, Dim: 2, Train: 6, Test: 4, Noise: 1, Seed: 5}
+	train, _ := mustGenerate(t, cfg)
+	b := NewBatcher(train, rng.New(2))
+	for i := 0; i < 10; i++ {
+		xs, ys := b.Next(4)
+		if len(xs) != 4 || len(ys) != 4 {
+			t.Fatal("wrap-around batch wrong size")
+		}
+	}
+}
+
+func TestBatcherClampsOversizedBatch(t *testing.T) {
+	cfg := SyntheticConfig{Classes: 2, Dim: 2, Train: 3, Test: 4, Noise: 1, Seed: 6}
+	train, _ := mustGenerate(t, cfg)
+	b := NewBatcher(train, rng.New(3))
+	xs, _ := b.Next(10)
+	if len(xs) != 3 {
+		t.Fatalf("oversized batch returned %d, want clamp to 3", len(xs))
+	}
+}
+
+func TestClassHistogramAndSubset(t *testing.T) {
+	d := &Dataset{NumClasses: 3, Dim: 1, Samples: []Sample{
+		{X: []float64{0}, Y: 0}, {X: []float64{1}, Y: 1},
+		{X: []float64{2}, Y: 1}, {X: []float64{3}, Y: 2},
+	}}
+	h := d.ClassHistogram()
+	if h[0] != 1 || h[1] != 2 || h[2] != 1 {
+		t.Fatalf("histogram %v", h)
+	}
+	sub := d.Subset([]int{1, 2})
+	if sub.Len() != 2 || sub.Samples[0].Y != 1 {
+		t.Fatal("subset wrong")
+	}
+}
+
+func TestGenerateWritersTopSorted(t *testing.T) {
+	cfg := FEMNISTWriters(8)
+	cfg.Writers = 20
+	cfg.Test = 124
+	writers, test, err := GenerateWriters(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(writers) != 20 {
+		t.Fatalf("writer count %d", len(writers))
+	}
+	for i := 1; i < len(writers); i++ {
+		if writers[i].Samples.Len() > writers[i-1].Samples.Len() {
+			t.Fatal("writers not sorted by descending sample count")
+		}
+	}
+	if test.Len() != 124 {
+		t.Fatalf("test size %d", test.Len())
+	}
+	for _, w := range writers {
+		if w.Samples.Len() < cfg.MinPerWriter || w.Samples.Len() > cfg.MaxPerWriter {
+			t.Fatalf("writer size %d outside [%d,%d]", w.Samples.Len(), cfg.MinPerWriter, cfg.MaxPerWriter)
+		}
+	}
+}
+
+func TestGenerateWritersSkew(t *testing.T) {
+	cfg := FEMNISTWriters(9)
+	cfg.Writers = 10
+	writers, _, err := GenerateWriters(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Writer distributions should be skewed: a writer's most common class
+	// should hold well above the uniform share of samples.
+	skewed := 0
+	for _, w := range writers {
+		h := w.Samples.ClassHistogram()
+		max := 0
+		for _, c := range h {
+			if c > max {
+				max = c
+			}
+		}
+		uniform := float64(w.Samples.Len()) / float64(cfg.Classes)
+		if float64(max) > 3*uniform {
+			skewed++
+		}
+	}
+	if skewed < len(writers)/2 {
+		t.Fatalf("only %d/%d writers skewed; writer model too uniform", skewed, len(writers))
+	}
+}
+
+func TestGenerateWritersValidation(t *testing.T) {
+	cfg := FEMNISTWriters(1)
+	cfg.Writers = 0
+	if _, _, err := GenerateWriters(cfg); err == nil {
+		t.Fatal("want error for zero writers")
+	}
+	cfg = FEMNISTWriters(1)
+	cfg.MinPerWriter, cfg.MaxPerWriter = 10, 5
+	if _, _, err := GenerateWriters(cfg); err == nil {
+		t.Fatal("want error for inverted per-writer range")
+	}
+}

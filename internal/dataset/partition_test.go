@@ -1,0 +1,221 @@
+package dataset
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func genFor(t *testing.T, classes, train int, seed uint64) *Dataset {
+	t.Helper()
+	cfg := SyntheticConfig{Classes: classes, Dim: 4, Train: train, Test: 10, Noise: 1, Seed: seed}
+	d, _, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestShardPartitionCoversAllSamples(t *testing.T) {
+	d := genFor(t, 10, 1000, 1)
+	p, err := ShardPartition(d, 16, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 16 {
+		t.Fatalf("partition size %d", len(p))
+	}
+	if p.TotalLen() != d.Len() {
+		t.Fatalf("partition covers %d of %d samples", p.TotalLen(), d.Len())
+	}
+	// No sample assigned twice.
+	seen := map[*float64]bool{}
+	for _, local := range p {
+		for _, s := range local.Samples {
+			if seen[&s.X[0]] {
+				t.Fatal("sample assigned to two nodes")
+			}
+			seen[&s.X[0]] = true
+		}
+	}
+}
+
+func TestShardPartitionLimitsLabels(t *testing.T) {
+	// The defining property of the paper's 2-shard split: each node sees at
+	// most 2 (occasionally 3, when a shard straddles a label boundary)
+	// distinct labels out of 10.
+	d := genFor(t, 10, 2000, 2)
+	p, err := ShardPartition(d, 20, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atMost2 := 0
+	for _, n := range p.DistinctLabels() {
+		if n > 4 {
+			t.Fatalf("node with %d distinct labels; shard partition broken", n)
+		}
+		if n <= 2 {
+			atMost2++
+		}
+	}
+	if atMost2 < len(p)/2 {
+		t.Fatalf("only %d/%d nodes have <=2 labels", atMost2, len(p))
+	}
+}
+
+func TestShardPartitionDeterministic(t *testing.T) {
+	d := genFor(t, 10, 500, 4)
+	p1, _ := ShardPartition(d, 10, 2, 9)
+	p2, _ := ShardPartition(d, 10, 2, 9)
+	for i := range p1 {
+		if p1[i].Len() != p2[i].Len() {
+			t.Fatal("shard partition not deterministic")
+		}
+		for j := range p1[i].Samples {
+			if p1[i].Samples[j].Y != p2[i].Samples[j].Y {
+				t.Fatal("shard partition not deterministic")
+			}
+		}
+	}
+}
+
+func TestShardPartitionErrors(t *testing.T) {
+	d := genFor(t, 4, 40, 5)
+	if _, err := ShardPartition(d, 0, 2, 1); err == nil {
+		t.Fatal("want error for n=0")
+	}
+	if _, err := ShardPartition(d, 100, 2, 1); err == nil {
+		t.Fatal("want error for too many shards")
+	}
+}
+
+func TestIIDPartitionBalanced(t *testing.T) {
+	d := genFor(t, 10, 1000, 6)
+	p, err := IIDPartition(d, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TotalLen() != 1000 {
+		t.Fatalf("IID covers %d", p.TotalLen())
+	}
+	for i, local := range p {
+		if local.Len() != 100 {
+			t.Fatalf("node %d has %d samples", i, local.Len())
+		}
+		// IID nodes should see most labels.
+		if n := p.DistinctLabels()[i]; n < 8 {
+			t.Fatalf("IID node %d sees only %d labels", i, n)
+		}
+	}
+}
+
+func TestIIDPartitionErrors(t *testing.T) {
+	d := genFor(t, 2, 4, 7)
+	if _, err := IIDPartition(d, 0, 1); err == nil {
+		t.Fatal("want error for n=0")
+	}
+	if _, err := IIDPartition(d, 10, 1); err == nil {
+		t.Fatal("want error for more nodes than samples")
+	}
+}
+
+func TestDirichletPartitionSkew(t *testing.T) {
+	d := genFor(t, 10, 2000, 8)
+	skewed, err := DirichletPartition(d, 10, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform, err := DirichletPartition(d, 10, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := func(p Partition) float64 {
+		s := 0.0
+		for _, n := range p.DistinctLabels() {
+			s += float64(n)
+		}
+		return s / float64(len(p))
+	}
+	if mean(skewed) >= mean(uniform) {
+		t.Fatalf("alpha=0.1 gives %.1f mean labels, alpha=100 gives %.1f; skew inverted",
+			mean(skewed), mean(uniform))
+	}
+}
+
+func TestDirichletPartitionCovers(t *testing.T) {
+	d := genFor(t, 5, 500, 9)
+	p, err := DirichletPartition(d, 7, 0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TotalLen() != 500 {
+		t.Fatalf("dirichlet covers %d of 500", p.TotalLen())
+	}
+}
+
+func TestDirichletPartitionErrors(t *testing.T) {
+	d := genFor(t, 2, 10, 10)
+	if _, err := DirichletPartition(d, 2, 0, 1); err == nil {
+		t.Fatal("want error for alpha=0")
+	}
+	if _, err := DirichletPartition(d, 0, 1, 1); err == nil {
+		t.Fatal("want error for n=0")
+	}
+}
+
+func TestWriterPartition(t *testing.T) {
+	cfg := FEMNISTWriters(11)
+	cfg.Writers = 12
+	writers, _, err := GenerateWriters(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := WriterPartition(writers, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 8 {
+		t.Fatalf("writer partition size %d", len(p))
+	}
+	// Top-8: node i's dataset must be at least as large as node i+1's.
+	for i := 1; i < len(p); i++ {
+		if p[i].Len() > p[i-1].Len() {
+			t.Fatal("writer partition not using top writers")
+		}
+	}
+	if _, err := WriterPartition(writers, 20); err == nil {
+		t.Fatal("want error when writers < nodes")
+	}
+}
+
+func TestShardPartitionProperty(t *testing.T) {
+	// Property: for any valid (n, shards) the partition is a true partition
+	// (disjoint cover) of the dataset.
+	d := genFor(t, 6, 600, 12)
+	f := func(seed uint64, nRaw, sRaw uint8) bool {
+		n := 1 + int(nRaw)%20
+		s := 1 + int(sRaw)%3
+		if d.Len() < n*s {
+			return true
+		}
+		p, err := ShardPartition(d, n, s, seed)
+		if err != nil {
+			return false
+		}
+		return p.TotalLen() == d.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinLen(t *testing.T) {
+	var p Partition
+	if p.MinLen() != 0 {
+		t.Fatal("empty partition MinLen should be 0")
+	}
+	d := genFor(t, 4, 100, 13)
+	p, _ = IIDPartition(d, 4, 1)
+	if p.MinLen() != 25 {
+		t.Fatalf("MinLen = %d", p.MinLen())
+	}
+}

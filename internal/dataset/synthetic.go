@@ -1,0 +1,213 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// SyntheticConfig describes a Gaussian-prototype classification task.
+type SyntheticConfig struct {
+	Classes int     // number of labels
+	Dim     int     // input dimensionality
+	Train   int     // training samples
+	Test    int     // test samples (split later into validation/test)
+	Noise   float64 // within-class standard deviation
+	Seed    uint64
+}
+
+// Validate reports whether the configuration is usable.
+func (c SyntheticConfig) Validate() error {
+	switch {
+	case c.Classes < 2:
+		return fmt.Errorf("dataset: need >= 2 classes, got %d", c.Classes)
+	case c.Dim < 1:
+		return fmt.Errorf("dataset: need >= 1 dim, got %d", c.Dim)
+	case c.Train < 1 || c.Test < 1:
+		return fmt.Errorf("dataset: need positive train/test sizes, got %d/%d", c.Train, c.Test)
+	case c.Noise < 0:
+		return fmt.Errorf("dataset: negative noise %v", c.Noise)
+	}
+	return nil
+}
+
+// CIFARLike returns the default 10-class configuration standing in for
+// CIFAR-10 at simulation scale.
+func CIFARLike(seed uint64) SyntheticConfig {
+	return SyntheticConfig{Classes: 10, Dim: 32, Train: 12800, Test: 2560, Noise: 1.0, Seed: seed}
+}
+
+// FEMNISTLike returns the default 62-class configuration standing in for
+// FEMNIST at simulation scale. Samples are generated per writer via
+// GenerateWriters; this config sets the shared geometry.
+func FEMNISTLike(seed uint64) SyntheticConfig {
+	return SyntheticConfig{Classes: 62, Dim: 32, Train: 25600, Test: 5120, Noise: 1.0, Seed: seed}
+}
+
+// prototypes draws one unit-ish prototype vector per class. Prototype
+// entries are N(0,1), giving expected pairwise distance sqrt(2*Dim) —
+// classes overlap through the Noise but remain learnable.
+func prototypes(cfg SyntheticConfig, r *rng.RNG) []tensor.Vector {
+	protos := make([]tensor.Vector, cfg.Classes)
+	for c := range protos {
+		p := tensor.NewVector(cfg.Dim)
+		for i := range p {
+			p[i] = r.NormFloat64()
+		}
+		protos[c] = p
+	}
+	return protos
+}
+
+func drawSample(proto tensor.Vector, noise float64, r *rng.RNG, extra tensor.Vector) Sample {
+	x := tensor.NewVector(len(proto))
+	for i := range x {
+		x[i] = proto[i] + noise*r.NormFloat64()
+		if extra != nil {
+			x[i] += extra[i]
+		}
+	}
+	return Sample{X: x}
+}
+
+// Generate builds balanced train and test datasets from the configuration.
+// Labels cycle 0,1,...,Classes-1 so both splits are class-balanced; the
+// test split is IID by construction, matching the paper's IID test set
+// (Section 4.4: "the test set follows an IID distribution").
+func Generate(cfg SyntheticConfig) (train, test *Dataset, err error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	r := rng.Derive(cfg.Seed, 0xda7a)
+	protos := prototypes(cfg, r)
+	make1 := func(n int, stream *rng.RNG) *Dataset {
+		d := &Dataset{NumClasses: cfg.Classes, Dim: cfg.Dim, Samples: make([]Sample, n)}
+		for i := 0; i < n; i++ {
+			y := i % cfg.Classes
+			s := drawSample(protos[y], cfg.Noise, stream, nil)
+			s.Y = y
+			d.Samples[i] = s
+		}
+		return d
+	}
+	train = make1(cfg.Train, rng.Derive(cfg.Seed, 0xda7a, 1)).Shuffled(rng.Derive(cfg.Seed, 0xda7a, 2))
+	test = make1(cfg.Test, rng.Derive(cfg.Seed, 0xda7a, 3)).Shuffled(rng.Derive(cfg.Seed, 0xda7a, 4))
+	return train, test, nil
+}
+
+// WriterData is the per-writer portion of a FEMNIST-like corpus: all
+// samples produced by one "person", sharing a style offset, with a skewed
+// label histogram — mirroring LEAF's natural per-user clustering.
+type WriterData struct {
+	Writer  int
+	Samples *Dataset
+}
+
+// WritersConfig extends SyntheticConfig with the writer model.
+type WritersConfig struct {
+	SyntheticConfig
+	Writers        int     // number of distinct writers
+	MinPerWriter   int     // smallest per-writer sample count
+	MaxPerWriter   int     // largest per-writer sample count
+	StyleStd       float64 // magnitude of the per-writer style offset
+	LabelSkewAlpha float64 // Dirichlet-like concentration; smaller = more skew
+}
+
+// FEMNISTWriters returns the default writer-model configuration.
+func FEMNISTWriters(seed uint64) WritersConfig {
+	return WritersConfig{
+		SyntheticConfig: FEMNISTLike(seed),
+		Writers:         300,
+		MinPerWriter:    60,
+		MaxPerWriter:    200,
+		StyleStd:        0.35,
+		LabelSkewAlpha:  0.5,
+	}
+}
+
+// GenerateWriters builds a per-writer corpus plus an IID test set drawn from
+// the same prototypes (no style offsets on the test side: the paper
+// evaluates on the global test distribution). Writers are returned sorted by
+// descending sample count so callers can take the paper's "top-256 clients
+// with the highest number of samples".
+func GenerateWriters(cfg WritersConfig) (writers []WriterData, test *Dataset, err error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if cfg.Writers < 1 {
+		return nil, nil, fmt.Errorf("dataset: need >= 1 writer, got %d", cfg.Writers)
+	}
+	if cfg.MinPerWriter < 1 || cfg.MaxPerWriter < cfg.MinPerWriter {
+		return nil, nil, fmt.Errorf("dataset: bad per-writer range [%d,%d]", cfg.MinPerWriter, cfg.MaxPerWriter)
+	}
+	r := rng.Derive(cfg.Seed, 0x3717e5)
+	protos := prototypes(cfg.SyntheticConfig, r)
+
+	writers = make([]WriterData, cfg.Writers)
+	for w := 0; w < cfg.Writers; w++ {
+		wr := rng.Derive(cfg.Seed, 0x3717e5, uint64(w)+1)
+		style := tensor.NewVector(cfg.Dim)
+		for i := range style {
+			style[i] = cfg.StyleStd * wr.NormFloat64()
+		}
+		// Skewed label weights: symmetric Dirichlet via normalized Gamma
+		// draws, approximated with sums of exponentials for alpha<1 using
+		// the Ahrens-Dieter-free trick: weight = u^(1/alpha) works well
+		// enough for skew purposes and keeps the generator tiny.
+		weights := make([]float64, cfg.Classes)
+		sum := 0.0
+		for c := range weights {
+			u := wr.Float64()
+			if u == 0 {
+				u = 1e-12
+			}
+			weights[c] = pow(u, 1/cfg.LabelSkewAlpha)
+			sum += weights[c]
+		}
+		n := cfg.MinPerWriter + wr.Intn(cfg.MaxPerWriter-cfg.MinPerWriter+1)
+		d := &Dataset{NumClasses: cfg.Classes, Dim: cfg.Dim, Samples: make([]Sample, n)}
+		for i := 0; i < n; i++ {
+			// Sample class from the skewed distribution.
+			target := wr.Float64() * sum
+			y, acc := 0, 0.0
+			for c, wgt := range weights {
+				acc += wgt
+				if target <= acc {
+					y = c
+					break
+				}
+			}
+			s := drawSample(protos[y], cfg.Noise, wr, style)
+			s.Y = y
+			d.Samples[i] = s
+		}
+		writers[w] = WriterData{Writer: w, Samples: d}
+	}
+	// Sort by descending sample count (stable on writer id for determinism).
+	sortWriters(writers)
+
+	tr := rng.Derive(cfg.Seed, 0x3717e5, 0xffff)
+	test = &Dataset{NumClasses: cfg.Classes, Dim: cfg.Dim, Samples: make([]Sample, cfg.Test)}
+	for i := 0; i < cfg.Test; i++ {
+		y := i % cfg.Classes
+		s := drawSample(protos[y], cfg.Noise, tr, nil)
+		s.Y = y
+		test.Samples[i] = s
+	}
+	test = test.Shuffled(rng.Derive(cfg.Seed, 0x3717e5, 0xfffe))
+	return writers, test, nil
+}
+
+func sortWriters(ws []WriterData) {
+	sort.SliceStable(ws, func(i, j int) bool {
+		if ws[i].Samples.Len() != ws[j].Samples.Len() {
+			return ws[i].Samples.Len() > ws[j].Samples.Len()
+		}
+		return ws[i].Writer < ws[j].Writer
+	})
+}
+
+func pow(x, y float64) float64 { return math.Pow(x, y) }

@@ -1,0 +1,102 @@
+package energy
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Trace I/O: the paper's artifact includes the compiled energy traces; this
+// file provides the equivalent CSV interchange so traces can be shipped,
+// inspected, and reloaded independently of the built-in profiles.
+//
+// Format (header required):
+//
+//	name,power_watts,inference_seconds,battery_wh
+//	Xiaomi 12 Pro,6.5,0.070955,17.68
+
+// WriteTraces writes device profiles as CSV.
+func WriteTraces(w io.Writer, devices []Device) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "name,power_watts,inference_seconds,battery_wh"); err != nil {
+		return err
+	}
+	for _, d := range devices {
+		if strings.Contains(d.Name, ",") || strings.Contains(d.Name, "\n") {
+			return fmt.Errorf("energy: device name %q contains a delimiter", d.Name)
+		}
+		if _, err := fmt.Fprintf(bw, "%s,%g,%g,%g\n",
+			d.Name, d.PowerWatts, d.InferenceSeconds, d.BatteryWh); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTraces parses device profiles from CSV, validating every field.
+func ReadTraces(r io.Reader) ([]Device, error) {
+	sc := bufio.NewScanner(r)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("energy: empty trace file")
+	}
+	header := strings.TrimSpace(sc.Text())
+	if header != "name,power_watts,inference_seconds,battery_wh" {
+		return nil, fmt.Errorf("energy: unexpected trace header %q", header)
+	}
+	var devices []Device
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("energy: line %d: want 4 fields, got %d", line, len(parts))
+		}
+		power, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("energy: line %d: bad power: %w", line, err)
+		}
+		infer, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("energy: line %d: bad inference time: %w", line, err)
+		}
+		battery, err := strconv.ParseFloat(parts[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("energy: line %d: bad battery: %w", line, err)
+		}
+		d := Device{Name: strings.TrimSpace(parts[0]), PowerWatts: power, InferenceSeconds: infer, BatteryWh: battery}
+		if err := validateDevice(d); err != nil {
+			return nil, fmt.Errorf("energy: line %d: %w", line, err)
+		}
+		devices = append(devices, d)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(devices) == 0 {
+		return nil, fmt.Errorf("energy: trace file has no devices")
+	}
+	return devices, nil
+}
+
+func validateDevice(d Device) error {
+	switch {
+	case d.Name == "":
+		return fmt.Errorf("empty device name")
+	case d.PowerWatts <= 0:
+		return fmt.Errorf("non-positive power %v", d.PowerWatts)
+	case d.InferenceSeconds <= 0:
+		return fmt.Errorf("non-positive inference time %v", d.InferenceSeconds)
+	case d.BatteryWh <= 0:
+		return fmt.Errorf("non-positive battery %v", d.BatteryWh)
+	}
+	return nil
+}

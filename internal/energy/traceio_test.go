@@ -1,0 +1,78 @@
+package energy
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTraces(&buf, Devices()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTraces(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Devices()
+	if len(got) != len(want) {
+		t.Fatalf("got %d devices", len(got))
+	}
+	for i := range want {
+		if got[i].Name != want[i].Name {
+			t.Fatalf("device %d name %q != %q", i, got[i].Name, want[i].Name)
+		}
+		if math.Abs(got[i].PowerWatts-want[i].PowerWatts) > 1e-12 ||
+			math.Abs(got[i].InferenceSeconds-want[i].InferenceSeconds) > 1e-12 ||
+			math.Abs(got[i].BatteryWh-want[i].BatteryWh) > 1e-12 {
+			t.Fatalf("device %d fields changed in round trip", i)
+		}
+	}
+	// The reloaded trace reproduces Table 2 energies.
+	for i, d := range got {
+		if math.Abs(d.TrainRoundWh(CIFAR10Workload())-want[i].TrainRoundWh(CIFAR10Workload())) > 1e-12 {
+			t.Fatal("reloaded trace gives different energy")
+		}
+	}
+}
+
+func TestReadTracesValidation(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"bad header":   "device,watts\nX,1",
+		"bad fields":   "name,power_watts,inference_seconds,battery_wh\nX,1,2",
+		"bad power":    "name,power_watts,inference_seconds,battery_wh\nX,abc,2,3",
+		"bad infer":    "name,power_watts,inference_seconds,battery_wh\nX,1,abc,3",
+		"bad battery":  "name,power_watts,inference_seconds,battery_wh\nX,1,2,abc",
+		"neg power":    "name,power_watts,inference_seconds,battery_wh\nX,-1,2,3",
+		"zero battery": "name,power_watts,inference_seconds,battery_wh\nX,1,2,0",
+		"empty name":   "name,power_watts,inference_seconds,battery_wh\n,1,2,3",
+		"no devices":   "name,power_watts,inference_seconds,battery_wh\n",
+	}
+	for name, data := range cases {
+		if _, err := ReadTraces(strings.NewReader(data)); err == nil {
+			t.Fatalf("%s: want error", name)
+		}
+	}
+}
+
+func TestReadTracesSkipsBlankLines(t *testing.T) {
+	data := "name,power_watts,inference_seconds,battery_wh\nA,1,2,3\n\nB,4,5,6\n"
+	devices, err := ReadTraces(strings.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(devices) != 2 || devices[1].Name != "B" {
+		t.Fatalf("devices = %+v", devices)
+	}
+}
+
+func TestWriteTracesRejectsDelimiterInName(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteTraces(&buf, []Device{{Name: "a,b", PowerWatts: 1, InferenceSeconds: 1, BatteryWh: 1}})
+	if err == nil {
+		t.Fatal("comma in name must be rejected")
+	}
+}

@@ -1,0 +1,422 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+)
+
+// tiny returns fast options for unit tests; benches use bigger scales.
+func tiny() Options {
+	return Options{
+		Nodes: 16, Rounds: 20, Seed: 7,
+		LocalSteps: 3, BatchSize: 8, TrainPerNode: 24,
+		TestSamples: 240, EvalEvery: 5, EvalSubsample: 120,
+	}
+}
+
+func TestFigure1Shape(t *testing.T) {
+	res, err := Figure1(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.DPSGD.Y) == 0 || len(res.AllReduce.Y) == 0 {
+		t.Fatal("empty series")
+	}
+	// Both must learn beyond chance (10 classes).
+	if last(res.DPSGD.Y) < 15 || last(res.AllReduce.Y) < 15 {
+		t.Fatalf("no learning: dpsgd %.1f, allreduce %.1f", last(res.DPSGD.Y), last(res.AllReduce.Y))
+	}
+	// The paper's core observation: the all-reduced model is at least as
+	// good as the D-PSGD node average (allow small tolerance at tiny scale).
+	if res.FinalGap < -3 {
+		t.Fatalf("all-reduce gap %.2f pp; should not be clearly negative", res.FinalGap)
+	}
+}
+
+func TestFigure2Renders(t *testing.T) {
+	var sb strings.Builder
+	o := tiny()
+	o.Out = &sb
+	if err := Figure2(o); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Figure 2a", "Figure 2b", "Figure 2c", "train", "sync"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("figure 2 output missing %q:\n%s", want, out)
+		}
+	}
+	// 2c must show at least one skipped (sync) slot inside a coordinated
+	// train round for the low-budget node.
+	lines := strings.Split(out, "\n")
+	var c0 string
+	for i, l := range lines {
+		if strings.Contains(l, "Figure 2c") && i+1 < len(lines) {
+			c0 = lines[i+1]
+		}
+	}
+	if !strings.Contains(c0, "sync") {
+		t.Fatalf("constrained node 0 (budget 2) never skipped:\n%s", c0)
+	}
+}
+
+func TestFigure3GridAndEnergy(t *testing.T) {
+	o := tiny()
+	o.Rounds = 12
+	res, err := Figure3(o, []int{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Grid) != 1 || len(res.Grid[0]) != 4 || len(res.Grid[0][0]) != 4 {
+		t.Fatal("grid shape wrong")
+	}
+	// The energy heatmap is exact at paper scale: check the published
+	// Figure 3 values (Wh over 1000 rounds, 256 nodes).
+	cases := map[[2]int]float64{
+		{1, 1}: 755, {1, 2}: 504, {1, 3}: 378, {1, 4}: 302,
+		{2, 1}: 1007, {2, 2}: 755, {3, 2}: 906, {4, 4}: 755,
+		{4, 2}: 1009, {4, 1}: 1208, {3, 3}: 757, {4, 3}: 864,
+	}
+	for k, wantWh := range cases {
+		got := res.EnergyCell(k[0], k[1])
+		if math.Abs(got-wantWh) > 1.5 {
+			t.Fatalf("energy cell Γt=%d Γs=%d: %.1f Wh, paper shows %.0f", k[0], k[1], got, wantWh)
+		}
+	}
+	// Best cell must be a real cell.
+	if res.Best[0].GammaTrain < 1 || res.Best[0].GammaTrain > 4 {
+		t.Fatalf("best cell invalid: %+v", res.Best[0])
+	}
+}
+
+func TestFigure3EnergyMonotoneInGammaTrain(t *testing.T) {
+	o := tiny()
+	o.Rounds = 8
+	res, err := Figure3(o, []int{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fixing Γsync, energy grows with Γtrain (paper Section 4.3).
+	for gs := 1; gs <= 4; gs++ {
+		for gt := 2; gt <= 4; gt++ {
+			if res.EnergyCell(gt, gs) <= res.EnergyCell(gt-1, gs) {
+				t.Fatalf("energy not increasing in Γtrain at Γs=%d", gs)
+			}
+		}
+	}
+}
+
+func TestFigure4Sawtooth(t *testing.T) {
+	o := tiny()
+	o.Rounds = 48
+	res, err := Figure4(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) < 8 {
+		t.Fatalf("too few points: %d", len(res.Points))
+	}
+	var haveTrain, haveSync bool
+	for _, p := range res.Points {
+		if p.Kind == core.RoundTrain {
+			haveTrain = true
+		} else {
+			haveSync = true
+		}
+	}
+	if !haveTrain || !haveSync {
+		t.Fatal("figure 4 window must contain both round kinds")
+	}
+	// The paper's sawtooth: accuracy rises entering sync rounds relative to
+	// train rounds.
+	if res.MeanDeltaIntoSync <= res.MeanDeltaIntoTrain {
+		t.Fatalf("sawtooth inverted: Δsync=%.3f <= Δtrain=%.3f",
+			res.MeanDeltaIntoSync, res.MeanDeltaIntoTrain)
+	}
+}
+
+func TestFigure5EnergyRatioAndOrdering(t *testing.T) {
+	o := tiny()
+	o.Rounds = 32
+	res, err := Figure5(o, []int{6}, []string{"cifar"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := res.Arm("D-PSGD", "cifar", 6)
+	s := res.Arm("SkipTrain", "cifar", 6)
+	if d == nil || s == nil {
+		t.Fatal("missing arms")
+	}
+	// Γ=(4,4) for 6-regular: SkipTrain uses exactly half the energy.
+	if math.Abs(s.PaperEnergyWh-d.PaperEnergyWh/2) > 1 {
+		t.Fatalf("energy: SkipTrain %.1f vs D-PSGD %.1f (want half)", s.PaperEnergyWh, d.PaperEnergyWh)
+	}
+	if math.Abs(d.PaperEnergyWh-1510.04) > 0.1 {
+		t.Fatalf("D-PSGD paper energy %.2f, want 1510.04", d.PaperEnergyWh)
+	}
+	// SkipTrain should not lose accuracy (paper: it gains ~6pp on CIFAR).
+	if s.FinalAcc < d.FinalAcc-2 {
+		t.Fatalf("SkipTrain %.2f%% clearly below D-PSGD %.2f%%", s.FinalAcc, d.FinalAcc)
+	}
+}
+
+func TestFigure5FEMNISTArm(t *testing.T) {
+	o := tiny()
+	o.Rounds = 16
+	res, err := Figure5(o, []int{6}, []string{"femnist"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Arm("SkipTrain", "femnist", 6)
+	if s == nil {
+		t.Fatal("missing femnist arm")
+	}
+	if math.Abs(s.PaperEnergyWh-7457.2) > 1 {
+		t.Fatalf("femnist SkipTrain energy %.1f, paper 7457.19", s.PaperEnergyWh)
+	}
+}
+
+func TestFigure5RejectsUnknownDataset(t *testing.T) {
+	if _, err := Figure5(tiny(), []int{4}, []string{"imagenet"}); err == nil {
+		t.Fatal("unknown dataset should error")
+	}
+}
+
+func TestFigure6ConstrainedOrdering(t *testing.T) {
+	o := tiny()
+	o.Rounds = 32
+	res, err := Figure6(o, []int{6}, []string{"cifar"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := res.Arm("SkipTrain-constrained", "cifar", 6)
+	gr := res.Arm("Greedy", "cifar", 6)
+	dp := res.Arm("D-PSGD", "cifar", 6)
+	if sc == nil || gr == nil || dp == nil {
+		t.Fatal("missing constrained arms")
+	}
+	// Budgeted algorithms consume less than unconstrained D-PSGD.
+	if sc.ConsumedWh >= dp.ConsumedWh || gr.ConsumedWh >= dp.ConsumedWh {
+		t.Fatalf("budgets not binding: sc=%.1f gr=%.1f dp=%.1f",
+			sc.ConsumedWh, gr.ConsumedWh, dp.ConsumedWh)
+	}
+	// The headline result's direction: the constrained variant is at least
+	// competitive with Greedy (paper: beats it by up to 9pp).
+	if sc.FinalAcc < gr.FinalAcc-3 {
+		t.Fatalf("SkipTrain-constrained %.2f%% well below Greedy %.2f%%", sc.FinalAcc, gr.FinalAcc)
+	}
+}
+
+func TestFigure6BudgetsRespectedPerNode(t *testing.T) {
+	o := tiny()
+	o.Rounds = 24
+	res, err := Figure6(o, []int{4}, []string{"cifar"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr := res.Arm("Greedy", "cifar", 4)
+	budget := scaledBudgets(o.Nodes, o.Rounds, PaperRoundsCIFAR, energy.CIFAR10Workload(), 0.10)
+	for i, tr := range gr.TrainedRounds {
+		if tr > budget.Initial(i) {
+			t.Fatalf("greedy node %d trained %d rounds with budget %d", i, tr, budget.Initial(i))
+		}
+	}
+}
+
+func TestFigure7Renders(t *testing.T) {
+	var sb strings.Builder
+	o := tiny()
+	o.Out = &sb
+	if err := Figure7(o); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "CIFAR-like") || !strings.Contains(out, "FEMNIST-like") {
+		t.Fatalf("figure 7 output incomplete:\n%s", out)
+	}
+}
+
+func TestTable1Renders(t *testing.T) {
+	var sb strings.Builder
+	o := tiny()
+	o.Out = &sb
+	Table1(o)
+	for _, want := range []string{"89834", "1690046", "0.1", "1000", "3000"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("table 1 missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+func TestTable2MatchesPaper(t *testing.T) {
+	rows := Table2(tiny())
+	if len(rows) != 4 {
+		t.Fatalf("%d devices", len(rows))
+	}
+	wantBudget := map[string][2]int{
+		"Xiaomi 12 Pro":            {272, 413},
+		"Samsung Galaxy S22 Ultra": {324, 492},
+		"OnePlus Nord 2 5G":        {681, 1034},
+		"Xiaomi Poco X3":           {272, 413},
+	}
+	for _, r := range rows {
+		w := wantBudget[r.Device]
+		if r.CIFARRounds != w[0] || r.FEMNISTRounds != w[1] {
+			t.Fatalf("%s budgets (%d,%d), paper (%d,%d)", r.Device, r.CIFARRounds, r.FEMNISTRounds, w[0], w[1])
+		}
+	}
+}
+
+func TestTable3EnergiesExact(t *testing.T) {
+	rows := Table3(tiny(), nil)
+	find := func(algo, ds string) Table3Row {
+		for _, r := range rows {
+			if r.Algo == algo && r.Dataset == ds {
+				return r
+			}
+		}
+		t.Fatalf("row %s/%s missing", algo, ds)
+		return Table3Row{}
+	}
+	type check struct {
+		algo, ds string
+		deg      int
+		wh       float64
+	}
+	// The exact published Table 3 energy values.
+	for _, c := range []check{
+		{"SkipTrain", "cifar", 6, 755.02},
+		{"SkipTrain", "cifar", 8, 756.53},
+		{"SkipTrain", "cifar", 10, 1008.71},
+		{"D-PSGD", "cifar", 6, 1510.04},
+		{"D-PSGD", "cifar", 8, 1510.04},
+		{"D-PSGD", "cifar", 10, 1510.04},
+		{"SkipTrain", "femnist", 6, 7457.19},
+		{"SkipTrain", "femnist", 8, 7457.19},
+		{"SkipTrain", "femnist", 10, 9942.92},
+		{"D-PSGD", "femnist", 6, 14914.38},
+	} {
+		got := find(c.algo, c.ds).EnergyWh[c.deg]
+		if math.Abs(got-c.wh) > 0.15 {
+			t.Fatalf("%s/%s d=%d: %.2f Wh, paper %.2f", c.algo, c.ds, c.deg, got, c.wh)
+		}
+	}
+}
+
+func TestTable4FromFigure6(t *testing.T) {
+	o := tiny()
+	o.Rounds = 24
+	fig6, err := Figure6(o, []int{6}, []string{"cifar"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := Table4(o, fig6)
+	var sc, dp Table4Row
+	for _, r := range rows {
+		if r.Dataset != "cifar" {
+			continue
+		}
+		switch r.Algo {
+		case "SkipTrain-constrained":
+			sc = r
+		case "D-PSGD":
+			dp = r
+		}
+	}
+	if sc.EnergyWh == nil || dp.EnergyWh == nil {
+		t.Fatal("table 4 rows missing")
+	}
+	// D-PSGD is reported at the equal-energy point: not above the
+	// constrained budget (plus one evaluation interval of slack).
+	if dp.EnergyWh[6] > sc.EnergyWh[6]*1.5 && dp.EnergyWh[6] > 1 {
+		t.Fatalf("D-PSGD equal-energy point %.1f far above budget %.1f",
+			dp.EnergyWh[6], sc.EnergyWh[6])
+	}
+}
+
+func TestAccuracyAtEnergy(t *testing.T) {
+	s := Series{X: []float64{10, 20, 30}, Y: []float64{1, 2, 3}}
+	acc, e := accuracyAtEnergy(s, 25)
+	if acc != 2 || e != 20 {
+		t.Fatalf("accuracyAtEnergy = %v @ %v", acc, e)
+	}
+	acc, e = accuracyAtEnergy(s, 5)
+	if acc != 1 || e != 10 {
+		t.Fatalf("below-first point = %v @ %v", acc, e)
+	}
+	if a, _ := accuracyAtEnergy(Series{}, 5); a != 0 {
+		t.Fatal("empty series should give 0")
+	}
+}
+
+func TestSummaryHeadlineRenders(t *testing.T) {
+	var sb strings.Builder
+	o := tiny()
+	o.Out = &sb
+	t3 := Table3(o, nil)
+	SummaryHeadline(o, t3, nil)
+	if !strings.Contains(sb.String(), "energy ratio") {
+		t.Fatalf("headline missing:\n%s", sb.String())
+	}
+}
+
+func TestGammaForDegreeMatchesSection43(t *testing.T) {
+	if g := gammaForDegree(6); g.GammaTrain != 4 || g.GammaSync != 4 {
+		t.Fatal("6-regular should be (4,4)")
+	}
+	if g := gammaForDegree(8); g.GammaTrain != 3 || g.GammaSync != 3 {
+		t.Fatal("8-regular should be (3,3)")
+	}
+	if g := gammaForDegree(10); g.GammaTrain != 4 || g.GammaSync != 2 {
+		t.Fatal("10-regular should be (4,2)")
+	}
+}
+
+func TestScaledBudgetsProfile(t *testing.T) {
+	b := scaledBudgets(8, 100, 1000, energy.CIFAR10Workload(), 0.10)
+	// tau values 272,324,681,272 scaled by 100/1000 -> 27,32,68,27.
+	want := []int{27, 32, 68, 27, 27, 32, 68, 27}
+	for i, w := range want {
+		if b.Initial(i) != w {
+			t.Fatalf("node %d budget %d, want %d", i, b.Initial(i), w)
+		}
+	}
+}
+
+func last(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return xs[len(xs)-1]
+}
+
+func TestTimeToAccuracy(t *testing.T) {
+	o := tiny()
+	o.Rounds = 32
+	res, err := Figure5(o, []int{6}, []string{"cifar"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tta := res.TimeTo(15) // well below final accuracy: must be reached
+	if len(tta) != 2 {
+		t.Fatalf("arms = %d", len(tta))
+	}
+	for _, x := range tta {
+		if x.Round <= 0 {
+			t.Fatalf("%s: round-to-15%% = %v", x.Algo, x.Round)
+		}
+		if x.Wh < 0 {
+			t.Fatalf("%s: energy-to-15%% = %v", x.Algo, x.Wh)
+		}
+	}
+	// Unreachable target: all -1.
+	for _, x := range res.TimeTo(101) {
+		if x.Round != -1 || x.Wh != -1 {
+			t.Fatal("unreachable target must report -1")
+		}
+	}
+}

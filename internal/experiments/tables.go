@@ -1,0 +1,238 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/report"
+)
+
+// Table1 prints the simulation hyperparameters (paper Table 1).
+func Table1(o Options) {
+	o = o.Defaults()
+	c := config.CIFAR10Defaults()
+	f := config.FEMNISTDefaults()
+	tb := report.NewTable("Table 1: Simulation hyperparameters", "Hyperparameter", "Description", "CIFAR-10", "FEMNIST")
+	tb.AddRow("η", "Learning rate", fmt.Sprintf("%.1f", c.LearningRate), fmt.Sprintf("%.1f", f.LearningRate))
+	tb.AddRow("|ξ|", "Batch size", fmt.Sprintf("%d", c.BatchSize), fmt.Sprintf("%d", f.BatchSize))
+	tb.AddRow("E", "Local steps", fmt.Sprintf("%d", c.LocalSteps), fmt.Sprintf("%d", f.LocalSteps))
+	tb.AddRow("|x|", "Model size", fmt.Sprintf("%d", c.ModelSize), fmt.Sprintf("%d", f.ModelSize))
+	tb.AddRow("T", "Total rounds", fmt.Sprintf("%d", c.Rounds), fmt.Sprintf("%d", f.Rounds))
+	tb.Render(o.Out)
+}
+
+// Table2Row is one device of the energy-trace table.
+type Table2Row struct {
+	Device        string
+	CIFARmWh      float64
+	FEMNISTmWh    float64
+	CIFARRounds   int // at 10% battery
+	FEMNISTRounds int // at 50% battery
+}
+
+// Table2 regenerates the energy traces (paper Table 2): per-device,
+// per-round training energy for both workloads and the battery-bounded
+// round budgets.
+func Table2(o Options) []Table2Row {
+	o = o.Defaults()
+	var rows []Table2Row
+	tb := report.NewTable("Table 2: Energy traces",
+		"Device", "CIFAR-10 mWh", "FEMNIST mWh", "CIFAR-10 rounds (10%)", "FEMNIST rounds (50%)")
+	for _, d := range energy.Devices() {
+		row := Table2Row{
+			Device:        d.Name,
+			CIFARmWh:      d.TrainRoundWh(energy.CIFAR10Workload()) * 1000,
+			FEMNISTmWh:    d.TrainRoundWh(energy.FEMNISTWorkload()) * 1000,
+			CIFARRounds:   d.RoundBudget(energy.CIFAR10Workload(), 0.10),
+			FEMNISTRounds: d.RoundBudget(energy.FEMNISTWorkload(), 0.50),
+		}
+		rows = append(rows, row)
+		tb.AddRowf("%s|%.1f|%.1f|%d|%d", row.Device, row.CIFARmWh, row.FEMNISTmWh, row.CIFARRounds, row.FEMNISTRounds)
+	}
+	tb.Render(o.Out)
+	return rows
+}
+
+// Table3Row is one (algorithm, dataset) row of the unconstrained summary.
+type Table3Row struct {
+	Algo     string
+	Dataset  string
+	EnergyWh map[int]float64 // by degree, exact at paper scale
+	Acc      map[int]float64 // by degree, measured at sim scale
+}
+
+// Table3 reproduces the unconstrained summary (paper Table 3): training
+// energy and average test accuracy for SkipTrain and D-PSGD over three
+// topologies and two datasets. Energies are computed analytically at paper
+// scale (they depend only on the schedule and the traces) and match the
+// published numbers; accuracies come from the scaled simulation of
+// Figure 5 when provided.
+func Table3(o Options, fig5 *Figure5Result) []Table3Row {
+	o = o.Defaults()
+	degrees := []int{6, 8, 10}
+	rows := []Table3Row{}
+	for _, ds := range []string{"cifar", "femnist"} {
+		workload := energy.CIFAR10Workload()
+		paperRounds := PaperRoundsCIFAR
+		if ds == "femnist" {
+			workload = energy.FEMNISTWorkload()
+			paperRounds = PaperRoundsFEMNIST
+		}
+		for _, algo := range []string{"SkipTrain", "D-PSGD"} {
+			row := Table3Row{Algo: algo, Dataset: ds, EnergyWh: map[int]float64{}, Acc: map[int]float64{}}
+			for _, deg := range degrees {
+				var trainRounds int
+				if algo == "D-PSGD" {
+					trainRounds = paperRounds
+				} else {
+					trainRounds = core.CountTrainRounds(gammaForDegree(deg), paperRounds)
+				}
+				row.EnergyWh[deg] = paperEnergyWh(trainRounds, workload)
+				if fig5 != nil {
+					if arm := fig5.Arm(algo, ds, deg); arm != nil {
+						row.Acc[deg] = arm.FinalAcc
+					}
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	tb := report.NewTable("Table 3: Training energy and average test accuracy (energy exact at paper scale)",
+		"Algorithm", "Dataset", "E Wh (6)", "E Wh (8)", "E Wh (10)", "Acc% (6)", "Acc% (8)", "Acc% (10)")
+	for _, r := range rows {
+		tb.AddRowf("%s|%s|%.2f|%.2f|%.2f|%.2f|%.2f|%.2f",
+			r.Algo, r.Dataset, r.EnergyWh[6], r.EnergyWh[8], r.EnergyWh[10],
+			r.Acc[6], r.Acc[8], r.Acc[10])
+	}
+	tb.Render(o.Out)
+	return rows
+}
+
+// Table4Row is one (algorithm, dataset) row of the constrained summary.
+type Table4Row struct {
+	Algo     string
+	Dataset  string
+	EnergyWh map[int]float64
+	Acc      map[int]float64
+}
+
+// Table4 reproduces the energy-constrained summary (paper Table 4) from the
+// Figure 6 runs: consumed training energy (scaled to paper units) and final
+// accuracy for SkipTrain-constrained, Greedy and D-PSGD.
+//
+// Note on D-PSGD: the paper does not battery-limit D-PSGD; its Table 4
+// energy column reports the equal-energy comparison point rather than the
+// full 1510 Wh horizon. We report D-PSGD's accuracy at the largest
+// cumulative energy not exceeding the constrained algorithms' budget,
+// matching the spirit of "up to 12% higher accuracy at the same energy".
+func Table4(o Options, fig6 *Figure6Result) []Table4Row {
+	o = o.Defaults()
+	degrees := []int{6, 8, 10}
+	rows := []Table4Row{}
+	if fig6 == nil {
+		return rows
+	}
+	for _, ds := range []string{"cifar", "femnist"} {
+		for _, algo := range []string{"SkipTrain-constrained", "Greedy", "D-PSGD"} {
+			row := Table4Row{Algo: algo, Dataset: ds, EnergyWh: map[int]float64{}, Acc: map[int]float64{}}
+			for _, deg := range degrees {
+				arm := fig6.Arm(algo, ds, deg)
+				if arm == nil {
+					continue
+				}
+				if algo == "D-PSGD" {
+					// Equal-energy comparison: find the constrained budget
+					// for this (dataset, degree) and truncate D-PSGD there.
+					budget := 0.0
+					if c := fig6.Arm("SkipTrain-constrained", ds, deg); c != nil {
+						budget = c.ConsumedWh
+					}
+					acc, e := accuracyAtEnergy(arm.AccVsEnergy, budget)
+					row.EnergyWh[deg] = e
+					row.Acc[deg] = acc
+				} else {
+					row.EnergyWh[deg] = arm.ConsumedWh
+					row.Acc[deg] = arm.FinalAcc
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	tb := report.NewTable("Table 4: Energy-constrained summary (paper-scale Wh)",
+		"Algorithm", "Dataset", "E Wh (6)", "E Wh (8)", "E Wh (10)", "Acc% (6)", "Acc% (8)", "Acc% (10)")
+	for _, r := range rows {
+		tb.AddRowf("%s|%s|%.1f|%.1f|%.1f|%.2f|%.2f|%.2f",
+			r.Algo, r.Dataset, r.EnergyWh[6], r.EnergyWh[8], r.EnergyWh[10],
+			r.Acc[6], r.Acc[8], r.Acc[10])
+	}
+	tb.Render(o.Out)
+	return rows
+}
+
+// accuracyAtEnergy returns the accuracy of the last curve point whose
+// energy does not exceed budget (or the first point when none qualifies).
+func accuracyAtEnergy(s Series, budget float64) (acc, energyAt float64) {
+	if len(s.X) == 0 {
+		return 0, 0
+	}
+	acc, energyAt = s.Y[0], s.X[0]
+	for i := range s.X {
+		if s.X[i] <= budget {
+			acc, energyAt = s.Y[i], s.X[i]
+		}
+	}
+	return acc, energyAt
+}
+
+// SummaryHeadline prints the paper's abstract-level claims against the
+// measured results: "50% energy reduction, up to 7pp (unconstrained) and
+// 12pp (constrained) accuracy gain over D-PSGD".
+func SummaryHeadline(o Options, t3 []Table3Row, t4 []Table4Row) {
+	o = o.Defaults()
+	var bestGainU, bestGainC float64
+	var energyRatio float64
+	for _, deg := range []int{6, 8, 10} {
+		var st, dp Table3Row
+		for _, r := range t3 {
+			if r.Dataset != "cifar" {
+				continue
+			}
+			if r.Algo == "SkipTrain" {
+				st = r
+			} else if r.Algo == "D-PSGD" {
+				dp = r
+			}
+		}
+		if dp.EnergyWh != nil && st.EnergyWh != nil && dp.EnergyWh[deg] > 0 {
+			if g := st.Acc[deg] - dp.Acc[deg]; g > bestGainU {
+				bestGainU = g
+			}
+			if r := st.EnergyWh[deg] / dp.EnergyWh[deg]; energyRatio == 0 || r < energyRatio {
+				energyRatio = r
+			}
+		}
+	}
+	for _, deg := range []int{6, 8, 10} {
+		var sc, dp Table4Row
+		for _, r := range t4 {
+			if r.Dataset != "cifar" {
+				continue
+			}
+			if r.Algo == "SkipTrain-constrained" {
+				sc = r
+			} else if r.Algo == "D-PSGD" {
+				dp = r
+			}
+		}
+		if sc.Acc != nil && dp.Acc != nil {
+			if g := sc.Acc[deg] - dp.Acc[deg]; g > bestGainC {
+				bestGainC = g
+			}
+		}
+	}
+	fmt.Fprintf(o.Out, "headline: SkipTrain energy ratio vs D-PSGD: %.2f (paper: ~0.5)\n", energyRatio)
+	fmt.Fprintf(o.Out, "headline: best unconstrained accuracy gain: %+.1f pp (paper: up to +7)\n", bestGainU)
+	fmt.Fprintf(o.Out, "headline: best constrained accuracy gain:   %+.1f pp (paper: up to +12)\n", bestGainC)
+}

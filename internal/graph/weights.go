@@ -1,0 +1,182 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Weights is a sparse, row-indexed mixing matrix W aligned with a Graph:
+// row i holds the self weight W_ii and one weight per neighbor, in the same
+// order as Graph.Adj[i]. The aggregation step of Algorithm 1 (line 8) is
+// x_i <- Self[i]*x_i + sum_k Nbr[i][k]*x_{Adj[i][k]}.
+type Weights struct {
+	Self []float64
+	Nbr  [][]float64
+}
+
+// Metropolis computes the Metropolis-Hastings weights of Section 2.2:
+//
+//	W_ij = 1 / (max(deg(i), deg(j)) + 1)   for edges (i,j)
+//	W_ii = 1 - sum_j W_ij
+//
+// The result is symmetric and doubly stochastic for any undirected graph,
+// the condition D-PSGD needs to converge to a stationary point of Eq. (1).
+func Metropolis(g *Graph) *Weights {
+	w := &Weights{Self: make([]float64, g.N), Nbr: make([][]float64, g.N)}
+	for i := 0; i < g.N; i++ {
+		row := make([]float64, len(g.Adj[i]))
+		sum := 0.0
+		for k, j := range g.Adj[i] {
+			row[k] = 1.0 / float64(max(g.Degree(i), g.Degree(j))+1)
+			sum += row[k]
+		}
+		w.Nbr[i] = row
+		w.Self[i] = 1 - sum
+	}
+	return w
+}
+
+// Uniform computes plain neighborhood averaging: W_ij = 1/(deg(i)+1) for
+// each neighbor and self. It is row-stochastic but NOT doubly stochastic on
+// irregular graphs; on regular graphs it coincides with Metropolis-Hastings.
+// Included as the ablation baseline for the mixing-matrix choice.
+func Uniform(g *Graph) *Weights {
+	w := &Weights{Self: make([]float64, g.N), Nbr: make([][]float64, g.N)}
+	for i := 0; i < g.N; i++ {
+		share := 1.0 / float64(g.Degree(i)+1)
+		row := make([]float64, len(g.Adj[i]))
+		for k := range row {
+			row[k] = share
+		}
+		w.Nbr[i] = row
+		w.Self[i] = share
+	}
+	return w
+}
+
+// CheckDoublyStochastic verifies that rows and columns of W sum to 1 within
+// tol and that all entries are non-negative. Column sums require the graph
+// for indexing.
+func (w *Weights) CheckDoublyStochastic(g *Graph, tol float64) error {
+	colSum := make([]float64, g.N)
+	for i := 0; i < g.N; i++ {
+		if w.Self[i] < -tol {
+			return fmt.Errorf("graph: negative self weight at %d: %v", i, w.Self[i])
+		}
+		row := w.Self[i]
+		colSum[i] += w.Self[i]
+		for k, j := range g.Adj[i] {
+			v := w.Nbr[i][k]
+			if v < -tol {
+				return fmt.Errorf("graph: negative weight (%d,%d): %v", i, j, v)
+			}
+			row += v
+			colSum[j] += v
+		}
+		if math.Abs(row-1) > tol {
+			return fmt.Errorf("graph: row %d sums to %v", i, row)
+		}
+	}
+	for j, s := range colSum {
+		if math.Abs(s-1) > tol {
+			return fmt.Errorf("graph: column %d sums to %v", j, s)
+		}
+	}
+	return nil
+}
+
+// CheckSymmetric verifies W_ij == W_ji within tol.
+func (w *Weights) CheckSymmetric(g *Graph, tol float64) error {
+	for i := 0; i < g.N; i++ {
+		for k, j := range g.Adj[i] {
+			// find i in j's adjacency
+			wji := math.NaN()
+			for k2, i2 := range g.Adj[j] {
+				if i2 == i {
+					wji = w.Nbr[j][k2]
+					break
+				}
+			}
+			if math.IsNaN(wji) || math.Abs(w.Nbr[i][k]-wji) > tol {
+				return fmt.Errorf("graph: W[%d,%d]=%v but W[%d,%d]=%v", i, j, w.Nbr[i][k], j, i, wji)
+			}
+		}
+	}
+	return nil
+}
+
+// Apply computes dst = W * src for per-node scalar values (used by the
+// spectral estimator; the simulator applies the same contraction to whole
+// model vectors).
+func (w *Weights) Apply(g *Graph, dst, src []float64) {
+	for i := 0; i < g.N; i++ {
+		s := w.Self[i] * src[i]
+		for k, j := range g.Adj[i] {
+			s += w.Nbr[i][k] * src[j]
+		}
+		dst[i] = s
+	}
+}
+
+// SpectralGap estimates 1 - |lambda_2(W)| by power iteration on the
+// subspace orthogonal to the all-ones vector. Larger gaps mean faster
+// consensus; the paper's intuition that denser topologies need fewer
+// synchronization rounds (Section 4.3) is this quantity.
+func (w *Weights) SpectralGap(g *Graph, iters int, seed uint64) float64 {
+	if g.N < 2 {
+		return 1
+	}
+	r := rng.Derive(seed, 0x57ec)
+	x := make([]float64, g.N)
+	y := make([]float64, g.N)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	deflate(x)
+	normalize(x)
+	lambda := 0.0
+	for it := 0; it < iters; it++ {
+		w.Apply(g, y, x)
+		deflate(y)
+		lambda = norm(y)
+		if lambda == 0 {
+			return 1
+		}
+		for i := range y {
+			y[i] /= lambda
+		}
+		x, y = y, x
+	}
+	return 1 - math.Abs(lambda)
+}
+
+func deflate(x []float64) {
+	mean := 0.0
+	for _, v := range x {
+		mean += v
+	}
+	mean /= float64(len(x))
+	for i := range x {
+		x[i] -= mean
+	}
+}
+
+func norm(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+func normalize(x []float64) {
+	n := norm(x)
+	if n == 0 {
+		return
+	}
+	for i := range x {
+		x[i] /= n
+	}
+}

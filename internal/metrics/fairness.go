@@ -1,0 +1,135 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file quantifies the fairness concern of the paper's Section 5.1:
+// energy-aware skipping makes low-battery devices train less, potentially
+// biasing the consensus model toward high-energy devices. The paper leaves
+// measuring this to future work; these metrics make it measurable.
+
+// GroupMeans returns the mean value per group label (e.g. accuracy per
+// device model). The result maps each distinct label to the mean of its
+// members' values.
+func GroupMeans(values []float64, groups []string) (map[string]float64, error) {
+	if len(values) != len(groups) {
+		return nil, fmt.Errorf("metrics: %d values for %d groups", len(values), len(groups))
+	}
+	sums := map[string]float64{}
+	counts := map[string]int{}
+	for i, v := range values {
+		sums[groups[i]] += v
+		counts[groups[i]]++
+	}
+	out := make(map[string]float64, len(sums))
+	for g, s := range sums {
+		out[g] = s / float64(counts[g])
+	}
+	return out, nil
+}
+
+// Pearson returns the Pearson correlation coefficient of xs and ys, or 0
+// when either series is constant.
+func Pearson(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("metrics: pearson over %d vs %d points", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return 0, fmt.Errorf("metrics: pearson needs >= 2 points")
+	}
+	mx, _ := MeanStd(xs)
+	my, _ := MeanStd(ys)
+	var cov, vx, vy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0, nil
+	}
+	return cov / math.Sqrt(vx*vy), nil
+}
+
+// Gini returns the Gini coefficient of the given non-negative quantities
+// (0 = perfectly equal, 1 = maximally concentrated). Used on per-node
+// training-round counts to quantify participation inequality.
+func Gini(values []float64) (float64, error) {
+	if len(values) == 0 {
+		return 0, fmt.Errorf("metrics: gini of empty series")
+	}
+	sorted := append([]float64(nil), values...)
+	for _, v := range sorted {
+		if v < 0 {
+			return 0, fmt.Errorf("metrics: gini needs non-negative values, got %v", v)
+		}
+	}
+	sort.Float64s(sorted)
+	n := float64(len(sorted))
+	var cum, total float64
+	for i, v := range sorted {
+		cum += float64(i+1) * v
+		total += v
+	}
+	if total == 0 {
+		return 0, nil
+	}
+	return (2*cum)/(n*total) - (n+1)/n, nil
+}
+
+// FairnessReport summarizes participation bias for one constrained run.
+type FairnessReport struct {
+	// AccByGroup is mean accuracy per device group.
+	AccByGroup map[string]float64
+	// ParticipationGini measures inequality of training-round counts.
+	ParticipationGini float64
+	// BudgetAccCorr is the correlation between a node's energy budget and
+	// its accuracy: positive values mean the model favors high-energy
+	// devices — the bias of Section 5.1.
+	BudgetAccCorr float64
+	// Spread is max - min of group mean accuracies.
+	Spread float64
+}
+
+// NewFairnessReport computes the report from per-node accuracy, training
+// counts, budgets, and device group labels.
+func NewFairnessReport(accs []float64, trained []int, budgets []float64, groups []string) (*FairnessReport, error) {
+	if len(accs) != len(trained) || len(accs) != len(budgets) || len(accs) != len(groups) {
+		return nil, fmt.Errorf("metrics: fairness inputs disagree on node count")
+	}
+	byGroup, err := GroupMeans(accs, groups)
+	if err != nil {
+		return nil, err
+	}
+	tr := make([]float64, len(trained))
+	for i, t := range trained {
+		tr[i] = float64(t)
+	}
+	gini, err := Gini(tr)
+	if err != nil {
+		return nil, err
+	}
+	corr, err := Pearson(budgets, accs)
+	if err != nil {
+		return nil, err
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range byGroup {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return &FairnessReport{
+		AccByGroup:        byGroup,
+		ParticipationGini: gini,
+		BudgetAccCorr:     corr,
+		Spread:            hi - lo,
+	}, nil
+}

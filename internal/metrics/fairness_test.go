@@ -1,0 +1,131 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGroupMeans(t *testing.T) {
+	means, err := GroupMeans([]float64{1, 2, 3, 4}, []string{"a", "a", "b", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if means["a"] != 1.5 || means["b"] != 3.5 {
+		t.Fatalf("means = %v", means)
+	}
+	if _, err := GroupMeans([]float64{1}, []string{"a", "b"}); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+}
+
+func TestPearsonPerfectCorrelation(t *testing.T) {
+	r, err := Pearson([]float64{1, 2, 3}, []float64{2, 4, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-1) > 1e-12 {
+		t.Fatalf("perfect correlation = %v", r)
+	}
+	r, _ = Pearson([]float64{1, 2, 3}, []float64{6, 4, 2})
+	if math.Abs(r+1) > 1e-12 {
+		t.Fatalf("perfect anticorrelation = %v", r)
+	}
+}
+
+func TestPearsonConstantSeries(t *testing.T) {
+	r, err := Pearson([]float64{1, 1, 1}, []float64{2, 4, 6})
+	if err != nil || r != 0 {
+		t.Fatalf("constant series should give 0, got %v (%v)", r, err)
+	}
+}
+
+func TestPearsonValidation(t *testing.T) {
+	if _, err := Pearson([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("single point should error")
+	}
+	if _, err := Pearson([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+}
+
+func TestPearsonIndependent(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	ys := []float64{5, -5, 5, -5, 5, -5, 5, -5}
+	r, err := Pearson(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r) > 0.35 {
+		t.Fatalf("alternating series should be weakly correlated, got %v", r)
+	}
+}
+
+func TestGiniEquality(t *testing.T) {
+	g, err := Gini([]float64{5, 5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g) > 1e-12 {
+		t.Fatalf("equal distribution gini = %v", g)
+	}
+}
+
+func TestGiniConcentration(t *testing.T) {
+	g, err := Gini([]float64{0, 0, 0, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For n=4 with all mass on one member: G = (n-1)/n = 0.75.
+	if math.Abs(g-0.75) > 1e-12 {
+		t.Fatalf("concentrated gini = %v, want 0.75", g)
+	}
+}
+
+func TestGiniOrderInvariant(t *testing.T) {
+	a, _ := Gini([]float64{1, 2, 3, 4})
+	b, _ := Gini([]float64{4, 2, 1, 3})
+	if a != b {
+		t.Fatal("gini must not depend on input order")
+	}
+}
+
+func TestGiniValidation(t *testing.T) {
+	if _, err := Gini(nil); err == nil {
+		t.Fatal("empty gini should error")
+	}
+	if _, err := Gini([]float64{1, -1}); err == nil {
+		t.Fatal("negative values should error")
+	}
+	if g, err := Gini([]float64{0, 0}); err != nil || g != 0 {
+		t.Fatalf("all-zero gini should be 0, got %v (%v)", g, err)
+	}
+}
+
+func TestFairnessReport(t *testing.T) {
+	accs := []float64{0.50, 0.60, 0.70, 0.80}
+	trained := []int{10, 20, 30, 40}
+	budgets := []float64{10, 20, 30, 40}
+	groups := []string{"low", "low", "high", "high"}
+	rep, err := NewFairnessReport(accs, trained, budgets, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.AccByGroup["low"]-0.55) > 1e-12 || math.Abs(rep.AccByGroup["high"]-0.75) > 1e-12 {
+		t.Fatalf("group accuracies: %v", rep.AccByGroup)
+	}
+	if math.Abs(rep.BudgetAccCorr-1) > 1e-12 {
+		t.Fatalf("budget-accuracy correlation = %v, want 1", rep.BudgetAccCorr)
+	}
+	if math.Abs(rep.Spread-0.2) > 1e-12 {
+		t.Fatalf("spread = %v", rep.Spread)
+	}
+	if rep.ParticipationGini <= 0 {
+		t.Fatal("unequal participation should have positive gini")
+	}
+}
+
+func TestFairnessReportValidation(t *testing.T) {
+	if _, err := NewFairnessReport([]float64{1}, []int{1, 2}, []float64{1}, []string{"a"}); err == nil {
+		t.Fatal("mismatched inputs should error")
+	}
+}

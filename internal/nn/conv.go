@@ -1,0 +1,207 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Conv2D is a 2D convolution over CHW-ordered flat inputs with stride 1 and
+// symmetric zero padding. Kernels are stored as a flat block in
+// [outC][inC][kh][kw] order followed by one bias per output channel, which
+// matches the PyTorch parameter counting the paper's model sizes come from.
+type Conv2D struct {
+	inC, inH, inW int
+	outC, kH, kW  int
+	pad           int
+	outH, outW    int
+	K             tensor.Vector // kernels, len outC*inC*kH*kW
+	B             tensor.Vector // len outC
+	gK, gB        tensor.Vector
+	lastIn        tensor.Vector
+	outBuf        tensor.Vector
+	dIn           tensor.Vector
+}
+
+// NewConv2D constructs the layer. Output spatial size is
+// H+2*pad-kH+1 (stride fixed at 1); it panics if that is not positive.
+func NewConv2D(inC, inH, inW, outC, kH, kW, pad int, r *rng.RNG) *Conv2D {
+	outH := inH + 2*pad - kH + 1
+	outW := inW + 2*pad - kW + 1
+	if outH <= 0 || outW <= 0 {
+		panic(fmt.Sprintf("nn: Conv2D output %dx%d not positive", outH, outW))
+	}
+	l := &Conv2D{
+		inC: inC, inH: inH, inW: inW,
+		outC: outC, kH: kH, kW: kW, pad: pad,
+		outH: outH, outW: outW,
+		K:      tensor.NewVector(outC * inC * kH * kW),
+		B:      tensor.NewVector(outC),
+		gK:     tensor.NewVector(outC * inC * kH * kW),
+		gB:     tensor.NewVector(outC),
+		lastIn: tensor.NewVector(inC * inH * inW),
+		outBuf: tensor.NewVector(outC * outH * outW),
+		dIn:    tensor.NewVector(inC * inH * inW),
+	}
+	heInit(l.K, inC*kH*kW, r)
+	return l
+}
+
+func (l *Conv2D) InSize() int  { return l.inC * l.inH * l.inW }
+func (l *Conv2D) OutSize() int { return l.outC * l.outH * l.outW }
+
+// OutShape returns the output (channels, height, width).
+func (l *Conv2D) OutShape() (c, h, w int) { return l.outC, l.outH, l.outW }
+
+func (l *Conv2D) Forward(in tensor.Vector) tensor.Vector {
+	checkSize("Conv2D", len(in), l.InSize())
+	copy(l.lastIn, in)
+	for oc := 0; oc < l.outC; oc++ {
+		bias := l.B[oc]
+		outPlane := l.outBuf[oc*l.outH*l.outW : (oc+1)*l.outH*l.outW]
+		for oy := 0; oy < l.outH; oy++ {
+			for ox := 0; ox < l.outW; ox++ {
+				s := bias
+				for ic := 0; ic < l.inC; ic++ {
+					inPlane := in[ic*l.inH*l.inW : (ic+1)*l.inH*l.inW]
+					kBase := ((oc*l.inC + ic) * l.kH) * l.kW
+					for ky := 0; ky < l.kH; ky++ {
+						iy := oy + ky - l.pad
+						if iy < 0 || iy >= l.inH {
+							continue
+						}
+						rowIn := inPlane[iy*l.inW : (iy+1)*l.inW]
+						rowK := l.K[kBase+ky*l.kW : kBase+(ky+1)*l.kW]
+						for kx := 0; kx < l.kW; kx++ {
+							ix := ox + kx - l.pad
+							if ix < 0 || ix >= l.inW {
+								continue
+							}
+							s += rowK[kx] * rowIn[ix]
+						}
+					}
+				}
+				outPlane[oy*l.outW+ox] = s
+			}
+		}
+	}
+	return l.outBuf
+}
+
+func (l *Conv2D) Backward(dOut tensor.Vector) tensor.Vector {
+	checkSize("Conv2D", len(dOut), l.OutSize())
+	l.dIn.Zero()
+	for oc := 0; oc < l.outC; oc++ {
+		dPlane := dOut[oc*l.outH*l.outW : (oc+1)*l.outH*l.outW]
+		for oy := 0; oy < l.outH; oy++ {
+			for ox := 0; ox < l.outW; ox++ {
+				g := dPlane[oy*l.outW+ox]
+				if g == 0 {
+					continue
+				}
+				l.gB[oc] += g
+				for ic := 0; ic < l.inC; ic++ {
+					inPlane := l.lastIn[ic*l.inH*l.inW : (ic+1)*l.inH*l.inW]
+					dInPlane := l.dIn[ic*l.inH*l.inW : (ic+1)*l.inH*l.inW]
+					kBase := ((oc*l.inC + ic) * l.kH) * l.kW
+					for ky := 0; ky < l.kH; ky++ {
+						iy := oy + ky - l.pad
+						if iy < 0 || iy >= l.inH {
+							continue
+						}
+						for kx := 0; kx < l.kW; kx++ {
+							ix := ox + kx - l.pad
+							if ix < 0 || ix >= l.inW {
+								continue
+							}
+							idx := iy*l.inW + ix
+							kIdx := kBase + ky*l.kW + kx
+							l.gK[kIdx] += g * inPlane[idx]
+							dInPlane[idx] += g * l.K[kIdx]
+						}
+					}
+				}
+			}
+		}
+	}
+	return l.dIn
+}
+
+func (l *Conv2D) Params() []tensor.Vector { return []tensor.Vector{l.K, l.B} }
+func (l *Conv2D) Grads() []tensor.Vector  { return []tensor.Vector{l.gK, l.gB} }
+
+// MaxPool2D is a max-pooling layer with square window and equal stride
+// (window == stride, the common non-overlapping form).
+type MaxPool2D struct {
+	c, inH, inW int
+	win         int
+	outH, outW  int
+	outBuf      tensor.Vector
+	dIn         tensor.Vector
+	argmax      []int
+}
+
+// NewMaxPool2D pools each win x win block to its maximum. Input spatial
+// dimensions need not be divisible by win; the trailing partial window is
+// pooled over the available elements (PyTorch floor mode discards them, but
+// every shape used here divides evenly — a test asserts that).
+func NewMaxPool2D(c, inH, inW, win int) *MaxPool2D {
+	outH := inH / win
+	outW := inW / win
+	if outH == 0 || outW == 0 {
+		panic("nn: MaxPool2D window larger than input")
+	}
+	return &MaxPool2D{
+		c: c, inH: inH, inW: inW, win: win,
+		outH: outH, outW: outW,
+		outBuf: tensor.NewVector(c * outH * outW),
+		dIn:    tensor.NewVector(c * inH * inW),
+		argmax: make([]int, c*outH*outW),
+	}
+}
+
+func (l *MaxPool2D) InSize() int  { return l.c * l.inH * l.inW }
+func (l *MaxPool2D) OutSize() int { return l.c * l.outH * l.outW }
+
+// OutShape returns the output (channels, height, width).
+func (l *MaxPool2D) OutShape() (c, h, w int) { return l.c, l.outH, l.outW }
+
+func (l *MaxPool2D) Forward(in tensor.Vector) tensor.Vector {
+	checkSize("MaxPool2D", len(in), l.InSize())
+	for c := 0; c < l.c; c++ {
+		inPlane := in[c*l.inH*l.inW : (c+1)*l.inH*l.inW]
+		for oy := 0; oy < l.outH; oy++ {
+			for ox := 0; ox < l.outW; ox++ {
+				best := -1
+				bestV := 0.0
+				for wy := 0; wy < l.win; wy++ {
+					iy := oy*l.win + wy
+					for wx := 0; wx < l.win; wx++ {
+						ix := ox*l.win + wx
+						idx := iy*l.inW + ix
+						if best == -1 || inPlane[idx] > bestV {
+							best, bestV = idx, inPlane[idx]
+						}
+					}
+				}
+				oIdx := (c*l.outH+oy)*l.outW + ox
+				l.outBuf[oIdx] = bestV
+				l.argmax[oIdx] = c*l.inH*l.inW + best
+			}
+		}
+	}
+	return l.outBuf
+}
+
+func (l *MaxPool2D) Backward(dOut tensor.Vector) tensor.Vector {
+	checkSize("MaxPool2D", len(dOut), l.OutSize())
+	l.dIn.Zero()
+	for i, d := range dOut {
+		l.dIn[l.argmax[i]] += d
+	}
+	return l.dIn
+}
+
+func (l *MaxPool2D) Params() []tensor.Vector { return nil }
+func (l *MaxPool2D) Grads() []tensor.Vector  { return nil }

@@ -1,0 +1,96 @@
+package nn
+
+import (
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Dense is a fully connected layer: out = W*in + b. The bias is optional
+// so that parameter counts can be matched exactly against reference
+// architectures that omit it.
+type Dense struct {
+	in, out int
+	W       *tensor.Matrix // out x in
+	B       tensor.Vector  // nil when bias is disabled
+	gW      *tensor.Matrix
+	gB      tensor.Vector
+
+	lastIn tensor.Vector
+	outBuf tensor.Vector
+	dIn    tensor.Vector
+}
+
+// NewDense returns a Dense layer with He-normal initialized weights, the
+// right default for ReLU networks. Pass withBias=false to omit the bias.
+func NewDense(in, out int, withBias bool, r *rng.RNG) *Dense {
+	l := &Dense{
+		in:     in,
+		out:    out,
+		W:      tensor.NewMatrix(out, in),
+		gW:     tensor.NewMatrix(out, in),
+		lastIn: tensor.NewVector(in),
+		outBuf: tensor.NewVector(out),
+		dIn:    tensor.NewVector(in),
+	}
+	heInit(l.W.Data, in, r)
+	if withBias {
+		l.B = tensor.NewVector(out)
+		l.gB = tensor.NewVector(out)
+	}
+	return l
+}
+
+func (l *Dense) InSize() int  { return l.in }
+func (l *Dense) OutSize() int { return l.out }
+
+func (l *Dense) Forward(in tensor.Vector) tensor.Vector {
+	checkSize("Dense", len(in), l.in)
+	copy(l.lastIn, in)
+	tensor.MatVecTo(l.outBuf, l.W, in)
+	if l.B != nil {
+		for i := range l.outBuf {
+			l.outBuf[i] += l.B[i]
+		}
+	}
+	return l.outBuf
+}
+
+func (l *Dense) Backward(dOut tensor.Vector) tensor.Vector {
+	checkSize("Dense", len(dOut), l.out)
+	tensor.OuterAcc(l.gW, dOut, l.lastIn)
+	if l.gB != nil {
+		tensor.AXPY(l.gB, 1, dOut)
+	}
+	tensor.MatTVecTo(l.dIn, l.W, dOut)
+	return l.dIn
+}
+
+func (l *Dense) Params() []tensor.Vector {
+	if l.B == nil {
+		return []tensor.Vector{l.W.Data}
+	}
+	return []tensor.Vector{l.W.Data, l.B}
+}
+
+func (l *Dense) Grads() []tensor.Vector {
+	if l.gB == nil {
+		return []tensor.Vector{l.gW.Data}
+	}
+	return []tensor.Vector{l.gW.Data, l.gB}
+}
+
+// heInit fills w with He-normal weights: N(0, 2/fanIn).
+func heInit(w []float64, fanIn int, r *rng.RNG) {
+	std := sqrt(2.0 / float64(fanIn))
+	for i := range w {
+		w[i] = r.NormFloat64() * std
+	}
+}
+
+// xavierInit fills w with Glorot-normal weights: N(0, 2/(fanIn+fanOut)).
+func xavierInit(w []float64, fanIn, fanOut int, r *rng.RNG) {
+	std := sqrt(2.0 / float64(fanIn+fanOut))
+	for i := range w {
+		w[i] = r.NormFloat64() * std
+	}
+}

@@ -1,0 +1,139 @@
+// Package nn is a from-scratch neural-network library sufficient to train
+// the models of the SkipTrain paper: multinomial logistic regression, MLPs,
+// and the paper's two CNNs (the 89,834-parameter GN-LeNet for CIFAR-10 and
+// the 1,690,046-parameter LEAF CNN for FEMNIST).
+//
+// The library works one sample at a time with manual backpropagation; a
+// batch is a loop that accumulates gradients. This keeps layers simple and
+// allocation-free after construction, which matters when 256 simulated
+// nodes each own a model. Networks are NOT safe for concurrent use; in the
+// simulator every node goroutine owns its own Network.
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Layer is one differentiable stage of a network. Forward retains whatever
+// state Backward needs, so calls must alternate Forward then Backward for
+// the same sample. Params and Grads return matching views of the layer's
+// parameter and gradient blocks; stateless layers return nil.
+type Layer interface {
+	// InSize and OutSize are the flat input/output lengths.
+	InSize() int
+	OutSize() int
+	// Forward consumes a flat input and returns a flat output. The returned
+	// slice is an internal buffer valid until the next Forward.
+	Forward(in tensor.Vector) tensor.Vector
+	// Backward consumes dLoss/dOut and returns dLoss/dIn, accumulating
+	// parameter gradients. The returned slice is an internal buffer.
+	Backward(dOut tensor.Vector) tensor.Vector
+	// Params returns views of the layer's parameter blocks.
+	Params() []tensor.Vector
+	// Grads returns views of the gradient blocks, aligned with Params.
+	Grads() []tensor.Vector
+}
+
+// ReLU applies max(0, x) element-wise.
+type ReLU struct {
+	n    int
+	out  tensor.Vector
+	dIn  tensor.Vector
+	mask []bool
+}
+
+// NewReLU returns a ReLU over vectors of length n.
+func NewReLU(n int) *ReLU {
+	return &ReLU{n: n, out: tensor.NewVector(n), dIn: tensor.NewVector(n), mask: make([]bool, n)}
+}
+
+func (l *ReLU) InSize() int  { return l.n }
+func (l *ReLU) OutSize() int { return l.n }
+
+func (l *ReLU) Forward(in tensor.Vector) tensor.Vector {
+	checkSize("ReLU", len(in), l.n)
+	for i, x := range in {
+		if x > 0 {
+			l.out[i] = x
+			l.mask[i] = true
+		} else {
+			l.out[i] = 0
+			l.mask[i] = false
+		}
+	}
+	return l.out
+}
+
+func (l *ReLU) Backward(dOut tensor.Vector) tensor.Vector {
+	checkSize("ReLU", len(dOut), l.n)
+	for i, d := range dOut {
+		if l.mask[i] {
+			l.dIn[i] = d
+		} else {
+			l.dIn[i] = 0
+		}
+	}
+	return l.dIn
+}
+
+func (l *ReLU) Params() []tensor.Vector { return nil }
+func (l *ReLU) Grads() []tensor.Vector  { return nil }
+
+// Tanh applies the hyperbolic tangent element-wise.
+type Tanh struct {
+	n   int
+	out tensor.Vector
+	dIn tensor.Vector
+}
+
+// NewTanh returns a Tanh over vectors of length n.
+func NewTanh(n int) *Tanh {
+	return &Tanh{n: n, out: tensor.NewVector(n), dIn: tensor.NewVector(n)}
+}
+
+func (l *Tanh) InSize() int  { return l.n }
+func (l *Tanh) OutSize() int { return l.n }
+
+func (l *Tanh) Forward(in tensor.Vector) tensor.Vector {
+	checkSize("Tanh", len(in), l.n)
+	for i, x := range in {
+		l.out[i] = tanh(x)
+	}
+	return l.out
+}
+
+func (l *Tanh) Backward(dOut tensor.Vector) tensor.Vector {
+	checkSize("Tanh", len(dOut), l.n)
+	for i, d := range dOut {
+		y := l.out[i]
+		l.dIn[i] = d * (1 - y*y)
+	}
+	return l.dIn
+}
+
+func (l *Tanh) Params() []tensor.Vector { return nil }
+func (l *Tanh) Grads() []tensor.Vector  { return nil }
+
+func tanh(x float64) float64 {
+	// Stable formulation: tanh(x) = sign(x) * (1 - e) / (1 + e), e = exp(-2|x|).
+	if x > 20 {
+		return 1
+	}
+	if x < -20 {
+		return -1
+	}
+	e := exp(-2 * abs(x))
+	t := (1 - e) / (1 + e)
+	if x < 0 {
+		return -t
+	}
+	return t
+}
+
+func checkSize(layer string, got, want int) {
+	if got != want {
+		panic(fmt.Sprintf("nn: %s size mismatch: got %d, want %d", layer, got, want))
+	}
+}

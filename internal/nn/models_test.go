@@ -1,0 +1,169 @@
+package nn
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// TestPaperModelSizes pins the parameter counts to the exact |x| values of
+// Table 1 in the paper: 89,834 for CIFAR-10 and 1,690,046 for FEMNIST.
+// These counts feed the energy model, so they must be exact.
+func TestPaperModelSizes(t *testing.T) {
+	if n := CIFARGNLeNet(rng.New(1)).ParamCount(); n != 89834 {
+		t.Fatalf("CIFAR GN-LeNet has %d params, paper reports 89834", n)
+	}
+	if n := FEMNISTCNN(rng.New(1)).ParamCount(); n != 1690046 {
+		t.Fatalf("FEMNIST CNN has %d params, paper reports 1690046", n)
+	}
+}
+
+func TestPaperModelShapes(t *testing.T) {
+	cifar := CIFARGNLeNet(rng.New(2))
+	if cifar.InSize() != 3*32*32 || cifar.OutSize() != 10 {
+		t.Fatalf("CIFAR model shape %d->%d", cifar.InSize(), cifar.OutSize())
+	}
+	femnist := FEMNISTCNN(rng.New(2))
+	if femnist.InSize() != 28*28 || femnist.OutSize() != 62 {
+		t.Fatalf("FEMNIST model shape %d->%d", femnist.InSize(), femnist.OutSize())
+	}
+}
+
+func TestPaperModelsForwardBackward(t *testing.T) {
+	// One full train step on each paper model: shapes chain, loss is finite.
+	if testing.Short() {
+		t.Skip("paper-size models are slow in -short mode")
+	}
+	for name, build := range map[string]func() *Network{
+		"cifar":   func() *Network { return CIFARGNLeNet(rng.New(3)) },
+		"femnist": func() *Network { return FEMNISTCNN(rng.New(3)) },
+	} {
+		net := build()
+		r := rng.New(4)
+		x := tensor.NewVector(net.InSize())
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		loss := net.TrainBatch([]tensor.Vector{x}, []int{1}, 0.01)
+		if loss <= 0 || loss != loss {
+			t.Fatalf("%s: implausible loss %v", name, loss)
+		}
+	}
+}
+
+func TestLogisticRegressionSize(t *testing.T) {
+	net := LogisticRegression(10, 4, rng.New(5))
+	if n := net.ParamCount(); n != 10*4+4 {
+		t.Fatalf("logreg params = %d", n)
+	}
+}
+
+func TestMLPSize(t *testing.T) {
+	net := MLP(8, []int{16, 12}, 5, rng.New(6))
+	want := (8*16 + 16) + (16*12 + 12) + (12*5 + 5)
+	if n := net.ParamCount(); n != want {
+		t.Fatalf("mlp params = %d, want %d", n, want)
+	}
+}
+
+func TestMLPNoHidden(t *testing.T) {
+	net := MLP(6, nil, 3, rng.New(7))
+	if n := net.ParamCount(); n != 6*3+3 {
+		t.Fatalf("degenerate MLP params = %d", n)
+	}
+}
+
+func TestSmallCNNTrains(t *testing.T) {
+	r := rng.New(8)
+	net := SmallCNN(1, 8, 8, 2, r)
+	var xs []tensor.Vector
+	var ys []int
+	// Class 0: bright top half. Class 1: bright bottom half.
+	for i := 0; i < 40; i++ {
+		x := tensor.NewVector(64)
+		y := i % 2
+		for row := 0; row < 8; row++ {
+			for col := 0; col < 8; col++ {
+				v := 0.1 * r.NormFloat64()
+				if (y == 0 && row < 4) || (y == 1 && row >= 4) {
+					v += 1
+				}
+				x[row*8+col] = v
+			}
+		}
+		xs = append(xs, x)
+		ys = append(ys, y)
+	}
+	for epoch := 0; epoch < 40; epoch++ {
+		net.TrainBatch(xs, ys, 0.1)
+	}
+	if acc := net.Accuracy(xs, ys); acc < 0.9 {
+		t.Fatalf("SmallCNN accuracy = %v on trivial task", acc)
+	}
+}
+
+func TestGroupNormValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("groups not dividing channels should panic")
+		}
+	}()
+	NewGroupNorm(5, 2, 2, 2)
+}
+
+func TestConvOutputShapeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive conv output should panic")
+		}
+	}()
+	NewConv2D(1, 2, 2, 1, 5, 5, 0, rng.New(9))
+}
+
+func TestPoolValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized pool window should panic")
+		}
+	}()
+	NewMaxPool2D(1, 2, 2, 4)
+}
+
+func TestPaperPoolShapesDivideEvenly(t *testing.T) {
+	// DESIGN note: partial pooling windows never occur in the paper models.
+	shapes := []struct{ h, win int }{{32, 2}, {16, 2}, {8, 2}, {28, 2}, {14, 2}}
+	for _, s := range shapes {
+		if s.h%s.win != 0 {
+			t.Fatalf("pool input %d not divisible by window %d", s.h, s.win)
+		}
+	}
+}
+
+func BenchmarkTrainStepLogReg(b *testing.B) {
+	r := rng.New(1)
+	net := LogisticRegression(32, 10, r)
+	xs := make([]tensor.Vector, 32)
+	ys := make([]int, 32)
+	for i := range xs {
+		xs[i] = tensor.NewVector(32)
+		for j := range xs[i] {
+			xs[i][j] = r.NormFloat64()
+		}
+		ys[i] = r.Intn(10)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.TrainBatch(xs, ys, 0.1)
+	}
+}
+
+func BenchmarkForwardCIFARGNLeNet(b *testing.B) {
+	net := CIFARGNLeNet(rng.New(1))
+	x := tensor.NewVector(net.InSize())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Forward(x)
+	}
+}

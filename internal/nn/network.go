@@ -1,0 +1,194 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+func sqrt(x float64) float64 { return math.Sqrt(x) }
+func exp(x float64) float64  { return math.Exp(x) }
+func abs(x float64) float64  { return math.Abs(x) }
+
+// Network is an ordered stack of layers trained with softmax cross-entropy,
+// exactly the loss/optimizer combination of the paper (SGD + Cross-Entropy,
+// Section 4.2). The zero value is not usable; build with New.
+type Network struct {
+	layers  []Layer
+	nParams int
+	probs   tensor.Vector // softmax scratch, len = class count
+}
+
+// New builds a network, validating that consecutive layer sizes chain.
+func New(layers ...Layer) *Network {
+	if len(layers) == 0 {
+		panic("nn: empty network")
+	}
+	for i := 1; i < len(layers); i++ {
+		if layers[i-1].OutSize() != layers[i].InSize() {
+			panic(fmt.Sprintf("nn: layer %d outputs %d but layer %d expects %d",
+				i-1, layers[i-1].OutSize(), i, layers[i].InSize()))
+		}
+	}
+	n := &Network{layers: layers, probs: tensor.NewVector(layers[len(layers)-1].OutSize())}
+	for _, l := range layers {
+		for _, p := range l.Params() {
+			n.nParams += len(p)
+		}
+	}
+	return n
+}
+
+// InSize returns the flat input length the network expects.
+func (n *Network) InSize() int { return n.layers[0].InSize() }
+
+// OutSize returns the number of output logits (classes).
+func (n *Network) OutSize() int { return n.layers[len(n.layers)-1].OutSize() }
+
+// ParamCount returns the total number of trainable parameters, the |x| of
+// Table 1 in the paper.
+func (n *Network) ParamCount() int { return n.nParams }
+
+// Forward runs the network and returns the logits (an internal buffer).
+func (n *Network) Forward(x tensor.Vector) tensor.Vector {
+	out := x
+	for _, l := range n.layers {
+		out = l.Forward(out)
+	}
+	return out
+}
+
+// CopyParamsTo serializes all parameters into dst, which must have length
+// ParamCount. This is the model vector x_i that nodes exchange.
+func (n *Network) CopyParamsTo(dst tensor.Vector) {
+	checkSize("Network params", len(dst), n.nParams)
+	off := 0
+	for _, l := range n.layers {
+		for _, p := range l.Params() {
+			copy(dst[off:off+len(p)], p)
+			off += len(p)
+		}
+	}
+}
+
+// SetParams loads all parameters from src (length ParamCount), the inverse
+// of CopyParamsTo. Aggregated neighbor averages re-enter the model here.
+func (n *Network) SetParams(src tensor.Vector) {
+	checkSize("Network params", len(src), n.nParams)
+	off := 0
+	for _, l := range n.layers {
+		for _, p := range l.Params() {
+			copy(p, src[off:off+len(p)])
+			off += len(p)
+		}
+	}
+}
+
+// ZeroGrads clears every accumulated gradient.
+func (n *Network) ZeroGrads() {
+	for _, l := range n.layers {
+		for _, g := range l.Grads() {
+			g.Zero()
+		}
+	}
+}
+
+// SoftmaxCrossEntropy computes the loss for one sample and writes
+// dLoss/dLogits into dLogits (probs - onehot). logits and dLogits may alias.
+func SoftmaxCrossEntropy(logits tensor.Vector, label int, dLogits tensor.Vector) float64 {
+	if label < 0 || label >= len(logits) {
+		panic(fmt.Sprintf("nn: label %d out of range for %d classes", label, len(logits)))
+	}
+	// Numerically stable softmax.
+	maxL := logits[0]
+	for _, v := range logits[1:] {
+		if v > maxL {
+			maxL = v
+		}
+	}
+	sum := 0.0
+	for i, v := range logits {
+		e := exp(v - maxL)
+		dLogits[i] = e
+		sum += e
+	}
+	loss := 0.0
+	for i := range dLogits {
+		p := dLogits[i] / sum
+		if i == label {
+			// Clamp to avoid -Inf on (impossible in exact arithmetic) p == 0.
+			if p < 1e-300 {
+				p = 1e-300
+			}
+			loss = -math.Log(p)
+			dLogits[i] = dLogits[i]/sum - 1
+		} else {
+			dLogits[i] = p
+		}
+	}
+	return loss
+}
+
+// TrainBatch performs one SGD step on a mini-batch: it accumulates gradients
+// of the mean cross-entropy over the batch and applies params -= lr * grad.
+// It returns the mean loss. This is one inner iteration of Algorithm 1,
+// lines 5-6.
+func (n *Network) TrainBatch(xs []tensor.Vector, ys []int, lr float64) float64 {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		panic(fmt.Sprintf("nn: bad batch: %d inputs, %d labels", len(xs), len(ys)))
+	}
+	n.ZeroGrads()
+	total := 0.0
+	for i, x := range xs {
+		logits := n.Forward(x)
+		copy(n.probs, logits)
+		total += SoftmaxCrossEntropy(n.probs, ys[i], n.probs)
+		d := n.probs
+		for j := len(n.layers) - 1; j >= 0; j-- {
+			d = n.layers[j].Backward(d)
+		}
+	}
+	scale := -lr / float64(len(xs))
+	for _, l := range n.layers {
+		params, grads := l.Params(), l.Grads()
+		for k := range params {
+			tensor.AXPY(params[k], scale, grads[k])
+		}
+	}
+	return total / float64(len(xs))
+}
+
+// Loss returns the mean cross-entropy of the network on the given samples
+// without updating parameters.
+func (n *Network) Loss(xs []tensor.Vector, ys []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	total := 0.0
+	for i, x := range xs {
+		logits := n.Forward(x)
+		copy(n.probs, logits)
+		total += SoftmaxCrossEntropy(n.probs, ys[i], n.probs)
+	}
+	return total / float64(len(xs))
+}
+
+// Predict returns the argmax class for one sample.
+func (n *Network) Predict(x tensor.Vector) int {
+	return tensor.ArgMax(n.Forward(x))
+}
+
+// Accuracy returns the Top-1 accuracy over the given samples in [0, 1].
+func (n *Network) Accuracy(xs []tensor.Vector, ys []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, x := range xs {
+		if n.Predict(x) == ys[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(xs))
+}

@@ -1,0 +1,237 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+func TestParamRoundTrip(t *testing.T) {
+	net := MLP(5, []int{7}, 3, rng.New(1))
+	p1 := tensor.NewVector(net.ParamCount())
+	net.CopyParamsTo(p1)
+	// Mutate, restore, compare.
+	mutated := p1.Clone()
+	for i := range mutated {
+		mutated[i] += 1.5
+	}
+	net.SetParams(mutated)
+	p2 := tensor.NewVector(net.ParamCount())
+	net.CopyParamsTo(p2)
+	for i := range p2 {
+		if p2[i] != mutated[i] {
+			t.Fatalf("round trip failed at %d", i)
+		}
+	}
+	net.SetParams(p1)
+	net.CopyParamsTo(p2)
+	for i := range p2 {
+		if p2[i] != p1[i] {
+			t.Fatalf("restore failed at %d", i)
+		}
+	}
+}
+
+func TestSetParamsChangesForward(t *testing.T) {
+	net := LogisticRegression(4, 3, rng.New(2))
+	x := tensor.Vector{1, 2, 3, 4}
+	before := net.Forward(x).Clone()
+	p := tensor.NewVector(net.ParamCount())
+	net.CopyParamsTo(p)
+	for i := range p {
+		p[i] = 0
+	}
+	net.SetParams(p)
+	after := net.Forward(x)
+	allZero := true
+	for _, v := range after {
+		if v != 0 {
+			allZero = false
+		}
+	}
+	if !allZero {
+		t.Fatalf("zero params should give zero logits, got %v", after)
+	}
+	if before[0] == 0 && before[1] == 0 && before[2] == 0 {
+		t.Fatal("initialized network produced zero logits (init failed?)")
+	}
+}
+
+func TestSoftmaxCrossEntropy(t *testing.T) {
+	logits := tensor.Vector{0, 0, 0}
+	d := tensor.NewVector(3)
+	loss := SoftmaxCrossEntropy(logits, 1, d)
+	if math.Abs(loss-math.Log(3)) > 1e-12 {
+		t.Fatalf("uniform loss = %v, want ln 3", loss)
+	}
+	want := []float64{1.0 / 3, 1.0/3 - 1, 1.0 / 3}
+	for i := range want {
+		if math.Abs(d[i]-want[i]) > 1e-12 {
+			t.Fatalf("dLogits[%d] = %v, want %v", i, d[i], want[i])
+		}
+	}
+	// Gradient sums to zero (softmax simplex property).
+	if s := tensor.Sum(d); math.Abs(s) > 1e-12 {
+		t.Fatalf("gradient sum = %v, want 0", s)
+	}
+}
+
+func TestSoftmaxCrossEntropyStability(t *testing.T) {
+	logits := tensor.Vector{1e4, -1e4, 0}
+	d := tensor.NewVector(3)
+	loss := SoftmaxCrossEntropy(logits, 0, d)
+	if math.IsNaN(loss) || math.IsInf(loss, 0) {
+		t.Fatalf("unstable loss: %v", loss)
+	}
+	loss = SoftmaxCrossEntropy(logits, 1, d)
+	if math.IsNaN(loss) || math.IsInf(loss, 0) {
+		t.Fatalf("unstable loss for tiny prob: %v", loss)
+	}
+}
+
+func TestTrainingReducesLoss(t *testing.T) {
+	r := rng.New(3)
+	net := MLP(4, []int{16}, 2, r)
+	// Linearly separable toy task.
+	var xs []tensor.Vector
+	var ys []int
+	for i := 0; i < 64; i++ {
+		x := tensor.NewVector(4)
+		for j := range x {
+			x[j] = r.NormFloat64()
+		}
+		y := 0
+		if x[0]+x[1] > 0 {
+			y = 1
+		}
+		xs = append(xs, x)
+		ys = append(ys, y)
+	}
+	before := net.Loss(xs, ys)
+	for epoch := 0; epoch < 60; epoch++ {
+		net.TrainBatch(xs, ys, 0.5)
+	}
+	after := net.Loss(xs, ys)
+	if after >= before {
+		t.Fatalf("loss did not decrease: %v -> %v", before, after)
+	}
+	if acc := net.Accuracy(xs, ys); acc < 0.95 {
+		t.Fatalf("separable task accuracy = %v, want >= 0.95", acc)
+	}
+}
+
+func TestTrainBatchReturnsMeanLoss(t *testing.T) {
+	net := LogisticRegression(3, 2, rng.New(4))
+	xs := []tensor.Vector{{1, 0, 0}, {0, 1, 0}}
+	ys := []int{0, 1}
+	lossBefore := net.Loss(xs, ys)
+	got := net.TrainBatch(xs, ys, 0) // lr 0: loss reported must equal pre-update loss
+	if math.Abs(got-lossBefore) > 1e-12 {
+		t.Fatalf("TrainBatch loss %v != Loss %v", got, lossBefore)
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	build := func() (*Network, []tensor.Vector, []int) {
+		r := rng.New(5)
+		net := MLP(4, []int{8}, 3, r)
+		var xs []tensor.Vector
+		var ys []int
+		for i := 0; i < 10; i++ {
+			x := tensor.NewVector(4)
+			for j := range x {
+				x[j] = r.NormFloat64()
+			}
+			xs = append(xs, x)
+			ys = append(ys, r.Intn(3))
+		}
+		return net, xs, ys
+	}
+	n1, xs1, ys1 := build()
+	n2, xs2, ys2 := build()
+	for i := 0; i < 5; i++ {
+		l1 := n1.TrainBatch(xs1, ys1, 0.1)
+		l2 := n2.TrainBatch(xs2, ys2, 0.1)
+		if l1 != l2 {
+			t.Fatalf("training not deterministic at step %d: %v vs %v", i, l1, l2)
+		}
+	}
+}
+
+func TestAccuracyEmpty(t *testing.T) {
+	net := LogisticRegression(2, 2, rng.New(6))
+	if net.Accuracy(nil, nil) != 0 {
+		t.Fatal("accuracy of empty set should be 0")
+	}
+	if net.Loss(nil, nil) != 0 {
+		t.Fatal("loss of empty set should be 0")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched layer chain should panic")
+		}
+	}()
+	r := rng.New(7)
+	New(NewDense(3, 4, true, r), NewDense(5, 2, true, r))
+}
+
+func TestLabelOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range label should panic")
+		}
+	}()
+	SoftmaxCrossEntropy(tensor.Vector{0, 0}, 5, tensor.NewVector(2))
+}
+
+func TestBatchValidation(t *testing.T) {
+	net := LogisticRegression(2, 2, rng.New(8))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched batch should panic")
+		}
+	}()
+	net.TrainBatch([]tensor.Vector{{1, 2}}, []int{0, 1}, 0.1)
+}
+
+func TestTanhValues(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0}, {100, 1}, {-100, -1}, {1, math.Tanh(1)}, {-0.5, math.Tanh(-0.5)},
+	}
+	for _, c := range cases {
+		if got := tanh(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("tanh(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestMixingTwoModelsAverages(t *testing.T) {
+	// The core DL operation: average two models' parameter vectors and load
+	// the result back. Forward of the average on a linear model must equal
+	// the average of forwards (linearity in parameters for logits).
+	r := rng.New(9)
+	a := LogisticRegression(3, 2, r)
+	b := LogisticRegression(3, 2, r)
+	x := tensor.Vector{0.5, -1, 2}
+	la := a.Forward(x).Clone()
+	lb := b.Forward(x).Clone()
+	pa := tensor.NewVector(a.ParamCount())
+	pb := tensor.NewVector(b.ParamCount())
+	a.CopyParamsTo(pa)
+	b.CopyParamsTo(pb)
+	avg := tensor.NewVector(len(pa))
+	tensor.WeightedSumTo(avg, []float64{0.5, 0.5}, []tensor.Vector{pa, pb})
+	a.SetParams(avg)
+	lavg := a.Forward(x)
+	for i := range lavg {
+		want := (la[i] + lb[i]) / 2
+		if math.Abs(lavg[i]-want) > 1e-12 {
+			t.Fatalf("averaged logits[%d] = %v, want %v", i, lavg[i], want)
+		}
+	}
+}

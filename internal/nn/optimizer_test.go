@@ -1,0 +1,262 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+func toyBatch(r *rng.RNG, dim, classes, n int) ([]tensor.Vector, []int) {
+	xs := make([]tensor.Vector, n)
+	ys := make([]int, n)
+	for i := range xs {
+		xs[i] = tensor.NewVector(dim)
+		for j := range xs[i] {
+			xs[i][j] = r.NormFloat64()
+		}
+		if xs[i][0] > 0 {
+			ys[i] = 1
+		}
+	}
+	return xs, ys
+}
+
+func TestPlainSGDMatchesTrainBatch(t *testing.T) {
+	// SGD{LR} via TrainBatchWith must produce exactly the same update as
+	// the built-in TrainBatch.
+	r := rng.New(1)
+	a := MLP(4, []int{6}, 2, rng.New(2))
+	b := MLP(4, []int{6}, 2, rng.New(2))
+	xs, ys := toyBatch(r, 4, 2, 8)
+	opt := NewSGD(0.1)
+	for step := 0; step < 5; step++ {
+		la := a.TrainBatch(xs, ys, 0.1)
+		lb := b.TrainBatchWith(opt, xs, ys)
+		if la != lb {
+			t.Fatalf("step %d: losses differ %v vs %v", step, la, lb)
+		}
+	}
+	pa := tensor.NewVector(a.ParamCount())
+	pb := tensor.NewVector(b.ParamCount())
+	a.CopyParamsTo(pa)
+	b.CopyParamsTo(pb)
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("params diverged at %d", i)
+		}
+	}
+}
+
+func TestMomentumAcceleratesOnQuadratic(t *testing.T) {
+	// On a noiseless, well-conditioned task momentum should reach lower
+	// loss than plain SGD in the same number of steps.
+	r := rng.New(3)
+	xs, ys := toyBatch(r, 6, 2, 64)
+	run := func(opt Optimizer) float64 {
+		net := LogisticRegression(6, 2, rng.New(4))
+		for i := 0; i < 30; i++ {
+			net.TrainBatchWith(opt, xs, ys)
+		}
+		return net.Loss(xs, ys)
+	}
+	plain := run(NewSGD(0.05))
+	mom := run(NewMomentumSGD(0.05, 0.9, false))
+	if mom >= plain {
+		t.Fatalf("momentum loss %v not better than plain %v", mom, plain)
+	}
+}
+
+func TestNesterovRuns(t *testing.T) {
+	r := rng.New(5)
+	xs, ys := toyBatch(r, 4, 2, 16)
+	net := LogisticRegression(4, 2, rng.New(6))
+	opt := NewMomentumSGD(0.05, 0.9, true)
+	before := net.Loss(xs, ys)
+	for i := 0; i < 20; i++ {
+		net.TrainBatchWith(opt, xs, ys)
+	}
+	if after := net.Loss(xs, ys); after >= before {
+		t.Fatalf("nesterov did not reduce loss: %v -> %v", before, after)
+	}
+}
+
+func TestWeightDecayShrinksNorm(t *testing.T) {
+	// With pure decay (no data gradient: lr*wd applied every step) the
+	// parameter norm must shrink. Feed a gradient-free "batch" by using
+	// labels the model predicts with certainty... simpler: compare norms
+	// after training with and without decay.
+	r := rng.New(7)
+	xs, ys := toyBatch(r, 4, 2, 16)
+	run := func(wd float64) float64 {
+		net := LogisticRegression(4, 2, rng.New(8))
+		opt := &SGD{LR: 0.05, WeightDecay: wd}
+		for i := 0; i < 50; i++ {
+			net.TrainBatchWith(opt, xs, ys)
+		}
+		p := tensor.NewVector(net.ParamCount())
+		net.CopyParamsTo(p)
+		return tensor.Norm2(p)
+	}
+	if nd, d := run(0), run(0.1); d >= nd {
+		t.Fatalf("weight decay did not shrink norm: %v vs %v", d, nd)
+	}
+}
+
+func TestSGDReset(t *testing.T) {
+	r := rng.New(9)
+	xs, ys := toyBatch(r, 4, 2, 8)
+	net := LogisticRegression(4, 2, rng.New(10))
+	opt := NewMomentumSGD(0.1, 0.9, false)
+	net.TrainBatchWith(opt, xs, ys)
+	opt.Reset()
+	for _, v := range opt.velocity {
+		for _, x := range v {
+			if x != 0 {
+				t.Fatal("Reset left velocity non-zero")
+			}
+		}
+	}
+}
+
+func TestSGDStepPanicsOnBadBatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for batch size 0")
+		}
+	}()
+	NewSGD(0.1).Step(LogisticRegression(2, 2, rng.New(11)), 0)
+}
+
+func TestLRSchedules(t *testing.T) {
+	c := ConstantLR(0.1)
+	if c.At(0) != 0.1 || c.At(1000) != 0.1 {
+		t.Fatal("constant LR wrong")
+	}
+	s := StepDecayLR{Base: 1.0, Factor: 0.5, Every: 10}
+	if s.At(0) != 1.0 || s.At(9) != 1.0 {
+		t.Fatal("step decay before first boundary wrong")
+	}
+	if s.At(10) != 0.5 || s.At(25) != 0.25 {
+		t.Fatalf("step decay wrong: At(10)=%v At(25)=%v", s.At(10), s.At(25))
+	}
+	degenerate := StepDecayLR{Base: 0.3}
+	if degenerate.At(100) != 0.3 {
+		t.Fatal("Every=0 should be constant")
+	}
+}
+
+func TestDropoutEvalIsIdentity(t *testing.T) {
+	d := NewDropout(8, 0.5, rng.New(12))
+	d.SetTraining(false)
+	in := tensor.Vector{1, 2, 3, 4, 5, 6, 7, 8}
+	out := d.Forward(in)
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatal("eval-mode dropout must be identity")
+		}
+	}
+	dIn := d.Backward(in)
+	for i := range in {
+		if dIn[i] != in[i] {
+			t.Fatal("eval-mode dropout backward must be identity")
+		}
+	}
+}
+
+func TestDropoutTrainingStatistics(t *testing.T) {
+	const n = 10000
+	d := NewDropout(n, 0.3, rng.New(13))
+	in := tensor.NewVector(n)
+	in.Fill(1)
+	out := d.Forward(in)
+	zeros, sum := 0, 0.0
+	for _, v := range out {
+		if v == 0 {
+			zeros++
+		}
+		sum += v
+	}
+	if rate := float64(zeros) / n; math.Abs(rate-0.3) > 0.03 {
+		t.Fatalf("drop rate %v, want ~0.3", rate)
+	}
+	// Inverted dropout preserves the expectation.
+	if mean := sum / n; math.Abs(mean-1) > 0.05 {
+		t.Fatalf("mean %v, want ~1", mean)
+	}
+}
+
+func TestDropoutBackwardMasksGradient(t *testing.T) {
+	d := NewDropout(4, 0.5, rng.New(14))
+	in := tensor.Vector{1, 1, 1, 1}
+	out := d.Forward(in)
+	g := d.Backward(tensor.Vector{1, 1, 1, 1})
+	for i := range out {
+		if (out[i] == 0) != (g[i] == 0) {
+			t.Fatal("gradient mask does not match forward mask")
+		}
+	}
+}
+
+func TestDropoutInNetworkModes(t *testing.T) {
+	r := rng.New(15)
+	net := New(
+		NewDense(4, 8, true, r),
+		NewDropout(8, 0.5, rng.New(16)),
+		NewDense(8, 2, true, r),
+	)
+	x := tensor.Vector{1, 2, 3, 4}
+	net.SetTraining(false)
+	a := net.Forward(x).Clone()
+	b := net.Forward(x).Clone()
+	if a[0] != b[0] || a[1] != b[1] {
+		t.Fatal("inference must be deterministic with dropout disabled")
+	}
+	net.SetTraining(true)
+	seen := false
+	for i := 0; i < 10 && !seen; i++ {
+		c := net.Forward(x)
+		if c[0] != a[0] {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Fatal("training-mode dropout never changed the output")
+	}
+}
+
+func TestDropoutValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("rate 1 should panic")
+		}
+	}()
+	NewDropout(4, 1.0, rng.New(17))
+}
+
+func TestGradCheckAvgPool(t *testing.T) {
+	r := rng.New(18)
+	conv := NewConv2D(1, 6, 6, 2, 3, 3, 1, r)
+	pool := NewAvgPool2D(2, 6, 6, 2)
+	pc, ph, pw := pool.OutShape()
+	net := New(conv, pool, NewDense(pc*ph*pw, 3, true, r))
+	checkGradients(t, "avgpool", net, 3, 22)
+}
+
+func TestAvgPoolForward(t *testing.T) {
+	pool := NewAvgPool2D(1, 2, 2, 2)
+	out := pool.Forward(tensor.Vector{1, 2, 3, 4})
+	if len(out) != 1 || out[0] != 2.5 {
+		t.Fatalf("avg pool = %v", out)
+	}
+}
+
+func TestAvgPoolValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized window should panic")
+		}
+	}()
+	NewAvgPool2D(1, 2, 2, 3)
+}

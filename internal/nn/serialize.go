@@ -1,0 +1,89 @@
+package nn
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Checkpoint format (little-endian):
+//
+//	magic    uint32  0x534b5054 "SKPT"
+//	version  uint32  1
+//	count    uint64  number of float64 parameters
+//	params   count * 8 bytes
+//	crc32    uint32  IEEE checksum of the params bytes
+//
+// Only parameters are stored — architecture is code, so loading validates
+// the parameter count against the receiving network.
+
+const (
+	checkpointMagic   = 0x534b5054
+	checkpointVersion = 1
+)
+
+// SaveParams writes the network's parameters as a checkpoint to w.
+func (n *Network) SaveParams(w io.Writer) error {
+	params := tensor.NewVector(n.ParamCount())
+	n.CopyParamsTo(params)
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], checkpointMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], checkpointVersion)
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(len(params)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("nn: write checkpoint header: %w", err)
+	}
+	buf := make([]byte, 8*len(params))
+	for i, v := range params {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("nn: write checkpoint params: %w", err)
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(buf))
+	if _, err := w.Write(crc[:]); err != nil {
+		return fmt.Errorf("nn: write checkpoint crc: %w", err)
+	}
+	return nil
+}
+
+// LoadParams reads a checkpoint from r into the network. The parameter
+// count must match the network exactly and the checksum must verify.
+func (n *Network) LoadParams(r io.Reader) error {
+	var hdr [16]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return fmt.Errorf("nn: read checkpoint header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:4]) != checkpointMagic {
+		return fmt.Errorf("nn: not a checkpoint (bad magic)")
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != checkpointVersion {
+		return fmt.Errorf("nn: unsupported checkpoint version %d", v)
+	}
+	count := binary.LittleEndian.Uint64(hdr[8:16])
+	if count != uint64(n.ParamCount()) {
+		return fmt.Errorf("nn: checkpoint has %d params, network has %d", count, n.ParamCount())
+	}
+	buf := make([]byte, 8*count)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return fmt.Errorf("nn: read checkpoint params: %w", err)
+	}
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(r, crcBuf[:]); err != nil {
+		return fmt.Errorf("nn: read checkpoint crc: %w", err)
+	}
+	if crc32.ChecksumIEEE(buf) != binary.LittleEndian.Uint32(crcBuf[:]) {
+		return fmt.Errorf("nn: checkpoint corrupted (crc mismatch)")
+	}
+	params := tensor.NewVector(int(count))
+	for i := range params {
+		params[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	n.SetParams(params)
+	return nil
+}

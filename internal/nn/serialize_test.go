@@ -1,0 +1,80 @@
+package nn
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	src := MLP(6, []int{10}, 4, rng.New(1))
+	var buf bytes.Buffer
+	if err := src.SaveParams(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := MLP(6, []int{10}, 4, rng.New(99)) // different init
+	if err := dst.LoadParams(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ps := tensor.NewVector(src.ParamCount())
+	pd := tensor.NewVector(dst.ParamCount())
+	src.CopyParamsTo(ps)
+	dst.CopyParamsTo(pd)
+	for i := range ps {
+		if ps[i] != pd[i] {
+			t.Fatalf("param %d differs after load", i)
+		}
+	}
+	// And forward passes agree.
+	x := tensor.Vector{1, -1, 2, -2, 0.5, 0}
+	a, b := src.Forward(x), dst.Forward(x)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("loaded network computes differently")
+		}
+	}
+}
+
+func TestCheckpointWrongArchitecture(t *testing.T) {
+	src := LogisticRegression(4, 3, rng.New(2))
+	var buf bytes.Buffer
+	if err := src.SaveParams(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := LogisticRegression(5, 3, rng.New(3))
+	if err := dst.LoadParams(&buf); err == nil {
+		t.Fatal("mismatched parameter count must be rejected")
+	}
+}
+
+func TestCheckpointCorruption(t *testing.T) {
+	src := LogisticRegression(4, 3, rng.New(4))
+	var buf bytes.Buffer
+	if err := src.SaveParams(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[20] ^= 0xff // flip a param byte
+	if err := src.LoadParams(bytes.NewReader(data)); err == nil {
+		t.Fatal("corrupted checkpoint must fail the crc")
+	}
+}
+
+func TestCheckpointBadMagicAndTruncation(t *testing.T) {
+	net := LogisticRegression(2, 2, rng.New(5))
+	if err := net.LoadParams(bytes.NewReader([]byte("notacheckpoint!!"))); err == nil {
+		t.Fatal("bad magic must fail")
+	}
+	var buf bytes.Buffer
+	if err := net.SaveParams(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.LoadParams(bytes.NewReader(buf.Bytes()[:10])); err == nil {
+		t.Fatal("truncated header must fail")
+	}
+	if err := net.LoadParams(bytes.NewReader(buf.Bytes()[:buf.Len()-6])); err == nil {
+		t.Fatal("truncated body must fail")
+	}
+}

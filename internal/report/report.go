@@ -1,0 +1,281 @@
+// Package report renders experiment results as aligned text tables, ASCII
+// heatmaps and CSV series — the counterpart of the paper's tables and
+// figures for a terminal.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells beyond the header count are dropped, missing
+// cells render empty.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row of formatted values.
+func (t *Table) AddRowf(format string, cells ...interface{}) {
+	parts := strings.Split(fmt.Sprintf(format, cells...), "|")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	t.AddRow(parts...)
+}
+
+// Render writes the aligned table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			fmt.Fprintf(w, "%-*s", widths[i]+2, c)
+		}
+		fmt.Fprintln(w)
+	}
+	line(t.Headers)
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	fmt.Fprintln(w, strings.Repeat("-", total))
+	for _, row := range t.rows {
+		line(row)
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Render(&sb)
+	return sb.String()
+}
+
+// Heatmap renders a small numeric grid the way Figure 3 presents the
+// Γtrain x Γsync search: row/column labels plus shading by value.
+type Heatmap struct {
+	Title          string
+	RowLabel       string
+	ColLabel       string
+	RowNames       []string
+	ColNames       []string
+	Cells          [][]float64 // [row][col]
+	Format         string      // cell format, default "%.1f"
+	HigherIsBetter bool
+}
+
+// shades from lightest to darkest.
+var shades = []string{" ", "░", "▒", "▓", "█"}
+
+// Render writes the heatmap to w.
+func (h *Heatmap) Render(w io.Writer) {
+	format := h.Format
+	if format == "" {
+		format = "%.1f"
+	}
+	if h.Title != "" {
+		fmt.Fprintf(w, "%s\n", h.Title)
+	}
+	lo, hi := h.bounds()
+	cellW := len(fmt.Sprintf(format, hi)) + 2
+	for _, row := range h.Cells {
+		for _, v := range row {
+			if n := len(fmt.Sprintf(format, v)); n+2 > cellW {
+				cellW = n + 2
+			}
+		}
+	}
+	rowW := len(h.RowLabel)
+	for _, rn := range h.RowNames {
+		if len(rn) > rowW {
+			rowW = len(rn)
+		}
+	}
+	fmt.Fprintf(w, "%-*s", rowW+2, h.RowLabel+"\\"+h.ColLabel)
+	for _, cn := range h.ColNames {
+		fmt.Fprintf(w, "%*s", cellW, cn)
+	}
+	fmt.Fprintln(w)
+	for r, row := range h.Cells {
+		name := ""
+		if r < len(h.RowNames) {
+			name = h.RowNames[r]
+		}
+		fmt.Fprintf(w, "%-*s", rowW+2, name)
+		for _, v := range row {
+			fmt.Fprintf(w, "%*s", cellW, fmt.Sprintf(format, v)+h.shade(v, lo, hi))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func (h *Heatmap) bounds() (lo, hi float64) {
+	first := true
+	for _, row := range h.Cells {
+		for _, v := range row {
+			if first {
+				lo, hi = v, v
+				first = false
+				continue
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	return lo, hi
+}
+
+func (h *Heatmap) shade(v, lo, hi float64) string {
+	if hi == lo {
+		return shades[len(shades)-1]
+	}
+	frac := (v - lo) / (hi - lo)
+	if !h.HigherIsBetter {
+		frac = 1 - frac
+	}
+	idx := int(frac * float64(len(shades)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(shades) {
+		idx = len(shades) - 1
+	}
+	return shades[idx]
+}
+
+// String renders the heatmap to a string.
+func (h *Heatmap) String() string {
+	var sb strings.Builder
+	h.Render(&sb)
+	return sb.String()
+}
+
+// CSV writes series as comma-separated columns with a header row. All
+// columns must have equal length.
+func CSV(w io.Writer, headers []string, cols ...[]float64) error {
+	if len(headers) != len(cols) {
+		return fmt.Errorf("report: %d headers for %d columns", len(headers), len(cols))
+	}
+	n := 0
+	for i, c := range cols {
+		if i == 0 {
+			n = len(c)
+		} else if len(c) != n {
+			return fmt.Errorf("report: column %d has %d rows, want %d", i, len(c), n)
+		}
+	}
+	fmt.Fprintln(w, strings.Join(headers, ","))
+	for r := 0; r < n; r++ {
+		parts := make([]string, len(cols))
+		for i, c := range cols {
+			parts[i] = fmt.Sprintf("%g", c[r])
+		}
+		fmt.Fprintln(w, strings.Join(parts, ","))
+	}
+	return nil
+}
+
+// Sparkline renders a one-line trend for a series, handy for accuracy
+// curves in terminal output.
+func Sparkline(xs []float64) string {
+	if len(xs) == 0 {
+		return ""
+	}
+	ticks := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	var sb strings.Builder
+	for _, x := range xs {
+		idx := 0
+		if hi > lo {
+			idx = int((x - lo) / (hi - lo) * float64(len(ticks)-1))
+		}
+		if idx >= len(ticks) {
+			idx = len(ticks) - 1
+		}
+		sb.WriteRune(ticks[idx])
+	}
+	return sb.String()
+}
+
+// DotPlot renders the Figure 7 class-distribution plot: one row per class,
+// one column per node, dot size by sample count.
+func DotPlot(w io.Writer, title string, counts [][]int) {
+	// counts[node][class]
+	if len(counts) == 0 {
+		return
+	}
+	fmt.Fprintln(w, title)
+	classes := len(counts[0])
+	maxC := 1
+	for _, row := range counts {
+		for _, c := range row {
+			if c > maxC {
+				maxC = c
+			}
+		}
+	}
+	glyphs := []string{" ", "·", "•", "⬤"}
+	fmt.Fprint(w, "class\\node ")
+	for n := range counts {
+		fmt.Fprintf(w, "%2d ", n)
+	}
+	fmt.Fprintln(w)
+	for c := 0; c < classes; c++ {
+		fmt.Fprintf(w, "%10d ", c)
+		for n := range counts {
+			v := counts[n][c]
+			idx := 0
+			if v > 0 {
+				idx = 1 + int(float64(v)/float64(maxC)*2.99)
+				if idx > 3 {
+					idx = 3
+				}
+			}
+			fmt.Fprintf(w, "%2s ", glyphs[idx])
+		}
+		fmt.Fprintln(w)
+	}
+}

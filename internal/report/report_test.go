@@ -1,0 +1,132 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Results", "Algo", "Acc")
+	tb.AddRow("D-PSGD", "57.55")
+	tb.AddRow("SkipTrain", "65.09")
+	out := tb.String()
+	if !strings.Contains(out, "Results") || !strings.Contains(out, "SkipTrain") {
+		t.Fatalf("table output missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestTableAddRowf(t *testing.T) {
+	tb := NewTable("", "A", "B")
+	tb.AddRowf("%.2f|%d", 1.234, 7)
+	out := tb.String()
+	if !strings.Contains(out, "1.23") || !strings.Contains(out, "7") {
+		t.Fatalf("AddRowf output:\n%s", out)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := NewTable("", "A", "B")
+	tb.AddRow("only-one")
+	tb.AddRow("x", "y", "excess-dropped")
+	out := tb.String()
+	if strings.Contains(out, "excess") {
+		t.Fatal("excess cell should be dropped")
+	}
+}
+
+func TestHeatmapRender(t *testing.T) {
+	h := &Heatmap{
+		Title:    "Validation accuracy [%]",
+		RowLabel: "Γs", ColLabel: "Γt",
+		RowNames:       []string{"1", "2"},
+		ColNames:       []string{"1", "2"},
+		Cells:          [][]float64{{59.7, 61.4}, {60.6, 64.1}},
+		HigherIsBetter: true,
+	}
+	out := h.String()
+	if !strings.Contains(out, "59.7") || !strings.Contains(out, "64.1") {
+		t.Fatalf("heatmap missing cells:\n%s", out)
+	}
+	// Best cell gets the darkest shade.
+	if !strings.Contains(out, "64.1█") {
+		t.Fatalf("best cell not darkest:\n%s", out)
+	}
+}
+
+func TestHeatmapLowerIsBetter(t *testing.T) {
+	h := &Heatmap{
+		RowNames: []string{"1"}, ColNames: []string{"1", "2"},
+		Cells:  [][]float64{{100, 900}},
+		Format: "%.0f",
+	}
+	out := h.String()
+	if !strings.Contains(out, "100█") {
+		t.Fatalf("lowest energy should be darkest:\n%s", out)
+	}
+}
+
+func TestHeatmapUniform(t *testing.T) {
+	h := &Heatmap{RowNames: []string{"1"}, ColNames: []string{"1"}, Cells: [][]float64{{5}}}
+	if out := h.String(); !strings.Contains(out, "5.0") {
+		t.Fatalf("uniform heatmap:\n%s", out)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	var sb strings.Builder
+	err := CSV(&sb, []string{"round", "acc"}, []float64{1, 2}, []float64{0.5, 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "round,acc\n1,0.5\n2,0.6\n"
+	if sb.String() != want {
+		t.Fatalf("CSV = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestCSVValidation(t *testing.T) {
+	var sb strings.Builder
+	if err := CSV(&sb, []string{"a"}, []float64{1}, []float64{2}); err == nil {
+		t.Fatal("mismatched header count should error")
+	}
+	if err := CSV(&sb, []string{"a", "b"}, []float64{1}, []float64{2, 3}); err == nil {
+		t.Fatal("ragged columns should error")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3})
+	if len([]rune(s)) != 4 {
+		t.Fatalf("sparkline length %d", len([]rune(s)))
+	}
+	if Sparkline(nil) != "" {
+		t.Fatal("empty sparkline should be empty")
+	}
+	flat := Sparkline([]float64{5, 5, 5})
+	if len([]rune(flat)) != 3 {
+		t.Fatal("flat sparkline wrong length")
+	}
+}
+
+func TestDotPlot(t *testing.T) {
+	var sb strings.Builder
+	DotPlot(&sb, "CIFAR-10", [][]int{{10, 0}, {0, 10}, {5, 5}})
+	out := sb.String()
+	if !strings.Contains(out, "CIFAR-10") || !strings.Contains(out, "⬤") {
+		t.Fatalf("dot plot:\n%s", out)
+	}
+	// Zero counts must render blank, not a dot.
+	lines := strings.Split(out, "\n")
+	if len(lines) < 3 {
+		t.Fatal("dot plot too short")
+	}
+	var empty strings.Builder
+	DotPlot(&empty, "x", nil)
+	if empty.String() != "" {
+		t.Fatal("empty dot plot should render nothing")
+	}
+}

@@ -1,0 +1,153 @@
+// Package rng provides a small, deterministic, splittable pseudo-random
+// number generator used by every stochastic component of the simulator.
+//
+// Determinism across goroutine interleavings is a hard requirement for the
+// reproduction: every node derives an independent stream from the experiment
+// seed and its node ID, so results are bit-identical no matter how the
+// scheduler interleaves node goroutines. The generator is xoshiro256**
+// seeded through splitmix64, following the reference constructions of
+// Blackman and Vigna.
+package rng
+
+import "math"
+
+// RNG is a xoshiro256** generator. The zero value is not usable; construct
+// with New or Derive.
+type RNG struct {
+	s0, s1, s2, s3 uint64
+	// cached second normal variate from the Box-Muller transform.
+	haveGauss bool
+	gauss     float64
+}
+
+// splitmix64 advances a splitmix64 state and returns the next output.
+// It is used for seeding so that closely related seeds (0, 1, 2, ...)
+// yield uncorrelated xoshiro states.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a generator seeded from the given seed.
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	r.s0 = splitmix64(&sm)
+	r.s1 = splitmix64(&sm)
+	r.s2 = splitmix64(&sm)
+	r.s3 = splitmix64(&sm)
+	return r
+}
+
+// Derive returns a new independent generator whose stream is a pure function
+// of the given seed and the parts. It is the mechanism behind per-node,
+// per-purpose streams: Derive(seed, nodeID, streamTag).
+func Derive(seed uint64, parts ...uint64) *RNG {
+	sm := seed
+	acc := splitmix64(&sm)
+	for _, p := range parts {
+		sm ^= p * 0x9e3779b97f4a7c15
+		acc ^= splitmix64(&sm)
+	}
+	return New(acc)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s1*5, 7) * 9
+	t := r.s1 << 17
+	r.s2 ^= r.s0
+	r.s3 ^= r.s1
+	r.s1 ^= r.s2
+	r.s0 ^= r.s3
+	r.s2 ^= t
+	r.s3 = rotl(r.s3, 45)
+	return result
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded generation with rejection to
+	// remove modulo bias.
+	bound := uint64(n)
+	for {
+		v := r.Uint64()
+		hi, lo := mul64(v, bound)
+		if lo >= bound || lo >= (-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 0xffffffff
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+	t := aLo * bLo
+	lo = t & mask
+	c := t >> 32
+	t = aHi*bLo + c
+	tLo, tHi := t&mask, t>>32
+	t = aLo*bHi + tLo
+	lo |= t << 32
+	hi = aHi*bHi + tHi + t>>32
+	return hi, lo
+}
+
+// NormFloat64 returns a standard normal variate using the Box-Muller
+// transform. Variates are produced in pairs; the second is cached.
+func (r *RNG) NormFloat64() float64 {
+	if r.haveGauss {
+		r.haveGauss = false
+		return r.gauss
+	}
+	var u, v float64
+	for {
+		u = r.Float64()
+		if u > 0 {
+			break
+		}
+	}
+	v = r.Float64()
+	mag := math.Sqrt(-2 * math.Log(u))
+	r.gauss = mag * math.Sin(2*math.Pi*v)
+	r.haveGauss = true
+	return mag * math.Cos(2*math.Pi*v)
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle performs a Fisher-Yates shuffle of n elements using swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Bernoulli returns true with probability p.
+func (r *RNG) Bernoulli(p float64) bool {
+	return r.Float64() < p
+}

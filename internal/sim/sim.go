@@ -1,0 +1,460 @@
+// Package sim is the round-synchronous decentralized-learning engine: the
+// Go counterpart of the DecentralizePy deployment the paper runs on.
+//
+// Every node is simulated with its own model, its own data partition, its
+// own RNG streams, and a real transport endpoint. A round executes in
+// barriered phases that mirror Algorithm 1/2:
+//
+//  1. local phase — nodes that participate train E local SGD steps;
+//  2. share phase — every node sends its half-step model x^{t-1/2} to all
+//     neighbors through the transport;
+//  3. aggregate phase — every node receives one model per neighbor and
+//     applies the W-weighted average;
+//  4. (optionally) evaluation on the shared test set.
+//
+// Phases are fanned out across GOMAXPROCS workers, but all stochastic
+// state is per-node, so results are bit-identical regardless of
+// parallelism or transport.
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/energy"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+	"repro/internal/transport"
+)
+
+// Config describes one experiment run.
+type Config struct {
+	Graph   *graph.Graph
+	Weights *graph.Weights
+	Algo    core.Algorithm
+	Rounds  int
+
+	// Model and training hyperparameters (Table 1).
+	ModelFactory func(node int, r *rng.RNG) *nn.Network
+	LR           float64
+	BatchSize    int
+	LocalSteps   int
+
+	// Data.
+	Partition dataset.Partition
+	Test      *dataset.Dataset
+
+	// Evaluation cadence: evaluate after every EvalEvery rounds (and always
+	// after the final round). 0 means final-round only. EvalSubsample
+	// bounds the number of test samples per evaluation (0 = all).
+	EvalEvery     int
+	EvalSubsample int
+	// EvalGlobalModel also evaluates the average of all node models (the
+	// all-reduce consensus model of Figure 1).
+	EvalGlobalModel bool
+	// TrackConsensus records the consensus distance every evaluation.
+	TrackConsensus bool
+
+	// Energy model: per-node devices (use energy.AssignDevices) and the
+	// per-round workload. Both optional; when absent energy is not tracked.
+	Devices  []energy.Device
+	Workload energy.Workload
+
+	// Network is the transport to use; nil selects an in-process channel
+	// network sized for the topology.
+	Network transport.Network
+
+	Seed uint64
+}
+
+func (c *Config) validate() error {
+	switch {
+	case c.Graph == nil:
+		return fmt.Errorf("sim: nil graph")
+	case c.Weights == nil:
+		return fmt.Errorf("sim: nil weights")
+	case c.Rounds < 1:
+		return fmt.Errorf("sim: need >= 1 round, got %d", c.Rounds)
+	case c.ModelFactory == nil:
+		return fmt.Errorf("sim: nil model factory")
+	case c.LR <= 0:
+		return fmt.Errorf("sim: non-positive learning rate %v", c.LR)
+	case c.BatchSize < 1 || c.LocalSteps < 1:
+		return fmt.Errorf("sim: bad batch/steps %d/%d", c.BatchSize, c.LocalSteps)
+	case len(c.Partition) != c.Graph.N:
+		return fmt.Errorf("sim: partition for %d nodes, graph has %d", len(c.Partition), c.Graph.N)
+	case c.Test == nil || c.Test.Len() == 0:
+		return fmt.Errorf("sim: empty test set")
+	case c.Algo.Schedule == nil || c.Algo.Policy == nil:
+		return fmt.Errorf("sim: incomplete algorithm")
+	}
+	for i, p := range c.Partition {
+		if p.Len() == 0 {
+			return fmt.Errorf("sim: node %d has empty partition", i)
+		}
+	}
+	if c.Devices != nil {
+		if len(c.Devices) != c.Graph.N {
+			return fmt.Errorf("sim: %d devices for %d nodes (use energy.AssignDevices)", len(c.Devices), c.Graph.N)
+		}
+		if err := c.Workload.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RoundMetrics records one round of the run. Accuracy fields are only
+// meaningful when Evaluated is true.
+type RoundMetrics struct {
+	Round        int
+	Kind         core.RoundKind
+	TrainedCount int
+	Evaluated    bool
+	MeanAcc      float64 // mean Top-1 accuracy across nodes
+	StdAcc       float64 // std of Top-1 accuracy across nodes (Fig. 4 shadow)
+	GlobalAcc    float64 // accuracy of the averaged model (Fig. 1)
+	Consensus    float64 // mean L2 distance to the mean model
+	CumTrainWh   float64 // cumulative network training energy (Eq. 3)
+	CumCommWh    float64 // cumulative sharing/aggregation energy
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	History []RoundMetrics
+	// Final values (from the last evaluation).
+	FinalMeanAcc, FinalStdAcc, FinalGlobalAcc float64
+	// FinalNodeAccs holds each node's accuracy at the last evaluation,
+	// enabling the fairness analyses of the paper's Section 5.1.
+	FinalNodeAccs []float64
+	// FinalGlobalParams is the average of all node models after the last
+	// round when EvalGlobalModel or TrackConsensus is set (nil otherwise).
+	// It is the deployable consensus model; save it with nn.SaveParams.
+	FinalGlobalParams tensor.Vector
+	// Energy totals.
+	TotalTrainWh, TotalCommWh float64
+	// TrainedRounds counts how many rounds each node actually trained.
+	TrainedRounds []int
+}
+
+// Evaluations returns only the evaluated rounds of the history.
+func (r *Result) Evaluations() []RoundMetrics {
+	var out []RoundMetrics
+	for _, m := range r.History {
+		if m.Evaluated {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+type nodeState struct {
+	id      int
+	net     *nn.Network
+	batcher *dataset.Batcher
+	policy  *rng.RNG
+	half    tensor.Vector // x^{t-1/2}, the shared model
+	agg     tensor.Vector // aggregation buffer
+	ep      transport.Endpoint
+	inbox   map[int]tensor.Vector // neighbor -> model, refilled per round
+	trained int
+	err     error
+}
+
+// Run executes the experiment.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.Graph.N
+
+	net := cfg.Network
+	if net == nil {
+		maxDeg := 0
+		for i := 0; i < n; i++ {
+			if d := cfg.Graph.Degree(i); d > maxDeg {
+				maxDeg = d
+			}
+		}
+		var err error
+		net, err = transport.NewLocal(n, 2*maxDeg+4)
+		if err != nil {
+			return nil, err
+		}
+		defer net.Close()
+	}
+
+	nodes := make([]*nodeState, n)
+	var paramCount int
+	for i := 0; i < n; i++ {
+		model := cfg.ModelFactory(i, rng.Derive(cfg.Seed, uint64(i), 0x1417))
+		if i == 0 {
+			paramCount = model.ParamCount()
+		} else if model.ParamCount() != paramCount {
+			return nil, fmt.Errorf("sim: node %d model has %d params, node 0 has %d", i, model.ParamCount(), paramCount)
+		}
+		ep, err := net.Endpoint(i)
+		if err != nil {
+			return nil, err
+		}
+		nodes[i] = &nodeState{
+			id:      i,
+			net:     model,
+			batcher: dataset.NewBatcher(cfg.Partition[i], rng.Derive(cfg.Seed, uint64(i), 0xba7c4)),
+			policy:  rng.Derive(cfg.Seed, uint64(i), 0x90a1c),
+			half:    tensor.NewVector(model.ParamCount()),
+			agg:     tensor.NewVector(model.ParamCount()),
+			ep:      ep,
+			inbox:   make(map[int]tensor.Vector, cfg.Graph.Degree(i)),
+		}
+	}
+
+	acct := energy.NewAccountant(n)
+	evaluator := newEvaluator(&cfg, paramCount)
+	result := &Result{TrainedRounds: make([]int, n)}
+
+	for t := 0; t < cfg.Rounds; t++ {
+		kind := cfg.Algo.Schedule.Kind(t)
+		m := RoundMetrics{Round: t, Kind: kind}
+
+		// Phase 1: local training.
+		parallelFor(n, func(i int) {
+			nd := nodes[i]
+			if kind == core.RoundTrain && cfg.Algo.Policy.Participate(i, t, nd.policy) {
+				for e := 0; e < cfg.LocalSteps; e++ {
+					xs, ys := nd.batcher.Next(cfg.BatchSize)
+					nd.net.TrainBatch(xs, ys, cfg.LR)
+				}
+				nd.trained++
+				if cfg.Devices != nil {
+					acct.AddTraining(i, t, cfg.Devices[i].TrainRoundWh(cfg.Workload))
+				}
+			}
+			nd.net.CopyParamsTo(nd.half)
+		})
+		for i := range nodes {
+			m.TrainedCount += boolToInt(nodes[i].trained > result.TrainedRounds[i])
+			result.TrainedRounds[i] = nodes[i].trained
+		}
+
+		// Phases 2-3: share and aggregate.
+		switch cfg.Algo.Aggregation {
+		case core.AggGlobal:
+			// Hypothetical all-reduce (Figure 1): global average of all
+			// half-step models, applied everywhere.
+			mean := tensor.NewVector(paramCount)
+			halves := make([]tensor.Vector, n)
+			for i, nd := range nodes {
+				halves[i] = nd.half
+			}
+			tensor.MeanVectorTo(mean, halves)
+			parallelFor(n, func(i int) {
+				copy(nodes[i].agg, mean)
+				nodes[i].net.SetParams(nodes[i].agg)
+			})
+		default:
+			// Phase 2: all sends complete before any receive (inboxes are
+			// buffered beyond the per-round in-flight maximum, so sends
+			// never block and the receive phase cannot deadlock).
+			parallelFor(n, func(i int) {
+				nd := nodes[i]
+				for _, j := range cfg.Graph.Adj[i] {
+					if err := nd.ep.Send(j, transport.Message{Round: t, Kind: transport.KindModel, Vec: nd.half}); err != nil {
+						nd.err = err
+						return
+					}
+				}
+			})
+			if err := firstError(nodes); err != nil {
+				return nil, err
+			}
+			// Phase 3: receive exactly one model per neighbor, then apply
+			// the W-row average (Algorithm 1, line 8).
+			parallelFor(n, func(i int) {
+				nd := nodes[i]
+				deg := cfg.Graph.Degree(i)
+				for k := 0; k < deg; k++ {
+					msg, err := nd.ep.Recv()
+					if err != nil {
+						nd.err = err
+						return
+					}
+					if msg.Round != t {
+						nd.err = fmt.Errorf("sim: node %d got round %d message in round %d", i, msg.Round, t)
+						return
+					}
+					if _, dup := nd.inbox[msg.From]; dup {
+						nd.err = fmt.Errorf("sim: node %d got duplicate message from %d", i, msg.From)
+						return
+					}
+					nd.inbox[msg.From] = msg.Vec
+				}
+				tensor.ScaleTo(nd.agg, cfg.Weights.Self[i], nd.half)
+				for k, j := range cfg.Graph.Adj[i] {
+					vec, ok := nd.inbox[j]
+					if !ok {
+						nd.err = fmt.Errorf("sim: node %d missing model from neighbor %d", i, j)
+						return
+					}
+					tensor.AXPY(nd.agg, cfg.Weights.Nbr[i][k], vec)
+					delete(nd.inbox, j)
+				}
+				nd.net.SetParams(nd.agg)
+			})
+			if err := firstError(nodes); err != nil {
+				return nil, err
+			}
+		}
+		if cfg.Devices != nil {
+			for i := 0; i < n; i++ {
+				acct.AddCommunication(i, cfg.Devices[i].TrainRoundWh(cfg.Workload)*energy.CommShareOfTraining)
+			}
+		}
+
+		// Phase 4: evaluation.
+		if shouldEval(t, cfg.Rounds, cfg.EvalEvery) {
+			nodeAccs := evaluator.evaluate(nodes, t, &m)
+			m.Evaluated = true
+			result.FinalMeanAcc, result.FinalStdAcc, result.FinalGlobalAcc = m.MeanAcc, m.StdAcc, m.GlobalAcc
+			result.FinalNodeAccs = nodeAccs
+		}
+		m.CumTrainWh = acct.TotalTrainingWh()
+		m.CumCommWh = acct.TotalCommunicationWh()
+		result.History = append(result.History, m)
+	}
+	result.TotalTrainWh = acct.TotalTrainingWh()
+	result.TotalCommWh = acct.TotalCommunicationWh()
+	if evaluator.globalVec != nil {
+		models := make([]tensor.Vector, n)
+		for i, nd := range nodes {
+			models[i] = nd.agg
+		}
+		result.FinalGlobalParams = tensor.NewVector(paramCount)
+		tensor.MeanVectorTo(result.FinalGlobalParams, models)
+	}
+	return result, nil
+}
+
+func shouldEval(t, rounds, every int) bool {
+	if t == rounds-1 {
+		return true
+	}
+	if every <= 0 {
+		return false
+	}
+	return (t+1)%every == 0
+}
+
+func firstError(nodes []*nodeState) error {
+	for _, nd := range nodes {
+		if nd.err != nil {
+			return nd.err
+		}
+	}
+	return nil
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// parallelFor runs fn(0..n-1) across GOMAXPROCS workers and waits.
+func parallelFor(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// evaluator owns the shared test subset and the scratch network used to
+// score the global average model.
+type evaluator struct {
+	cfg       *Config
+	globalNet *nn.Network
+	globalVec tensor.Vector
+	evalRNG   *rng.RNG
+}
+
+func newEvaluator(cfg *Config, paramCount int) *evaluator {
+	ev := &evaluator{cfg: cfg, evalRNG: rng.Derive(cfg.Seed, 0xe7a1)}
+	if cfg.EvalGlobalModel || cfg.TrackConsensus {
+		ev.globalVec = tensor.NewVector(paramCount)
+	}
+	if cfg.EvalGlobalModel {
+		ev.globalNet = cfg.ModelFactory(-1, rng.Derive(cfg.Seed, 0xe7a1, 1))
+	}
+	return ev
+}
+
+// subset picks the evaluation samples for this round: the full test set, or
+// a deterministic subsample shared by all nodes.
+func (ev *evaluator) subset() ([]tensor.Vector, []int) {
+	test := ev.cfg.Test
+	if ev.cfg.EvalSubsample <= 0 || ev.cfg.EvalSubsample >= test.Len() {
+		return test.Inputs(), test.Labels()
+	}
+	idx := ev.evalRNG.Perm(test.Len())[:ev.cfg.EvalSubsample]
+	xs := make([]tensor.Vector, len(idx))
+	ys := make([]int, len(idx))
+	for i, j := range idx {
+		xs[i] = test.Samples[j].X
+		ys[i] = test.Samples[j].Y
+	}
+	return xs, ys
+}
+
+func (ev *evaluator) evaluate(nodes []*nodeState, round int, m *RoundMetrics) []float64 {
+	xs, ys := ev.subset()
+	accs := make([]float64, len(nodes))
+	parallelFor(len(nodes), func(i int) {
+		accs[i] = nodes[i].net.Accuracy(xs, ys)
+	})
+	m.MeanAcc, m.StdAcc = metrics.MeanStd(accs)
+	if ev.globalVec != nil {
+		models := make([]tensor.Vector, len(nodes))
+		for i, nd := range nodes {
+			// nd.agg holds the post-aggregation model of this round.
+			models[i] = nd.agg
+		}
+		tensor.MeanVectorTo(ev.globalVec, models)
+		if ev.cfg.TrackConsensus {
+			m.Consensus = metrics.ConsensusDistance(models)
+		}
+		if ev.globalNet != nil {
+			ev.globalNet.SetParams(ev.globalVec)
+			m.GlobalAcc = ev.globalNet.Accuracy(xs, ys)
+		}
+	}
+	return accs
+}

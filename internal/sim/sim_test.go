@@ -1,0 +1,498 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/energy"
+	"repro/internal/graph"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/transport"
+)
+
+// testConfig builds a small but non-trivial experiment: 8 nodes on a
+// 4-regular graph, logistic regression on a 6-class synthetic task with a
+// 2-shard non-IID partition.
+func testConfig(t *testing.T, seed uint64) Config {
+	t.Helper()
+	g, err := graph.Regular(8, 4, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := dataset.SyntheticConfig{Classes: 6, Dim: 8, Train: 480, Test: 120, Noise: 0.8, Seed: seed}
+	train, test, err := dataset.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := dataset.ShardPartition(train, 8, 2, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Graph:   g,
+		Weights: graph.Metropolis(g),
+		Algo:    core.DPSGD(),
+		Rounds:  12,
+		ModelFactory: func(node int, r *rng.RNG) *nn.Network {
+			return nn.LogisticRegression(8, 6, r)
+		},
+		LR:         0.05,
+		BatchSize:  16,
+		LocalSteps: 3,
+		Partition:  part,
+		Test:       test,
+		EvalEvery:  4,
+		Seed:       seed,
+	}
+}
+
+func TestRunDPSGDImprovesAccuracy(t *testing.T) {
+	cfg := testConfig(t, 1)
+	cfg.Rounds = 30
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalMeanAcc < 0.4 {
+		t.Fatalf("final accuracy %.3f; model did not learn (chance = 0.167)", res.FinalMeanAcc)
+	}
+	if len(res.History) != 30 {
+		t.Fatalf("history has %d rounds", len(res.History))
+	}
+	// Every node trained every round under D-PSGD.
+	for i, tr := range res.TrainedRounds {
+		if tr != 30 {
+			t.Fatalf("node %d trained %d/30 rounds under D-PSGD", i, tr)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	r1, err := Run(testConfig(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(testConfig(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.History {
+		a, b := r1.History[i], r2.History[i]
+		if a.MeanAcc != b.MeanAcc || a.StdAcc != b.StdAcc || a.TrainedCount != b.TrainedCount {
+			t.Fatalf("round %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestRunSeedsDiffer(t *testing.T) {
+	r1, _ := Run(testConfig(t, 3))
+	r2, _ := Run(testConfig(t, 4))
+	if r1.FinalMeanAcc == r2.FinalMeanAcc && r1.History[0].MeanAcc == r2.History[0].MeanAcc {
+		t.Fatal("different seeds gave identical trajectories")
+	}
+}
+
+func TestRunTCPMatchesLocal(t *testing.T) {
+	// The same experiment over real TCP sockets must produce bit-identical
+	// results to the channel transport: the engine is transport-agnostic
+	// and fully deterministic.
+	cfgLocal := testConfig(t, 5)
+	cfgLocal.Rounds = 6
+	resLocal, err := Run(cfgLocal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgTCP := testConfig(t, 5)
+	cfgTCP.Rounds = 6
+	tcpNet, err := transport.NewTCP(cfgTCP.Graph.N, "127.0.0.1", 64)
+	if err != nil {
+		t.Skipf("no localhost sockets: %v", err)
+	}
+	defer tcpNet.Close()
+	cfgTCP.Network = tcpNet
+	resTCP, err := Run(cfgTCP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range resLocal.History {
+		if resLocal.History[i].MeanAcc != resTCP.History[i].MeanAcc {
+			t.Fatalf("round %d: local %.6f != tcp %.6f", i,
+				resLocal.History[i].MeanAcc, resTCP.History[i].MeanAcc)
+		}
+	}
+}
+
+func TestSkipTrainSchedulingAndEnergy(t *testing.T) {
+	gamma, _ := core.NewGamma(1, 1)
+	cfg := testConfig(t, 6)
+	cfg.Rounds = 10
+	cfg.Algo = core.SkipTrain(gamma)
+	cfg.Devices = energy.AssignDevices(8, energy.Devices())
+	cfg.Workload = energy.CIFAR10Workload()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 of 10 rounds train -> each node trained 5 rounds.
+	for i, tr := range res.TrainedRounds {
+		if tr != 5 {
+			t.Fatalf("node %d trained %d rounds, want 5", i, tr)
+		}
+	}
+	// Energy must be exactly half of the D-PSGD run.
+	cfgD := testConfig(t, 6)
+	cfgD.Rounds = 10
+	cfgD.Devices = energy.AssignDevices(8, energy.Devices())
+	cfgD.Workload = energy.CIFAR10Workload()
+	resD, err := Run(cfgD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.TotalTrainWh-resD.TotalTrainWh/2) > 1e-9 {
+		t.Fatalf("SkipTrain(1,1) energy %.6f, want half of D-PSGD's %.6f",
+			res.TotalTrainWh, resD.TotalTrainWh)
+	}
+	// Communication happens every round for both.
+	if math.Abs(res.TotalCommWh-resD.TotalCommWh) > 1e-9 {
+		t.Fatalf("comm energy should match: %.6f vs %.6f", res.TotalCommWh, resD.TotalCommWh)
+	}
+}
+
+func TestRoundKindsRecorded(t *testing.T) {
+	gamma, _ := core.NewGamma(2, 1)
+	cfg := testConfig(t, 7)
+	cfg.Rounds = 6
+	cfg.Algo = core.SkipTrain(gamma)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []core.RoundKind{core.RoundTrain, core.RoundTrain, core.RoundSync,
+		core.RoundTrain, core.RoundTrain, core.RoundSync}
+	for i, k := range want {
+		if res.History[i].Kind != k {
+			t.Fatalf("round %d kind = %v, want %v", i, res.History[i].Kind, k)
+		}
+		wantCount := 8
+		if k == core.RoundSync {
+			wantCount = 0
+		}
+		if res.History[i].TrainedCount != wantCount {
+			t.Fatalf("round %d trained %d nodes, want %d", i, res.History[i].TrainedCount, wantCount)
+		}
+	}
+}
+
+func TestGreedyBudgetExhaustion(t *testing.T) {
+	cfg := testConfig(t, 8)
+	cfg.Rounds = 10
+	budget := energy.NewBudget([]int{3, 3, 3, 3, 0, 5, 100, 3})
+	cfg.Algo = core.Greedy(budget)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{3, 3, 3, 3, 0, 5, 10, 3} // clamped at rounds
+	for i, w := range want {
+		if res.TrainedRounds[i] != w {
+			t.Fatalf("node %d trained %d rounds, want %d", i, res.TrainedRounds[i], w)
+		}
+	}
+}
+
+func TestConstrainedRespectsBudgets(t *testing.T) {
+	gamma, _ := core.NewGamma(1, 1)
+	cfg := testConfig(t, 9)
+	cfg.Rounds = 20 // T_train = 10
+	budgets := []int{2, 4, 6, 8, 10, 12, 1, 0}
+	budget := energy.NewBudget(budgets)
+	cfg.Algo = core.SkipTrainConstrained(gamma, cfg.Rounds, budget, 8)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range budgets {
+		if res.TrainedRounds[i] > b {
+			t.Fatalf("node %d trained %d rounds, budget %d", i, res.TrainedRounds[i], b)
+		}
+	}
+	// Node with budget >= T_train has p=1: trains all 10 coordinated rounds.
+	if res.TrainedRounds[4] != 10 || res.TrainedRounds[5] != 10 {
+		t.Fatalf("unconstrained-equivalent nodes trained %d/%d, want 10/10",
+			res.TrainedRounds[4], res.TrainedRounds[5])
+	}
+	// Node with zero budget never trains.
+	if res.TrainedRounds[7] != 0 {
+		t.Fatalf("zero-budget node trained %d rounds", res.TrainedRounds[7])
+	}
+}
+
+func TestSyncOnlyPreservesMeanAndContracts(t *testing.T) {
+	// With zero budgets nobody ever trains, so every round is effectively a
+	// synchronization round: the mean model must stay constant (W is doubly
+	// stochastic) and the consensus distance must shrink monotonically.
+	cfg := testConfig(t, 10)
+	cfg.Rounds = 15
+	cfg.Algo = core.Greedy(energy.NewBudget(make([]int, 8)))
+	cfg.EvalEvery = 1
+	cfg.EvalGlobalModel = true
+	cfg.TrackConsensus = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evals := res.Evaluations()
+	if len(evals) != 15 {
+		t.Fatalf("want 15 evaluations, got %d", len(evals))
+	}
+	for i := 1; i < len(evals); i++ {
+		if evals[i].Consensus > evals[i-1].Consensus+1e-12 {
+			t.Fatalf("consensus distance grew at round %d: %v -> %v",
+				i, evals[i-1].Consensus, evals[i].Consensus)
+		}
+	}
+	// By the end all models agree: node-accuracy spread collapses.
+	last := evals[len(evals)-1]
+	if last.Consensus > evals[0].Consensus*0.5 {
+		t.Fatalf("consensus distance barely shrank: %v -> %v", evals[0].Consensus, last.Consensus)
+	}
+	// Global model accuracy equals mean node accuracy as models converge.
+	if math.Abs(last.GlobalAcc-last.MeanAcc) > 0.08 {
+		t.Fatalf("global %.3f vs mean %.3f at consensus", last.GlobalAcc, last.MeanAcc)
+	}
+}
+
+func TestAllReduceCollapsesVariance(t *testing.T) {
+	cfg := testConfig(t, 11)
+	cfg.Rounds = 8
+	cfg.Algo = core.AllReduce()
+	cfg.EvalEvery = 1
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After global averaging all nodes hold the same model: std accuracy 0
+	// (up to float rounding in the mean).
+	for _, m := range res.Evaluations() {
+		if m.StdAcc > 1e-9 {
+			t.Fatalf("round %d: all-reduce left accuracy std %v", m.Round, m.StdAcc)
+		}
+	}
+}
+
+func TestAllReduceBeatsDPSGDUnderNonIID(t *testing.T) {
+	// Figure 1's claim, at test scale: evaluating the all-reduced model
+	// gives higher accuracy than the average node accuracy of D-PSGD.
+	base := testConfig(t, 12)
+	base.Rounds = 25
+	dpsgd, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar := testConfig(t, 12)
+	ar.Rounds = 25
+	ar.Algo = core.AllReduce()
+	allreduce, err := Run(ar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allreduce.FinalMeanAcc < dpsgd.FinalMeanAcc-0.02 {
+		t.Fatalf("all-reduce %.3f should not lag D-PSGD %.3f under non-IID",
+			allreduce.FinalMeanAcc, dpsgd.FinalMeanAcc)
+	}
+}
+
+func TestEvalEverySemantics(t *testing.T) {
+	cfg := testConfig(t, 13)
+	cfg.Rounds = 10
+	cfg.EvalEvery = 3
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rounds []int
+	for _, m := range res.Evaluations() {
+		rounds = append(rounds, m.Round)
+	}
+	want := []int{2, 5, 8, 9} // after rounds 3,6,9 (0-based 2,5,8) and final
+	if len(rounds) != len(want) {
+		t.Fatalf("evaluated rounds %v, want %v", rounds, want)
+	}
+	for i := range want {
+		if rounds[i] != want[i] {
+			t.Fatalf("evaluated rounds %v, want %v", rounds, want)
+		}
+	}
+	// EvalEvery=0: final only.
+	cfg2 := testConfig(t, 13)
+	cfg2.EvalEvery = 0
+	res2, _ := Run(cfg2)
+	if len(res2.Evaluations()) != 1 || res2.Evaluations()[0].Round != cfg2.Rounds-1 {
+		t.Fatal("EvalEvery=0 should evaluate only the final round")
+	}
+}
+
+func TestEvalSubsample(t *testing.T) {
+	cfg := testConfig(t, 14)
+	cfg.EvalSubsample = 10
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	mutations := map[string]func(*Config){
+		"nil graph":    func(c *Config) { c.Graph = nil },
+		"nil weights":  func(c *Config) { c.Weights = nil },
+		"zero rounds":  func(c *Config) { c.Rounds = 0 },
+		"nil factory":  func(c *Config) { c.ModelFactory = nil },
+		"zero lr":      func(c *Config) { c.LR = 0 },
+		"bad batch":    func(c *Config) { c.BatchSize = 0 },
+		"bad steps":    func(c *Config) { c.LocalSteps = 0 },
+		"nil test":     func(c *Config) { c.Test = nil },
+		"short part":   func(c *Config) { c.Partition = c.Partition[:4] },
+		"bad devices":  func(c *Config) { c.Devices = energy.Devices() },
+		"nil schedule": func(c *Config) { c.Algo.Schedule = nil },
+	}
+	for name, mutate := range mutations {
+		cfg := testConfig(t, 15)
+		mutate(&cfg)
+		if _, err := Run(cfg); err == nil {
+			t.Fatalf("%s: want validation error", name)
+		}
+	}
+}
+
+func TestCumulativeEnergyMonotone(t *testing.T) {
+	cfg := testConfig(t, 16)
+	cfg.Devices = energy.AssignDevices(8, energy.Devices())
+	cfg.Workload = energy.CIFAR10Workload()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.History); i++ {
+		if res.History[i].CumTrainWh < res.History[i-1].CumTrainWh {
+			t.Fatal("cumulative training energy decreased")
+		}
+		if res.History[i].CumCommWh < res.History[i-1].CumCommWh {
+			t.Fatal("cumulative comm energy decreased")
+		}
+	}
+	if res.TotalCommWh <= 0 || res.TotalTrainWh <= 0 {
+		t.Fatal("energy totals missing")
+	}
+	// Training dominates communication by design (paper: >200x per round,
+	// here 12 rounds so ratio is 216).
+	if res.TotalTrainWh/res.TotalCommWh < 100 {
+		t.Fatalf("train/comm ratio %.1f too small", res.TotalTrainWh/res.TotalCommWh)
+	}
+}
+
+func TestMixedModelArchitecturesRejected(t *testing.T) {
+	cfg := testConfig(t, 17)
+	cfg.ModelFactory = func(node int, r *rng.RNG) *nn.Network {
+		if node == 3 {
+			return nn.LogisticRegression(8, 5, r) // wrong class count
+		}
+		return nn.LogisticRegression(8, 6, r)
+	}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("heterogeneous parameter counts must be rejected")
+	}
+}
+
+func TestParallelFor(t *testing.T) {
+	out := make([]int, 100)
+	parallelFor(100, func(i int) { out[i] = i * i })
+	for i := range out {
+		if out[i] != i*i {
+			t.Fatalf("parallelFor missed index %d", i)
+		}
+	}
+	parallelFor(0, func(int) { t.Fatal("must not call fn for n=0") })
+}
+
+func TestMeanModelPreservationProperty(t *testing.T) {
+	// Engine-level invariant: on sync-only rounds the average of all model
+	// vectors is invariant (doubly stochastic W). Verified through the
+	// consensus machinery: run 1 sync round, global model accuracy must be
+	// identical to a 5-sync-round run's (same mean model).
+	run := func(rounds int) float64 {
+		cfg := testConfig(t, 18)
+		cfg.Rounds = rounds
+		cfg.Algo = core.Greedy(energy.NewBudget(make([]int, 8)))
+		cfg.EvalGlobalModel = true
+		cfg.EvalEvery = 0
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.FinalGlobalAcc
+	}
+	if a, b := run(1), run(5); a != b {
+		t.Fatalf("mean model changed across sync rounds: %.6f vs %.6f", a, b)
+	}
+}
+
+func TestHalfStepVectorIsolation(t *testing.T) {
+	// Mutating a received vector must not corrupt the sender (transport
+	// copies). Detected indirectly: two identical runs where one evaluates
+	// every round (extra reads) must match exactly.
+	cfg1 := testConfig(t, 19)
+	cfg1.EvalEvery = 1
+	r1, err := Run(cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := testConfig(t, 19)
+	cfg2.EvalEvery = 0
+	r2, err := Run(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.FinalMeanAcc != r2.FinalMeanAcc {
+		t.Fatalf("evaluation cadence changed training: %.6f vs %.6f",
+			r1.FinalMeanAcc, r2.FinalMeanAcc)
+	}
+}
+
+func TestFinalNodeAccsExposed(t *testing.T) {
+	cfg := testConfig(t, 20)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FinalNodeAccs) != 8 {
+		t.Fatalf("FinalNodeAccs has %d entries", len(res.FinalNodeAccs))
+	}
+	mean := 0.0
+	for _, a := range res.FinalNodeAccs {
+		if a < 0 || a > 1 {
+			t.Fatalf("accuracy out of range: %v", a)
+		}
+		mean += a
+	}
+	mean /= 8
+	if math.Abs(mean-res.FinalMeanAcc) > 1e-12 {
+		t.Fatalf("per-node accuracies mean %v != reported %v", mean, res.FinalMeanAcc)
+	}
+}
+
+func TestTransportFailureSurfaces(t *testing.T) {
+	// A failing transport must abort the run with an error — never hang or
+	// deliver partial rounds.
+	cfg := testConfig(t, 21)
+	inner, err := transport.NewLocal(8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Network = &transport.Flaky{Inner: inner, FailEvery: 50}
+	_, err = Run(cfg)
+	if err == nil {
+		t.Fatal("injected transport failure did not surface")
+	}
+}

@@ -1,0 +1,329 @@
+// Package tensor implements the dense float64 vector and matrix kernels the
+// learning stack is built on. It is deliberately small: decentralized
+// learning needs vector arithmetic for model mixing (weighted averaging of
+// flat parameter vectors) and matrix-vector products for dense layers.
+//
+// All kernels are allocation-free when given destination slices, so the hot
+// training loop produces no garbage. Parallel variants split work across
+// goroutines for the large vectors that appear when mixing whole models.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Vector is a dense float64 vector.
+type Vector []float64
+
+// NewVector returns a zero vector of length n.
+func NewVector(n int) Vector { return make(Vector, n) }
+
+// Clone returns a copy of v.
+func (v Vector) Clone() Vector {
+	c := make(Vector, len(v))
+	copy(c, v)
+	return c
+}
+
+// Zero sets every element of v to 0.
+func (v Vector) Zero() {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// Fill sets every element of v to x.
+func (v Vector) Fill(x float64) {
+	for i := range v {
+		v[i] = x
+	}
+}
+
+// AddTo computes dst = a + b. The three slices must have equal length.
+func AddTo(dst, a, b Vector) {
+	checkLen3(len(dst), len(a), len(b))
+	for i := range dst {
+		dst[i] = a[i] + b[i]
+	}
+}
+
+// SubTo computes dst = a - b.
+func SubTo(dst, a, b Vector) {
+	checkLen3(len(dst), len(a), len(b))
+	for i := range dst {
+		dst[i] = a[i] - b[i]
+	}
+}
+
+// ScaleTo computes dst = s * a.
+func ScaleTo(dst Vector, s float64, a Vector) {
+	checkLen2(len(dst), len(a))
+	for i := range dst {
+		dst[i] = s * a[i]
+	}
+}
+
+// AXPY computes dst += alpha * x, the workhorse of both SGD updates and
+// weighted model aggregation.
+func AXPY(dst Vector, alpha float64, x Vector) {
+	checkLen2(len(dst), len(x))
+	for i, xv := range x {
+		dst[i] += alpha * xv
+	}
+}
+
+// Dot returns the inner product of a and b.
+func Dot(a, b Vector) float64 {
+	checkLen2(len(a), len(b))
+	s := 0.0
+	for i, av := range a {
+		s += av * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v Vector) float64 { return math.Sqrt(Dot(v, v)) }
+
+// Dist2 returns the Euclidean distance between a and b.
+func Dist2(a, b Vector) float64 {
+	checkLen2(len(a), len(b))
+	s := 0.0
+	for i, av := range a {
+		d := av - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Sum returns the sum of the elements of v.
+func Sum(v Vector) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of v, or 0 for an empty vector.
+func Mean(v Vector) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	return Sum(v) / float64(len(v))
+}
+
+// Std returns the population standard deviation of v.
+func Std(v Vector) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	m := Mean(v)
+	s := 0.0
+	for _, x := range v {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(v)))
+}
+
+// ArgMax returns the index of the largest element of v; ties resolve to the
+// lowest index. It panics on an empty vector.
+func ArgMax(v Vector) int {
+	if len(v) == 0 {
+		panic("tensor: ArgMax of empty vector")
+	}
+	best, bi := v[0], 0
+	for i := 1; i < len(v); i++ {
+		if v[i] > best {
+			best, bi = v[i], i
+		}
+	}
+	return bi
+}
+
+// WeightedSumTo computes dst = sum_k weights[k] * vecs[k]. All vectors must
+// share dst's length. This is the aggregation step of D-PSGD (Algorithm 1,
+// line 8): the new model is the W-weighted average of neighborhood models.
+func WeightedSumTo(dst Vector, weights []float64, vecs []Vector) {
+	if len(weights) != len(vecs) {
+		panic(fmt.Sprintf("tensor: %d weights for %d vectors", len(weights), len(vecs)))
+	}
+	dst.Zero()
+	for k, w := range weights {
+		AXPY(dst, w, vecs[k])
+	}
+}
+
+// MeanVectorTo computes dst = the element-wise mean of vecs, the all-reduce
+// consensus model. It panics when vecs is empty.
+func MeanVectorTo(dst Vector, vecs []Vector) {
+	if len(vecs) == 0 {
+		panic("tensor: mean of no vectors")
+	}
+	dst.Zero()
+	inv := 1.0 / float64(len(vecs))
+	for _, v := range vecs {
+		AXPY(dst, inv, v)
+	}
+}
+
+// parallelThreshold is the vector length below which parallel kernels fall
+// back to the serial path; goroutine fan-out only pays off for big models.
+const parallelThreshold = 1 << 14
+
+// ParallelAXPY computes dst += alpha * x using all available cores for
+// large vectors.
+func ParallelAXPY(dst Vector, alpha float64, x Vector) {
+	checkLen2(len(dst), len(x))
+	n := len(dst)
+	workers := runtime.GOMAXPROCS(0)
+	if n < parallelThreshold || workers < 2 {
+		AXPY(dst, alpha, x)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			d, s := dst[lo:hi], x[lo:hi]
+			for i, xv := range s {
+				d[i] += alpha * xv
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, row-major
+}
+
+// NewMatrix returns a zero Rows x Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("tensor: negative matrix dimension")
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view (not a copy) of row i.
+func (m *Matrix) Row(i int) Vector { return Vector(m.Data[i*m.Cols : (i+1)*m.Cols]) }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// MatVecTo computes dst = m * x (dst length Rows, x length Cols).
+func MatVecTo(dst Vector, m *Matrix, x Vector) {
+	if len(x) != m.Cols || len(dst) != m.Rows {
+		panic(fmt.Sprintf("tensor: MatVec shape mismatch: (%dx%d) * %d -> %d",
+			m.Rows, m.Cols, len(x), len(dst)))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		s := 0.0
+		for j, w := range row {
+			s += w * x[j]
+		}
+		dst[i] = s
+	}
+}
+
+// MatTVecTo computes dst = m^T * x (dst length Cols, x length Rows).
+func MatTVecTo(dst Vector, m *Matrix, x Vector) {
+	if len(x) != m.Rows || len(dst) != m.Cols {
+		panic(fmt.Sprintf("tensor: MatTVec shape mismatch: (%dx%d)^T * %d -> %d",
+			m.Rows, m.Cols, len(x), len(dst)))
+	}
+	dst.Zero()
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		for j, w := range row {
+			dst[j] += w * xi
+		}
+	}
+}
+
+// OuterAcc accumulates m += a * b^T (a length Rows, b length Cols), used for
+// dense-layer weight gradients.
+func OuterAcc(m *Matrix, a, b Vector) {
+	if len(a) != m.Rows || len(b) != m.Cols {
+		panic(fmt.Sprintf("tensor: Outer shape mismatch: %d x %d into (%dx%d)",
+			len(a), len(b), m.Rows, m.Cols))
+	}
+	for i, av := range a {
+		if av == 0 {
+			continue
+		}
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, bv := range b {
+			row[j] += av * bv
+		}
+	}
+}
+
+// MatMulTo computes dst = a * b. Shapes must satisfy a.Cols == b.Rows,
+// dst.Rows == a.Rows, dst.Cols == b.Cols. dst must not alias a or b.
+func MatMulTo(dst, a, b *Matrix) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMul shape mismatch: (%dx%d)*(%dx%d)->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	for i := range dst.Data {
+		dst.Data[i] = 0
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+func checkLen2(a, b int) {
+	if a != b {
+		panic(fmt.Sprintf("tensor: length mismatch %d vs %d", a, b))
+	}
+}
+
+func checkLen3(a, b, c int) {
+	if a != b || b != c {
+		panic(fmt.Sprintf("tensor: length mismatch %d vs %d vs %d", a, b, c))
+	}
+}

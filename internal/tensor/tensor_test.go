@@ -1,0 +1,324 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+const eps = 1e-12
+
+func almost(a, b float64) bool { return math.Abs(a-b) <= eps*(1+math.Abs(a)+math.Abs(b)) }
+
+func TestAddSubScale(t *testing.T) {
+	a := Vector{1, 2, 3}
+	b := Vector{4, 5, 6}
+	dst := NewVector(3)
+	AddTo(dst, a, b)
+	for i, want := range []float64{5, 7, 9} {
+		if dst[i] != want {
+			t.Fatalf("AddTo[%d] = %v", i, dst[i])
+		}
+	}
+	SubTo(dst, b, a)
+	for i, want := range []float64{3, 3, 3} {
+		if dst[i] != want {
+			t.Fatalf("SubTo[%d] = %v", i, dst[i])
+		}
+	}
+	ScaleTo(dst, 2, a)
+	for i, want := range []float64{2, 4, 6} {
+		if dst[i] != want {
+			t.Fatalf("ScaleTo[%d] = %v", i, dst[i])
+		}
+	}
+}
+
+func TestAXPY(t *testing.T) {
+	dst := Vector{1, 1, 1}
+	AXPY(dst, 3, Vector{1, 2, 3})
+	for i, want := range []float64{4, 7, 10} {
+		if dst[i] != want {
+			t.Fatalf("AXPY[%d] = %v", i, dst[i])
+		}
+	}
+}
+
+func TestDotNormDist(t *testing.T) {
+	if got := Dot(Vector{1, 2}, Vector{3, 4}); got != 11 {
+		t.Fatalf("Dot = %v", got)
+	}
+	if got := Norm2(Vector{3, 4}); got != 5 {
+		t.Fatalf("Norm2 = %v", got)
+	}
+	if got := Dist2(Vector{1, 1}, Vector{4, 5}); got != 5 {
+		t.Fatalf("Dist2 = %v", got)
+	}
+}
+
+func TestStats(t *testing.T) {
+	v := Vector{2, 4, 4, 4, 5, 5, 7, 9}
+	if Mean(v) != 5 {
+		t.Fatalf("Mean = %v", Mean(v))
+	}
+	if Std(v) != 2 {
+		t.Fatalf("Std = %v", Std(v))
+	}
+	if Mean(nil) != 0 || Std(nil) != 0 {
+		t.Fatal("empty vector stats should be 0")
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	if ArgMax(Vector{1, 5, 3}) != 1 {
+		t.Fatal("ArgMax basic")
+	}
+	if ArgMax(Vector{5, 5, 3}) != 0 {
+		t.Fatal("ArgMax tie should pick lowest index")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ArgMax(empty) should panic")
+		}
+	}()
+	ArgMax(nil)
+}
+
+func TestWeightedSum(t *testing.T) {
+	dst := NewVector(2)
+	WeightedSumTo(dst, []float64{0.5, 0.5}, []Vector{{2, 4}, {6, 8}})
+	if dst[0] != 4 || dst[1] != 6 {
+		t.Fatalf("WeightedSumTo = %v", dst)
+	}
+}
+
+func TestWeightedSumDoublyStochasticFixedPoint(t *testing.T) {
+	// Property: if all inputs equal x, any weights summing to 1 return x.
+	r := rng.New(1)
+	for trial := 0; trial < 20; trial++ {
+		k := 2 + r.Intn(5)
+		w := make([]float64, k)
+		sum := 0.0
+		for i := range w {
+			w[i] = r.Float64()
+			sum += w[i]
+		}
+		for i := range w {
+			w[i] /= sum
+		}
+		x := Vector{1.5, -2.5, 3.25}
+		vecs := make([]Vector, k)
+		for i := range vecs {
+			vecs[i] = x.Clone()
+		}
+		dst := NewVector(3)
+		WeightedSumTo(dst, w, vecs)
+		for i := range dst {
+			if !almost(dst[i], x[i]) {
+				t.Fatalf("consensus fixed point violated: %v vs %v", dst, x)
+			}
+		}
+	}
+}
+
+func TestMeanVector(t *testing.T) {
+	dst := NewVector(2)
+	MeanVectorTo(dst, []Vector{{1, 2}, {3, 4}, {5, 6}})
+	if dst[0] != 3 || dst[1] != 4 {
+		t.Fatalf("MeanVectorTo = %v", dst)
+	}
+}
+
+func TestParallelAXPYMatchesSerial(t *testing.T) {
+	r := rng.New(2)
+	for _, n := range []int{0, 1, 100, parallelThreshold, parallelThreshold + 17, 1 << 16} {
+		x := NewVector(n)
+		d1 := NewVector(n)
+		for i := range x {
+			x[i] = r.NormFloat64()
+			d1[i] = r.NormFloat64()
+		}
+		d2 := d1.Clone()
+		AXPY(d1, 0.37, x)
+		ParallelAXPY(d2, 0.37, x)
+		for i := range d1 {
+			if d1[i] != d2[i] {
+				t.Fatalf("n=%d: parallel differs from serial at %d", n, i)
+			}
+		}
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	m := NewMatrix(2, 3)
+	copy(m.Data, []float64{1, 2, 3, 4, 5, 6})
+	dst := NewVector(2)
+	MatVecTo(dst, m, Vector{1, 1, 1})
+	if dst[0] != 6 || dst[1] != 15 {
+		t.Fatalf("MatVecTo = %v", dst)
+	}
+}
+
+func TestMatTVec(t *testing.T) {
+	m := NewMatrix(2, 3)
+	copy(m.Data, []float64{1, 2, 3, 4, 5, 6})
+	dst := NewVector(3)
+	MatTVecTo(dst, m, Vector{1, 2})
+	want := []float64{9, 12, 15}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("MatTVecTo = %v", dst)
+		}
+	}
+}
+
+func TestOuterAcc(t *testing.T) {
+	m := NewMatrix(2, 2)
+	OuterAcc(m, Vector{1, 2}, Vector{3, 4})
+	want := []float64{3, 4, 6, 8}
+	for i := range want {
+		if m.Data[i] != want[i] {
+			t.Fatalf("OuterAcc = %v", m.Data)
+		}
+	}
+	OuterAcc(m, Vector{1, 0}, Vector{1, 1}) // accumulation, zero-skip path
+	if m.Data[0] != 4 || m.Data[1] != 5 || m.Data[2] != 6 {
+		t.Fatalf("OuterAcc accumulate = %v", m.Data)
+	}
+}
+
+func TestMatMul(t *testing.T) {
+	a := NewMatrix(2, 3)
+	copy(a.Data, []float64{1, 2, 3, 4, 5, 6})
+	b := NewMatrix(3, 2)
+	copy(b.Data, []float64{7, 8, 9, 10, 11, 12})
+	dst := NewMatrix(2, 2)
+	MatMulTo(dst, a, b)
+	want := []float64{58, 64, 139, 154}
+	for i := range want {
+		if dst.Data[i] != want[i] {
+			t.Fatalf("MatMulTo = %v", dst.Data)
+		}
+	}
+}
+
+func TestMatVecTransposeConsistency(t *testing.T) {
+	// Property: y^T (M x) == (M^T y)^T x for random shapes.
+	r := rng.New(3)
+	for trial := 0; trial < 30; trial++ {
+		rows, cols := 1+r.Intn(8), 1+r.Intn(8)
+		m := NewMatrix(rows, cols)
+		for i := range m.Data {
+			m.Data[i] = r.NormFloat64()
+		}
+		x, y := NewVector(cols), NewVector(rows)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		for i := range y {
+			y[i] = r.NormFloat64()
+		}
+		mx, mty := NewVector(rows), NewVector(cols)
+		MatVecTo(mx, m, x)
+		MatTVecTo(mty, m, y)
+		if !almost(Dot(y, mx), Dot(mty, x)) {
+			t.Fatalf("adjoint identity violated: %v vs %v", Dot(y, mx), Dot(mty, x))
+		}
+	}
+}
+
+func TestShapePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"AddTo":    func() { AddTo(NewVector(2), NewVector(3), NewVector(2)) },
+		"AXPY":     func() { AXPY(NewVector(2), 1, NewVector(3)) },
+		"Dot":      func() { Dot(NewVector(2), NewVector(3)) },
+		"MatVec":   func() { MatVecTo(NewVector(2), NewMatrix(2, 3), NewVector(2)) },
+		"MatTVec":  func() { MatTVecTo(NewVector(2), NewMatrix(2, 3), NewVector(2)) },
+		"Outer":    func() { OuterAcc(NewMatrix(2, 2), NewVector(3), NewVector(2)) },
+		"MatMul":   func() { MatMulTo(NewMatrix(2, 2), NewMatrix(2, 3), NewMatrix(2, 2)) },
+		"Weighted": func() { WeightedSumTo(NewVector(1), []float64{1}, nil) },
+		"MeanVec":  func() { MeanVectorTo(NewVector(1), nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: want panic on shape mismatch", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMatrixAccessors(t *testing.T) {
+	m := NewMatrix(3, 2)
+	m.Set(1, 1, 42)
+	if m.At(1, 1) != 42 {
+		t.Fatal("Set/At roundtrip")
+	}
+	row := m.Row(1)
+	row[0] = 7
+	if m.At(1, 0) != 7 {
+		t.Fatal("Row should be a view")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) == 99 {
+		t.Fatal("Clone should be deep")
+	}
+}
+
+func TestVectorCloneZeroFill(t *testing.T) {
+	v := Vector{1, 2, 3}
+	c := v.Clone()
+	c[0] = 9
+	if v[0] != 1 {
+		t.Fatal("Clone aliases source")
+	}
+	v.Fill(5)
+	if v[2] != 5 {
+		t.Fatal("Fill failed")
+	}
+	v.Zero()
+	if Sum(v) != 0 {
+		t.Fatal("Zero failed")
+	}
+}
+
+func TestDotCommutativeProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) > 32 {
+			raw = raw[:32]
+		}
+		a := Vector(raw)
+		b := make(Vector, len(a))
+		for i := range b {
+			b[i] = float64(i) - 3.5
+		}
+		d1, d2 := Dot(a, b), Dot(b, a)
+		return (math.IsNaN(d1) && math.IsNaN(d2)) || d1 == d2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAXPY90K(b *testing.B) {
+	// Model-size vector: the CIFAR-10 CNN of the paper has 89,834 params.
+	x, d := NewVector(89834), NewVector(89834)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		AXPY(d, 0.5, x)
+	}
+}
+
+func BenchmarkParallelAXPY1M7(b *testing.B) {
+	// FEMNIST CNN of the paper: 1,690,046 params.
+	x, d := NewVector(1690046), NewVector(1690046)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ParallelAXPY(d, 0.5, x)
+	}
+}

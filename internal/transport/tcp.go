@@ -1,0 +1,188 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+)
+
+// TCP is a Network whose nodes are real TCP peers. Every node owns a
+// listener; connections are dialed lazily on first send and cached. The
+// address registry is built up front, so the network must be constructed
+// with the full node count — mirroring the static topology assumption of
+// D-PSGD (Section 5.3 of the paper).
+type TCP struct {
+	n         int
+	addrs     []string
+	listeners []net.Listener
+	inboxes   []chan Message
+	claimed   []bool
+
+	mu     sync.Mutex
+	conns  map[[2]int]net.Conn // (from, to) -> outbound conn
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewTCP starts n listeners on the given host (use "127.0.0.1" for local
+// experiments) with OS-assigned ports and the given inbox capacity.
+func NewTCP(n int, host string, capacity int) (*TCP, error) {
+	if n < 1 || capacity < 1 {
+		return nil, fmt.Errorf("transport: invalid tcp network n=%d capacity=%d", n, capacity)
+	}
+	t := &TCP{
+		n:         n,
+		addrs:     make([]string, n),
+		listeners: make([]net.Listener, n),
+		inboxes:   make([]chan Message, n),
+		claimed:   make([]bool, n),
+		conns:     map[[2]int]net.Conn{},
+	}
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", net.JoinHostPort(host, "0"))
+		if err != nil {
+			t.Close()
+			return nil, fmt.Errorf("transport: listen for node %d: %w", i, err)
+		}
+		t.listeners[i] = ln
+		t.addrs[i] = ln.Addr().String()
+		t.inboxes[i] = make(chan Message, capacity)
+		t.wg.Add(1)
+		go t.acceptLoop(i, ln)
+	}
+	return t, nil
+}
+
+// Addr returns the listen address of a node, for logging and examples.
+func (t *TCP) Addr(node int) string { return t.addrs[node] }
+
+func (t *TCP) acceptLoop(node int, ln net.Listener) {
+	defer t.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.wg.Add(1)
+		go t.readLoop(node, conn)
+	}
+}
+
+func (t *TCP) readLoop(node int, conn net.Conn) {
+	defer t.wg.Done()
+	defer conn.Close()
+	for {
+		m, err := ReadMessage(conn)
+		if err != nil {
+			return // peer closed or stream corrupt
+		}
+		t.mu.Lock()
+		closed := t.closed
+		t.mu.Unlock()
+		if closed {
+			return
+		}
+		select {
+		case t.inboxes[node] <- m:
+		default:
+			// Inbox full: block rather than drop, but re-check closure so
+			// shutdown cannot deadlock.
+			t.inboxes[node] <- m
+		}
+	}
+}
+
+type tcpEndpoint struct {
+	node int
+	net  *TCP
+}
+
+// Endpoint returns the endpoint for node; each node may claim one endpoint.
+func (t *TCP) Endpoint(node int) (Endpoint, error) {
+	if node < 0 || node >= t.n {
+		return nil, fmt.Errorf("transport: node %d out of range [0,%d)", node, t.n)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, ErrClosed
+	}
+	if t.claimed[node] {
+		return nil, fmt.Errorf("transport: endpoint %d already claimed", node)
+	}
+	t.claimed[node] = true
+	return &tcpEndpoint{node: node, net: t}, nil
+}
+
+// Close shuts down all listeners and cached connections.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	for _, ln := range t.listeners {
+		if ln != nil {
+			ln.Close()
+		}
+	}
+	for _, c := range t.conns {
+		c.Close()
+	}
+	inboxes := t.inboxes
+	t.mu.Unlock()
+	t.wg.Wait()
+	for _, ch := range inboxes {
+		close(ch)
+	}
+	return nil
+}
+
+func (e *tcpEndpoint) conn(to int) (net.Conn, error) {
+	key := [2]int{e.node, to}
+	e.net.mu.Lock()
+	defer e.net.mu.Unlock()
+	if e.net.closed {
+		return nil, ErrClosed
+	}
+	if c, ok := e.net.conns[key]; ok {
+		return c, nil
+	}
+	c, err := net.Dial("tcp", e.net.addrs[to])
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial node %d: %w", to, err)
+	}
+	e.net.conns[key] = c
+	return c, nil
+}
+
+func (e *tcpEndpoint) Send(to int, m Message) error {
+	if to < 0 || to >= e.net.n {
+		return fmt.Errorf("transport: destination %d out of range", to)
+	}
+	m.From = e.node
+	m.To = to
+	c, err := e.conn(to)
+	if err != nil {
+		return err
+	}
+	// Serialize writes on the shared connection: two concurrent Sends from
+	// one node to one peer must not interleave frames.
+	e.net.mu.Lock()
+	defer e.net.mu.Unlock()
+	if e.net.closed {
+		return ErrClosed
+	}
+	return WriteMessage(c, m)
+}
+
+func (e *tcpEndpoint) Recv() (Message, error) {
+	m, ok := <-e.net.inboxes[e.node]
+	if !ok {
+		return Message{}, ErrClosed
+	}
+	return m, nil
+}
+
+func (e *tcpEndpoint) Close() error { return nil }

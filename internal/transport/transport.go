@@ -1,0 +1,156 @@
+// Package transport moves model vectors between nodes. It is the
+// counterpart of DecentralizePy's socket layer in the paper's stack.
+//
+// Two implementations share one interface: Local delivers through buffered
+// channels inside a single process (the fast path used for 256-node
+// simulations), and TCP frames the same messages over real sockets
+// (examples/tcpcluster and the transport tests run nodes as genuine network
+// peers on localhost). The simulator is agnostic to which one it is given.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/tensor"
+)
+
+// Kind tags the payload semantics of a message.
+type Kind uint8
+
+const (
+	// KindModel carries a flat model parameter vector x_i.
+	KindModel Kind = iota + 1
+	// KindControl carries scheduling/coordination signals.
+	KindControl
+)
+
+// Message is one transfer between nodes. Vec is the flat model vector; for
+// KindControl messages it may be empty.
+type Message struct {
+	From  int
+	To    int
+	Round int
+	Kind  Kind
+	Vec   tensor.Vector
+}
+
+// Endpoint is one node's connection to the network. Send may be called
+// concurrently; Recv must be called from a single goroutine (the owning
+// node).
+type Endpoint interface {
+	// Send delivers m to node `to`. It blocks only when the destination
+	// inbox (or socket buffer) is full.
+	Send(to int, m Message) error
+	// Recv blocks until a message arrives or the endpoint closes, in which
+	// case it returns ErrClosed.
+	Recv() (Message, error)
+	// Close releases the endpoint. Pending messages are discarded.
+	Close() error
+}
+
+// Network hands out endpoints for node IDs in [0, N).
+type Network interface {
+	// Endpoint returns the endpoint of the given node. Each node's endpoint
+	// may be requested once.
+	Endpoint(node int) (Endpoint, error)
+	// Close shuts down the whole network.
+	Close() error
+}
+
+// ErrClosed is returned by Recv after Close.
+var ErrClosed = errors.New("transport: endpoint closed")
+
+// Local is an in-process Network backed by buffered channels.
+type Local struct {
+	n       int
+	inboxes []chan Message
+	claimed []bool
+	mu      sync.Mutex
+	closed  bool
+}
+
+// NewLocal creates a channel network for n nodes with the given per-node
+// inbox capacity. Capacity must exceed the maximum number of in-flight
+// messages per node (for round-synchronous exchange: 2x the node degree is
+// safe; the default engine uses 4x).
+func NewLocal(n, capacity int) (*Local, error) {
+	if n < 1 || capacity < 1 {
+		return nil, fmt.Errorf("transport: invalid local network n=%d capacity=%d", n, capacity)
+	}
+	l := &Local{n: n, inboxes: make([]chan Message, n), claimed: make([]bool, n)}
+	for i := range l.inboxes {
+		l.inboxes[i] = make(chan Message, capacity)
+	}
+	return l, nil
+}
+
+type localEndpoint struct {
+	node int
+	net  *Local
+}
+
+// Endpoint returns the endpoint of node. It errors on repeated claims so a
+// misconfigured simulation fails loudly instead of stealing messages.
+func (l *Local) Endpoint(node int) (Endpoint, error) {
+	if node < 0 || node >= l.n {
+		return nil, fmt.Errorf("transport: node %d out of range [0,%d)", node, l.n)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil, ErrClosed
+	}
+	if l.claimed[node] {
+		return nil, fmt.Errorf("transport: endpoint %d already claimed", node)
+	}
+	l.claimed[node] = true
+	return &localEndpoint{node: node, net: l}, nil
+}
+
+// Close shuts the network down; subsequent Recv calls drain remaining
+// messages then return ErrClosed.
+func (l *Local) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	for _, ch := range l.inboxes {
+		close(ch)
+	}
+	return nil
+}
+
+func (e *localEndpoint) Send(to int, m Message) error {
+	if to < 0 || to >= e.net.n {
+		return fmt.Errorf("transport: destination %d out of range", to)
+	}
+	m.From = e.node
+	m.To = to
+	// Copy the vector: the sender reuses its buffer next round, and shared
+	// memory must behave like the wire.
+	if m.Vec != nil {
+		m.Vec = m.Vec.Clone()
+	}
+	e.net.mu.Lock()
+	closed := e.net.closed
+	e.net.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	e.net.inboxes[to] <- m
+	return nil
+}
+
+func (e *localEndpoint) Recv() (Message, error) {
+	m, ok := <-e.net.inboxes[e.node]
+	if !ok {
+		return Message{}, ErrClosed
+	}
+	return m, nil
+}
+
+func (e *localEndpoint) Close() error { return nil }

@@ -1,5 +1,5 @@
 // Benchmarks regenerating every table and figure of the paper's evaluation
-// section, plus ablations of the design choices called out in DESIGN.md §4.
+// section, plus ablations of the reproduction's design choices.
 //
 //	go test -bench=. -benchmem              # everything, laptop scale
 //	go test -bench=Figure5 -benchscale 256  # closer to paper scale
@@ -21,6 +21,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/experiments"
 	"repro/internal/graph"
+	"repro/internal/harvest"
 	"repro/internal/metrics"
 	"repro/internal/nn"
 	"repro/internal/rng"
@@ -217,7 +218,7 @@ func BenchmarkTable4ConstrainedSummary(b *testing.B) {
 	}
 }
 
-// --- Ablations (DESIGN.md §4) ---
+// --- Ablations of the reproduction's design choices ---
 
 // benchWorld builds the shared ablation setting: a d-regular topology with
 // CIFAR-like 2-shard data.
@@ -559,4 +560,41 @@ func BenchmarkSection51Fairness(b *testing.B) {
 	}
 	b.ReportMetric(res.Constrained.ParticipationGini, "gini")
 	b.ReportMetric(res.Constrained.BudgetAccCorr, "budget-acc-corr")
+}
+
+// BenchmarkHarvestFleetRound measures the per-round battery-update hot path
+// of the harvesting subsystem at scale: 1k nodes stepping through 1k rounds
+// of TryTrain + EndRound (diurnal trace) per iteration. This is the loop a
+// million-device deployment would shard, so its ns/node-round and allocation
+// profile anchor the perf trajectory.
+func BenchmarkHarvestFleetRound(b *testing.B) {
+	const (
+		nodes  = 1000
+		rounds = 1000
+	)
+	devices := energy.AssignDevices(nodes, energy.Devices())
+	w := energy.CIFAR10Workload()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		trace, err := harvest.NewDiurnal(0.01, 24, harvest.LongitudePhase(nodes))
+		if err != nil {
+			b.Fatal(err)
+		}
+		fleet, err := harvest.NewFleet(devices, w, trace, harvest.Options{CapacityRounds: 12, InitialSoC: 0.5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for t := 0; t < rounds; t++ {
+			for node := 0; node < nodes; node++ {
+				if fleet.SoC(node) > 0.2 {
+					fleet.TryTrain(node)
+				}
+			}
+			fleet.EndRound(t)
+		}
+		if fleet.HarvestedWh() <= 0 {
+			b.Fatal("fleet harvested nothing")
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*nodes*rounds), "ns/node-round")
 }

@@ -1,0 +1,222 @@
+// Command harvestsim runs a decentralized-learning experiment on an
+// intermittently-powered fleet: per-node batteries, an ambient harvest
+// trace, and a charge-aware participation policy (internal/harvest).
+//
+// The default configuration is a 96-node diurnal fleet spread over all
+// longitudes — the sun sweeps around the globe and nodes train in waves —
+// but every piece is under flag control:
+//
+//	harvestsim                                   # 96-node solar fleet
+//	harvestsim -trace markov -policy hysteresis  # bursty RF-powered fleet
+//	harvestsim -trace constant -peak 0           # no recharge (paper setting)
+//	harvestsim -trace csv -tracefile solar.csv   # replay a recorded trace
+//
+// Runs are deterministic: the same seed and flags reproduce the same
+// output bit-for-bit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/energy"
+	"repro/internal/graph"
+	"repro/internal/harvest"
+	"repro/internal/nn"
+	"repro/internal/report"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		nodes    = flag.Int("nodes", 96, "fleet size")
+		degree   = flag.Int("degree", 6, "topology degree")
+		rounds   = flag.Int("rounds", 96, "total rounds T")
+		period   = flag.Int("period", 24, "rounds per simulated day (diurnal trace)")
+		peak     = flag.Float64("peak", 1.5, "trace magnitude as a multiple of the mean per-round training cost")
+		traceKin = flag.String("trace", "diurnal", "diurnal | constant | markov | csv")
+		traceCSV = flag.String("tracefile", "", "replay CSV for -trace csv (round,node,harvest_wh)")
+		policyK  = flag.String("policy", "proportional", "proportional | threshold | hysteresis")
+		capacity = flag.Float64("capacity", 12, "battery capacity in training-rounds of energy")
+		initSoC  = flag.Float64("initsoc", 0.5, "initial state of charge [0,1]; 0 starts batteries empty")
+		minSoC   = flag.Float64("minsoc", 0.2, "threshold policy: minimum SoC to train")
+		lowSoC   = flag.Float64("low", 0.15, "hysteresis policy: dormancy threshold")
+		highSoC  = flag.Float64("high", 0.4, "hysteresis policy: resume threshold")
+		exponent = flag.Float64("exponent", 1, "proportional policy: p = SoC^exponent")
+		gt       = flag.Int("gt", 0, "Γtrain (0 = all-train schedule)")
+		gs       = flag.Int("gs", 0, "Γsync (with -gt: SkipTrain schedule)")
+		lr       = flag.Float64("lr", 0.2, "learning rate η")
+		batch    = flag.Int("batch", 16, "batch size |ξ|")
+		steps    = flag.Int("steps", 8, "local steps E")
+		evalInt  = flag.Int("eval", 12, "evaluate every N rounds")
+		seed     = flag.Uint64("seed", 42, "experiment seed")
+	)
+	flag.Parse()
+
+	if err := run(*nodes, *degree, *rounds, *period, *peak, *traceKin, *traceCSV, *policyK,
+		*capacity, *initSoC, *minSoC, *lowSoC, *highSoC, *exponent,
+		*gt, *gs, *lr, *batch, *steps, *evalInt, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+func run(nodes, degree, rounds, period int, peak float64, traceKind, traceCSV, policyKind string,
+	capacity, initSoC, minSoC, lowSoC, highSoC, exponent float64,
+	gt, gs int, lr float64, batch, steps, evalInt int, seed uint64) error {
+	g, err := graph.Regular(nodes, degree, seed)
+	if err != nil {
+		return err
+	}
+	weights := graph.Metropolis(g)
+
+	data := dataset.SyntheticConfig{Classes: 10, Dim: 32, Train: nodes * 40, Test: 640, Noise: 2.5, Seed: seed}
+	train, testAll, err := dataset.Generate(data)
+	if err != nil {
+		return err
+	}
+	part, err := dataset.ShardPartition(train, nodes, 2, seed)
+	if err != nil {
+		return err
+	}
+	_, test := testAll.Split(testAll.Len() / 2)
+
+	devices := energy.AssignDevices(nodes, energy.Devices())
+	workload := energy.CIFAR10Workload()
+	meanTrainWh := energy.NetworkRoundWh(nodes, energy.Devices(), workload) / float64(nodes)
+
+	var trace harvest.Trace
+	switch traceKind {
+	case "diurnal":
+		trace, err = harvest.NewDiurnal(peak*meanTrainWh, period, harvest.LongitudePhase(nodes))
+	case "constant":
+		trace = harvest.Constant{Wh: peak * meanTrainWh}
+	case "markov":
+		trace, err = harvest.NewMarkovOnOff(nodes, peak*meanTrainWh, 0.25, 0.35, seed)
+	case "csv":
+		if traceCSV == "" {
+			return fmt.Errorf("-trace csv needs -tracefile")
+		}
+		var fh *os.File
+		if fh, err = os.Open(traceCSV); err != nil {
+			return err
+		}
+		defer fh.Close()
+		var replay *harvest.Replay
+		if replay, err = harvest.ReadReplay(fh); err != nil {
+			return err
+		}
+		if replay.Nodes() < nodes {
+			return fmt.Errorf("replay covers %d nodes, fleet has %d", replay.Nodes(), nodes)
+		}
+		trace = replay
+	default:
+		return fmt.Errorf("unknown trace %q", traceKind)
+	}
+	if err != nil {
+		return err
+	}
+
+	fleet, err := harvest.NewFleet(devices, workload, trace, harvest.Options{
+		CapacityRounds: capacity,
+		InitialSoC:     initSoC,
+		// Options treats InitialSoC 0 as "unset"; the flag's 0 means empty.
+		StartEmpty: initSoC == 0,
+	})
+	if err != nil {
+		return err
+	}
+
+	var policy core.Policy
+	switch policyKind {
+	case "proportional":
+		policy, err = harvest.NewSoCProportional(fleet, exponent)
+	case "threshold":
+		policy, err = harvest.NewSoCThreshold(fleet, minSoC)
+	case "hysteresis":
+		policy, err = harvest.NewSoCHysteresis(fleet, lowSoC, highSoC)
+	default:
+		return fmt.Errorf("unknown policy %q", policyKind)
+	}
+	if err != nil {
+		return err
+	}
+
+	var schedule core.Schedule = core.AllTrain{}
+	if gt > 0 {
+		gamma, err := core.NewGamma(gt, gs)
+		if err != nil {
+			return err
+		}
+		schedule = gamma
+	}
+
+	res, err := sim.Run(sim.Config{
+		Graph: g, Weights: weights,
+		Algo:   core.Algorithm{Label: "harvest-" + policy.Name(), Schedule: schedule, Policy: policy},
+		Rounds: rounds,
+		ModelFactory: func(node int, r *rng.RNG) *nn.Network {
+			return nn.LogisticRegression(32, 10, r)
+		},
+		LR: lr, BatchSize: batch, LocalSteps: steps,
+		Partition: part, Test: test,
+		EvalEvery: evalInt, EvalSubsample: 320,
+		Devices: devices, Workload: workload,
+		Harvest: fleet, TrackSoC: true,
+		Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("harvest fleet: %d nodes, %d-regular, %d rounds | trace %s | policy %s | capacity %g rounds\n",
+		nodes, degree, rounds, fleet.TraceName(), policy.Name(), capacity)
+
+	// The wave: per-round participation and fleet charge over time.
+	var participation, meanSoC []float64
+	for _, m := range res.History {
+		participation = append(participation, float64(m.TrainedCount))
+		meanSoC = append(meanSoC, m.MeanSoC)
+	}
+	fmt.Printf("participation/round: %s\n", report.Sparkline(participation))
+	fmt.Printf("fleet mean SoC:      %s\n", report.Sparkline(meanSoC))
+
+	ev := report.NewTable("evaluations", "round", "mean acc %", "std %", "mean SoC", "min SoC", "depleted", "cum harvest Wh")
+	for _, m := range res.Evaluations() {
+		ev.AddRowf("%d|%.2f|%.2f|%.3f|%.3f|%d|%.4f",
+			m.Round+1, m.MeanAcc*100, m.StdAcc*100, m.MeanSoC, m.MinSoC, m.Depleted, m.CumHarvestWh)
+	}
+	ev.Render(os.Stdout)
+
+	trainSlots := core.CountTrainRounds(schedule, rounds)
+	tb := report.NewTable("per-node state of charge and participation",
+		"node", "device", "phase", "trained", "particip %", "final SoC %", "harvested mWh", "consumed mWh")
+	// Longitude phase only exists for the diurnal trace; other sources have
+	// no per-node offset.
+	phaseCell := func(int) string { return "-" }
+	if traceKind == "diurnal" {
+		phase := harvest.LongitudePhase(nodes)
+		phaseCell = func(i int) string { return fmt.Sprintf("%.3f", phase(i)) }
+	}
+	for i := 0; i < nodes; i++ {
+		tb.AddRowf("%d|%s|%s|%d|%.1f|%.1f|%.3f|%.3f",
+			i, devices[i].Name, phaseCell(i), res.TrainedRounds[i],
+			100*float64(res.TrainedRounds[i])/float64(trainSlots),
+			100*res.FinalSoC[i], 1000*fleet.NodeHarvestedWh(i), 1000*fleet.NodeConsumedWh(i))
+	}
+	tb.Render(os.Stdout)
+
+	trained := 0
+	for _, tr := range res.TrainedRounds {
+		trained += tr
+	}
+	fmt.Printf("\nfinal: %.2f%% ± %.2f | participation %.1f%% | harvested %.4f Wh, consumed %.4f Wh, wasted %.4f Wh\n",
+		res.FinalMeanAcc*100, res.FinalStdAcc*100,
+		100*float64(trained)/float64(nodes*trainSlots),
+		res.TotalHarvestWh, fleet.ConsumedWh(), fleet.WastedWh())
+	return nil
+}

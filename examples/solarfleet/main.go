@@ -1,0 +1,150 @@
+// Solar-fleet example: a 96-node solar-powered fleet spread around the
+// globe trains in waves as the sun moves.
+//
+// Each node sits at a different longitude, so its solar panel peaks at a
+// different simulated hour (internal/harvest's Diurnal trace with
+// LongitudePhase). A charge-proportional policy — the live-battery
+// generalization of the paper's Eq. 5 — lets well-lit nodes train while
+// night-side nodes coast on synchronization, and the model keeps improving
+// around the clock. A "dark" control run with the same batteries but no
+// sun shows why harvesting matters: it burns its charge and stalls.
+//
+// go run ./examples/solarfleet
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/energy"
+	"repro/internal/graph"
+	"repro/internal/harvest"
+	"repro/internal/nn"
+	"repro/internal/report"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+func main() {
+	const (
+		nodes   = 96
+		degree  = 6
+		rounds  = 96
+		period  = 24 // rounds per simulated day: 4 days of mission
+		seed    = 17
+		buckets = 4 // longitude quadrants for the wave display
+	)
+
+	g, err := graph.Regular(nodes, degree, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	weights := graph.Metropolis(g)
+
+	data := dataset.SyntheticConfig{Classes: 10, Dim: 32, Train: nodes * 40, Test: 640, Noise: 3.2, Seed: seed}
+	train, testAll, err := dataset.Generate(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	part, err := dataset.ShardPartition(train, nodes, 2, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, test := testAll.Split(testAll.Len() / 2)
+
+	devices := energy.AssignDevices(nodes, energy.Devices())
+	workload := energy.CIFAR10Workload()
+	meanTrainWh := energy.NetworkRoundWh(nodes, energy.Devices(), workload) / float64(nodes)
+
+	// Batteries hold 12 training rounds of charge; panels peak at 1.5x a
+	// round's cost, so a day-side node runs energy-positive and a night-side
+	// node slowly drains.
+	run := func(label string, trace harvest.Trace) (*sim.Result, *harvest.Fleet) {
+		fleet, err := harvest.NewFleet(devices, workload, trace, harvest.Options{
+			CapacityRounds: 12,
+			InitialSoC:     0.25,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		policy, err := harvest.NewSoCProportional(fleet, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sim.Run(sim.Config{
+			Graph: g, Weights: weights,
+			Algo:   core.Algorithm{Label: label, Schedule: core.AllTrain{}, Policy: policy},
+			Rounds: rounds,
+			ModelFactory: func(node int, r *rng.RNG) *nn.Network {
+				return nn.MLP(32, []int{24}, 10, r)
+			},
+			LR: 0.2, BatchSize: 16, LocalSteps: 8,
+			Partition: part, Test: test,
+			EvalEvery: 12, EvalSubsample: 320,
+			Devices: devices, Workload: workload,
+			Harvest: fleet, TrackSoC: true,
+			Seed: seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res, fleet
+	}
+
+	sun, err := harvest.NewDiurnal(1.5*meanTrainWh, period, harvest.LongitudePhase(nodes))
+	if err != nil {
+		log.Fatal(err)
+	}
+	solar, solarFleet := run("solar", sun)
+	dark, darkFleet := run("dark", harvest.Constant{Wh: 0})
+
+	fmt.Printf("solar fleet: %d nodes across %d longitudes, %d-round day, %d-round mission\n\n",
+		nodes, nodes, period, rounds)
+
+	// The wave: mean state of charge per longitude quadrant over time. Each
+	// quadrant's charge crests ~6 rounds after its local noon.
+	fmt.Println("state of charge by longitude quadrant (one sparkline cell per round):")
+	for b := 0; b < buckets; b++ {
+		var series []float64
+		for _, m := range solar.History {
+			mean := 0.0
+			count := 0
+			for i := b * nodes / buckets; i < (b+1)*nodes/buckets; i++ {
+				mean += m.SoCs[i]
+				count++
+			}
+			series = append(series, mean/float64(count))
+		}
+		fmt.Printf("  longitudes %3d°-%3d°: %s\n", b*360/buckets, (b+1)*360/buckets, report.Sparkline(series))
+	}
+
+	var participation []float64
+	for _, m := range solar.History {
+		participation = append(participation, float64(m.TrainedCount))
+	}
+	fmt.Printf("\nfleet-wide participation: %s\n\n", report.Sparkline(participation))
+
+	sumTrained := func(res *sim.Result) int {
+		t := 0
+		for _, tr := range res.TrainedRounds {
+			t += tr
+		}
+		return t
+	}
+	tb := report.NewTable("solar vs dark (same batteries, same policy)",
+		"fleet", "final acc %", "participation %", "harvested Wh", "wasted Wh", "depleted nodes")
+	tb.AddRowf("solar|%.2f|%.1f|%.4f|%.4f|%d",
+		solar.FinalMeanAcc*100, 100*float64(sumTrained(solar))/float64(nodes*rounds),
+		solar.TotalHarvestWh, solarFleet.WastedWh(), solar.History[len(solar.History)-1].Depleted)
+	tb.AddRowf("dark|%.2f|%.1f|%.4f|%.4f|%d",
+		dark.FinalMeanAcc*100, 100*float64(sumTrained(dark))/float64(nodes*rounds),
+		dark.TotalHarvestWh, darkFleet.WastedWh(), dark.History[len(dark.History)-1].Depleted)
+	tb.Render(os.Stdout)
+
+	fmt.Println("\nThe solar fleet keeps training for the whole mission — each quadrant")
+	fmt.Println("surges as its local sun rises — while the dark fleet spends its")
+	fmt.Println("initial charge in the first day and then only synchronizes.")
+}

@@ -31,7 +31,7 @@ type Experiment struct {
 	// Energy-constrained setting.
 	BatteryFraction float64 `json:"battery_fraction"` // share of battery usable
 
-	// Simulation-scale knobs (see DESIGN.md §2: learning runs on synthetic
+	// Simulation-scale knobs (learning runs on synthetic
 	// data with compact models; energy runs on the paper's model sizes).
 	DataClasses   int     `json:"data_classes"`
 	DataDim       int     `json:"data_dim"`

@@ -3,7 +3,7 @@
 // and FEMNIST, plus the paper's non-IID partitioning schemes.
 //
 // Real CIFAR-10/FEMNIST images cannot be used here (the build is offline
-// and CPU-bound; see DESIGN.md §2). Instead, each class c draws a random
+// and CPU-bound). Instead, each class c draws a random
 // prototype vector mu_c and samples are mu_c + noise. That preserves what
 // the paper's experiments actually rely on: samples of the same class
 // cluster, classes are separable but overlapping, and a node that trains on

@@ -13,17 +13,21 @@ import (
 const CommShareOfTraining = 1.0 / 216.0
 
 // Accountant accumulates per-node training and communication energy over a
-// run (Eq. 3). It is safe for concurrent use by node goroutines.
+// run (Eq. 3), and — for harvesting scenarios (internal/harvest) — the
+// ambient energy each node stored, so runs can report harvested against
+// consumed. It is safe for concurrent use by node goroutines.
 type Accountant struct {
-	mu       sync.Mutex
-	trainWh  []float64
-	commWh   []float64
-	perRound []float64 // network-wide training energy indexed by round
+	mu        sync.Mutex
+	trainWh   []float64
+	commWh    []float64
+	harvestWh []float64
+	perRound  []float64 // network-wide training energy indexed by round
 }
 
 // NewAccountant creates an accountant for n nodes.
 func NewAccountant(n int) *Accountant {
-	return &Accountant{trainWh: make([]float64, n), commWh: make([]float64, n)}
+	return &Accountant{trainWh: make([]float64, n), commWh: make([]float64, n),
+		harvestWh: make([]float64, n)}
 }
 
 // AddTraining charges node i with wh watt-hours of training energy in the
@@ -64,6 +68,43 @@ func (a *Accountant) TotalCommunicationWh() float64 {
 	t := 0.0
 	for _, v := range a.commWh {
 		t += v
+	}
+	return t
+}
+
+// AddHarvest credits node i with wh watt-hours of stored ambient energy.
+func (a *Accountant) AddHarvest(node int, wh float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.harvestWh[node] += wh
+}
+
+// TotalHarvestedWh returns the network-wide stored harvest so far.
+func (a *Accountant) TotalHarvestedWh() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	t := 0.0
+	for _, v := range a.harvestWh {
+		t += v
+	}
+	return t
+}
+
+// NodeHarvestedWh returns node i's stored harvest so far.
+func (a *Accountant) NodeHarvestedWh(i int) float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.harvestWh[i]
+}
+
+// TotalConsumedWh returns training plus communication energy, the quantity
+// harvested energy offsets in the net-energy ledger.
+func (a *Accountant) TotalConsumedWh() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	t := 0.0
+	for i := range a.trainWh {
+		t += a.trainWh[i] + a.commWh[i]
 	}
 	return t
 }

@@ -271,3 +271,20 @@ func TestWorkloadFor(t *testing.T) {
 		t.Fatal("invalid workload should fail validation")
 	}
 }
+
+func TestAccountantHarvestLedger(t *testing.T) {
+	a := NewAccountant(3)
+	a.AddTraining(0, 0, 10)
+	a.AddCommunication(1, 2)
+	a.AddHarvest(0, 4)
+	a.AddHarvest(2, 2)
+	if got := a.TotalHarvestedWh(); got != 6 {
+		t.Fatalf("total harvested %v, want 6", got)
+	}
+	if got := a.NodeHarvestedWh(2); got != 2 {
+		t.Fatalf("node 2 harvested %v, want 2", got)
+	}
+	if got := a.TotalConsumedWh(); got != 12 {
+		t.Fatalf("total consumed %v, want 12", got)
+	}
+}

@@ -420,3 +420,64 @@ func TestTimeToAccuracy(t *testing.T) {
 		}
 	}
 }
+
+func TestTableHarvestScenarios(t *testing.T) {
+	var sb strings.Builder
+	o := tiny()
+	o.Rounds = 24
+	o.Out = &sb
+	rows, err := TableHarvest(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d scenarios, want 4", len(rows))
+	}
+	byName := map[string]HarvestRow{}
+	for _, r := range rows {
+		byName[r.Scenario] = r
+		if r.Participation < 0 || r.Participation > 100 {
+			t.Fatalf("%s participation %.1f%% out of range", r.Scenario, r.Participation)
+		}
+		if r.MeanFinalSoC < 0 || r.MeanFinalSoC > 1 {
+			t.Fatalf("%s mean SoC %v out of range", r.Scenario, r.MeanFinalSoC)
+		}
+	}
+	dark := byName["dark (no recharge)"]
+	if dark.HarvestedWh != 0 {
+		t.Fatalf("dark scenario harvested %v Wh", dark.HarvestedWh)
+	}
+	// Recharging scenarios must sustain more participation than the dark
+	// baseline, which burns its half-full battery and stops.
+	for _, name := range []string{"trickle charger", "solar diurnal", "bursty markov"} {
+		r := byName[name]
+		if r.HarvestedWh <= 0 {
+			t.Fatalf("%s harvested nothing", name)
+		}
+		if r.Participation <= dark.Participation {
+			t.Fatalf("%s participation %.1f%% not above dark baseline %.1f%%",
+				name, r.Participation, dark.Participation)
+		}
+	}
+	if !strings.Contains(sb.String(), "Harvesting scenarios") {
+		t.Fatalf("table not rendered:\n%s", sb.String())
+	}
+}
+
+func TestTableHarvestDeterministic(t *testing.T) {
+	o := tiny()
+	o.Rounds = 16
+	a, err := TableHarvest(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TableHarvest(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("scenario %d differs across identical runs:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+}

@@ -9,7 +9,7 @@
 // laptop-scale version that preserves the paper's qualitative results;
 // energy numbers are always additionally computed analytically at paper
 // scale (256 nodes, full round counts), where they match the published
-// values (see EXPERIMENTS.md).
+// values (see README.md "Reproduction status").
 package experiments
 
 import (

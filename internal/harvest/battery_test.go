@@ -1,0 +1,86 @@
+package harvest
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewBatteryValidates(t *testing.T) {
+	if _, err := NewBattery(0, 0, 0); err == nil {
+		t.Fatal("zero capacity should error")
+	}
+	if _, err := NewBattery(10, 5, -1); err == nil {
+		t.Fatal("negative cutoff should error")
+	}
+	if _, err := NewBattery(10, 5, 10); err == nil {
+		t.Fatal("cutoff >= capacity should error")
+	}
+	b, err := NewBattery(10, 99, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.ChargeWh() != 10 {
+		t.Fatalf("initial charge not clamped to capacity: %v", b.ChargeWh())
+	}
+	b, _ = NewBattery(10, -3, 1)
+	if b.ChargeWh() != 0 {
+		t.Fatalf("initial charge not clamped at 0: %v", b.ChargeWh())
+	}
+}
+
+func TestBatteryHarvestClampsAtCapacity(t *testing.T) {
+	b, _ := NewBattery(10, 9, 0)
+	if stored := b.Harvest(5); stored != 1 {
+		t.Fatalf("stored %v, want 1 (room)", stored)
+	}
+	if b.ChargeWh() != 10 {
+		t.Fatalf("charge %v, want full", b.ChargeWh())
+	}
+	if stored := b.Harvest(-2); stored != 0 {
+		t.Fatalf("negative harvest stored %v", stored)
+	}
+}
+
+func TestBatteryDrainClampsAtEmpty(t *testing.T) {
+	b, _ := NewBattery(10, 3, 0)
+	if got := b.Drain(5); got != 3 {
+		t.Fatalf("drained %v, want 3", got)
+	}
+	if b.ChargeWh() != 0 {
+		t.Fatalf("charge %v after over-drain", b.ChargeWh())
+	}
+	if got := b.Drain(-1); got != 0 {
+		t.Fatalf("negative drain removed %v", got)
+	}
+}
+
+func TestBatteryTryConsumeRespectsCutoff(t *testing.T) {
+	b, _ := NewBattery(10, 5, 2)
+	if !b.TryConsume(3) {
+		t.Fatal("affordable round refused")
+	}
+	if b.ChargeWh() != 2 {
+		t.Fatalf("charge %v, want 2", b.ChargeWh())
+	}
+	// Next round would brown out: 2 - 0.5 < cutoff 2.
+	if b.TryConsume(0.5) {
+		t.Fatal("round below cutoff accepted")
+	}
+	if b.ChargeWh() != 2 {
+		t.Fatal("refused consume must not change charge")
+	}
+	if b.Usable() {
+		t.Fatal("battery at cutoff should not be usable")
+	}
+	b.Harvest(4)
+	if !b.Usable() || !b.TryConsume(4) {
+		t.Fatal("recharged battery should train again")
+	}
+}
+
+func TestBatterySoC(t *testing.T) {
+	b, _ := NewBattery(20, 5, 0)
+	if math.Abs(b.SoC()-0.25) > 1e-12 {
+		t.Fatalf("SoC %v, want 0.25", b.SoC())
+	}
+}

@@ -1,0 +1,250 @@
+package harvest
+
+import (
+	"fmt"
+
+	"repro/internal/energy"
+)
+
+// Options tunes a Fleet. The zero value is completed with sensible defaults
+// by NewFleet.
+type Options struct {
+	// CapacityRounds overrides each battery's capacity to this many
+	// training rounds' worth of energy on its own device, instead of the
+	// device profile's full battery. A phone's 17 Wh battery spans
+	// thousands of scaled training rounds, so absolute state of charge
+	// barely moves; harvesting-class hardware runs off supercaps holding a
+	// handful of rounds. Set this to put SoC — and the SoC-driven policies
+	// — on a meaningful scale. 0 keeps the device battery.
+	CapacityRounds float64
+	// InitialRounds sets every node's initial charge to this many training
+	// rounds' worth of energy on its own device (clamped to capacity). It
+	// takes precedence over InitialSoC and is the natural unit for scaled
+	// simulations where full smartphone batteries would never bind.
+	InitialRounds float64
+	// InitialSoC is the initial state of charge as a fraction of capacity
+	// in [0, 1]. Ignored when InitialRounds > 0. The zero value means
+	// "unset" and defaults to 1 (full); set StartEmpty for batteries that
+	// begin the mission drained.
+	InitialSoC float64
+	// StartEmpty starts every battery at zero charge (a wake-with-the-sun
+	// deployment), overriding InitialSoC and InitialRounds.
+	StartEmpty bool
+	// CutoffSoC is the brown-out level as a fraction of capacity.
+	// Default 0 (batteries usable down to empty).
+	CutoffSoC float64
+	// IdleWh is the always-on per-round draw every node pays regardless of
+	// participation. Default 0.
+	IdleWh float64
+	// CommFrac prices one sharing/aggregation round as this fraction of the
+	// node's training-round cost. Default energy.CommShareOfTraining, the
+	// paper's measured ~1/216 ratio. Set negative to disable comm draw.
+	CommFrac float64
+}
+
+func (o Options) defaults() Options {
+	if o.InitialRounds <= 0 && o.InitialSoC == 0 {
+		o.InitialSoC = 1
+	}
+	if o.CommFrac == 0 {
+		o.CommFrac = energy.CommShareOfTraining
+	}
+	if o.CommFrac < 0 {
+		o.CommFrac = 0
+	}
+	return o
+}
+
+// Fleet binds one Battery per node to its device's per-round costs and a
+// harvest Trace, and advances the whole population round by round.
+//
+// Within a round the engine (internal/sim) drives the fleet in two steps:
+// policies call TryTrain(i) for nodes that decide to train, then EndRound
+// pays every node's idle and communication draw and harvests ambient
+// energy. All mutable state is strictly per-node, so TryTrain may be called
+// concurrently for distinct nodes; EndRound and the whole-fleet statistics
+// must not race with per-node calls.
+type Fleet struct {
+	batteries []Battery
+	trainWh   []float64 // per-round training cost of node i's device
+	commWh    []float64 // per-round sharing cost of node i's device
+	idleWh    float64
+	trace     Trace
+
+	harvested    []float64 // cumulative stored harvest per node
+	consumed     []float64 // cumulative train+idle+comm drain per node
+	wastedWh     float64   // harvest that arrived with the battery full
+	roundHarvest []float64 // scratch: last EndRound's per-node stored harvest
+}
+
+// NewFleet builds a fleet of len(devices) nodes. Each node's training cost
+// comes from its device under workload w (Eq. 2), its battery capacity from
+// the device profile, and its recharge from trace.
+func NewFleet(devices []energy.Device, w energy.Workload, trace Trace, opt Options) (*Fleet, error) {
+	if len(devices) == 0 {
+		return nil, fmt.Errorf("harvest: fleet needs at least one device")
+	}
+	if trace == nil {
+		return nil, fmt.Errorf("harvest: nil trace")
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	opt = opt.defaults()
+	if opt.CutoffSoC < 0 || opt.CutoffSoC >= 1 {
+		return nil, fmt.Errorf("harvest: cutoff SoC %v outside [0, 1)", opt.CutoffSoC)
+	}
+	if opt.IdleWh < 0 {
+		return nil, fmt.Errorf("harvest: negative idle draw %v", opt.IdleWh)
+	}
+	if opt.CapacityRounds < 0 {
+		return nil, fmt.Errorf("harvest: negative capacity rounds %v", opt.CapacityRounds)
+	}
+	if opt.InitialSoC < 0 || opt.InitialSoC > 1 {
+		return nil, fmt.Errorf("harvest: initial SoC %v outside [0, 1]", opt.InitialSoC)
+	}
+	if opt.InitialRounds < 0 {
+		return nil, fmt.Errorf("harvest: negative initial rounds %v", opt.InitialRounds)
+	}
+	f := &Fleet{
+		batteries:    make([]Battery, len(devices)),
+		trainWh:      make([]float64, len(devices)),
+		commWh:       make([]float64, len(devices)),
+		idleWh:       opt.IdleWh,
+		trace:        trace,
+		harvested:    make([]float64, len(devices)),
+		consumed:     make([]float64, len(devices)),
+		roundHarvest: make([]float64, len(devices)),
+	}
+	for i, d := range devices {
+		f.trainWh[i] = d.TrainRoundWh(w)
+		f.commWh[i] = f.trainWh[i] * opt.CommFrac
+		capacity := d.BatteryWh
+		if opt.CapacityRounds > 0 {
+			capacity = opt.CapacityRounds * f.trainWh[i]
+		}
+		initial := opt.InitialSoC * capacity
+		if opt.InitialRounds > 0 {
+			initial = opt.InitialRounds * f.trainWh[i]
+		}
+		if opt.StartEmpty {
+			initial = 0
+		}
+		b, err := NewBattery(capacity, initial, opt.CutoffSoC*capacity)
+		if err != nil {
+			return nil, fmt.Errorf("harvest: node %d (%s): %w", i, d.Name, err)
+		}
+		f.batteries[i] = b
+	}
+	return f, nil
+}
+
+// Nodes returns the fleet size.
+func (f *Fleet) Nodes() int { return len(f.batteries) }
+
+// SoC returns node i's state of charge in [0, 1].
+func (f *Fleet) SoC(i int) float64 { return f.batteries[i].SoC() }
+
+// ChargeWh returns node i's charge level in Wh.
+func (f *Fleet) ChargeWh(i int) float64 { return f.batteries[i].ChargeWh() }
+
+// Usable reports whether node i is above its brown-out cutoff.
+func (f *Fleet) Usable(i int) bool { return f.batteries[i].Usable() }
+
+// TrainCostWh returns the per-round training cost of node i's device.
+func (f *Fleet) TrainCostWh(i int) float64 { return f.trainWh[i] }
+
+// TryTrain atomically spends node i's training-round energy, reporting
+// whether the battery could afford it. Policies call this after deciding to
+// train; it is the only training drain path. Safe for concurrent use across
+// distinct nodes.
+func (f *Fleet) TryTrain(i int) bool {
+	if !f.batteries[i].TryConsume(f.trainWh[i]) {
+		return false
+	}
+	f.consumed[i] += f.trainWh[i]
+	return true
+}
+
+// EndRound closes round t: every node pays its communication and idle draw
+// (clamped at empty — dead nodes cannot pay), then harvests trace energy
+// into its battery. It returns the per-node energy actually stored this
+// round; the slice is reused by the next EndRound call.
+func (f *Fleet) EndRound(t int) []float64 {
+	for i := range f.batteries {
+		b := &f.batteries[i]
+		f.consumed[i] += b.Drain(f.commWh[i] + f.idleWh)
+		arrived := f.trace.HarvestWh(i, t)
+		stored := b.Harvest(arrived)
+		f.harvested[i] += stored
+		f.wastedWh += arrived - stored
+		f.roundHarvest[i] = stored
+	}
+	return f.roundHarvest
+}
+
+// SoCs returns a snapshot of every node's state of charge.
+func (f *Fleet) SoCs() []float64 {
+	out := make([]float64, len(f.batteries))
+	for i := range f.batteries {
+		out[i] = f.batteries[i].SoC()
+	}
+	return out
+}
+
+// MeanSoC returns the fleet-average state of charge.
+func (f *Fleet) MeanSoC() float64 {
+	s := 0.0
+	for i := range f.batteries {
+		s += f.batteries[i].SoC()
+	}
+	return s / float64(len(f.batteries))
+}
+
+// MinSoC returns the lowest state of charge in the fleet.
+func (f *Fleet) MinSoC() float64 {
+	min := f.batteries[0].SoC()
+	for i := 1; i < len(f.batteries); i++ {
+		if s := f.batteries[i].SoC(); s < min {
+			min = s
+		}
+	}
+	return min
+}
+
+// DepletedCount returns how many nodes sit at or below their cutoff.
+func (f *Fleet) DepletedCount() int {
+	n := 0
+	for i := range f.batteries {
+		if !f.batteries[i].Usable() {
+			n++
+		}
+	}
+	return n
+}
+
+// HarvestedWh returns the total energy stored from harvesting so far.
+func (f *Fleet) HarvestedWh() float64 { return sum(f.harvested) }
+
+// ConsumedWh returns the total energy drained (training + comm + idle).
+func (f *Fleet) ConsumedWh() float64 { return sum(f.consumed) }
+
+// WastedWh returns harvest energy that arrived while batteries were full.
+func (f *Fleet) WastedWh() float64 { return f.wastedWh }
+
+// NodeHarvestedWh returns node i's cumulative stored harvest.
+func (f *Fleet) NodeHarvestedWh(i int) float64 { return f.harvested[i] }
+
+// NodeConsumedWh returns node i's cumulative drain.
+func (f *Fleet) NodeConsumedWh(i int) float64 { return f.consumed[i] }
+
+// TraceName reports the attached trace's identity for logs and tables.
+func (f *Fleet) TraceName() string { return f.trace.Name() }
+
+func sum(xs []float64) float64 {
+	t := 0.0
+	for _, v := range xs {
+		t += v
+	}
+	return t
+}

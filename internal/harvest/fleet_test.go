@@ -1,0 +1,221 @@
+package harvest
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/energy"
+)
+
+func testFleet(t *testing.T, trace Trace, opt Options) *Fleet {
+	t.Helper()
+	devices := energy.AssignDevices(8, energy.Devices())
+	f, err := NewFleet(devices, energy.CIFAR10Workload(), trace, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestNewFleetValidates(t *testing.T) {
+	w := energy.CIFAR10Workload()
+	devices := energy.AssignDevices(4, energy.Devices())
+	if _, err := NewFleet(nil, w, Constant{0}, Options{}); err == nil {
+		t.Fatal("empty fleet should error")
+	}
+	if _, err := NewFleet(devices, w, nil, Options{}); err == nil {
+		t.Fatal("nil trace should error")
+	}
+	if _, err := NewFleet(devices, energy.Workload{}, Constant{0}, Options{}); err == nil {
+		t.Fatal("invalid workload should error")
+	}
+	if _, err := NewFleet(devices, w, Constant{0}, Options{CutoffSoC: 1.5}); err == nil {
+		t.Fatal("bad cutoff should error")
+	}
+	if _, err := NewFleet(devices, w, Constant{0}, Options{IdleWh: -1}); err == nil {
+		t.Fatal("negative idle should error")
+	}
+}
+
+func TestFleetInitialRounds(t *testing.T) {
+	f := testFleet(t, Constant{0}, Options{InitialRounds: 4})
+	for i := 0; i < f.Nodes(); i++ {
+		want := 4 * f.TrainCostWh(i)
+		if got := f.ChargeWh(i); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("node %d initial charge %v, want %v", i, got, want)
+		}
+	}
+	// Exactly 4 training rounds are affordable, then the battery refuses.
+	for r := 0; r < 4; r++ {
+		if !f.TryTrain(0) {
+			t.Fatalf("round %d should be affordable", r)
+		}
+	}
+	if f.TryTrain(0) {
+		t.Fatal("fifth round should be refused")
+	}
+}
+
+func TestFleetDefaultsToFullBatteries(t *testing.T) {
+	f := testFleet(t, Constant{0}, Options{})
+	for i := 0; i < f.Nodes(); i++ {
+		if f.SoC(i) != 1 {
+			t.Fatalf("node %d SoC %v, want full", i, f.SoC(i))
+		}
+	}
+}
+
+// TestFleetEnergyConservation checks the battery ledger: final charge equals
+// initial charge plus stored harvest minus drained consumption, per node.
+func TestFleetEnergyConservation(t *testing.T) {
+	trace, err := NewMarkovOnOff(8, 0.004, 0.3, 0.5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := testFleet(t, trace, Options{InitialRounds: 3, IdleWh: 0.0002})
+	initial := make([]float64, f.Nodes())
+	for i := range initial {
+		initial[i] = f.ChargeWh(i)
+	}
+	for round := 0; round < 50; round++ {
+		for i := 0; i < f.Nodes(); i++ {
+			if round%2 == i%2 { // arbitrary but deterministic participation
+				f.TryTrain(i)
+			}
+		}
+		f.EndRound(round)
+	}
+	for i := 0; i < f.Nodes(); i++ {
+		want := initial[i] + f.NodeHarvestedWh(i) - f.NodeConsumedWh(i)
+		if got := f.ChargeWh(i); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("node %d ledger mismatch: charge %v, want %v", i, got, want)
+		}
+	}
+	if f.HarvestedWh() <= 0 {
+		t.Fatal("markov trace should have harvested something in 50 rounds")
+	}
+}
+
+func TestFleetWastedWh(t *testing.T) {
+	// Full batteries + constant harvest and no draw: everything is wasted.
+	f := testFleet(t, Constant{0.5}, Options{CommFrac: -1})
+	f.EndRound(0)
+	if f.HarvestedWh() != 0 {
+		t.Fatalf("full batteries stored %v Wh", f.HarvestedWh())
+	}
+	if want := 0.5 * float64(f.Nodes()); math.Abs(f.WastedWh()-want) > 1e-12 {
+		t.Fatalf("wasted %v, want %v", f.WastedWh(), want)
+	}
+}
+
+func TestFleetDepletedCountAndStats(t *testing.T) {
+	f := testFleet(t, Constant{0}, Options{InitialRounds: 1, IdleWh: 1})
+	if f.DepletedCount() != 0 {
+		t.Fatal("fresh fleet should have no depleted nodes")
+	}
+	for i := 0; i < f.Nodes(); i++ {
+		f.TryTrain(i)
+	}
+	f.EndRound(0) // the huge idle draw empties what's left
+	if got := f.DepletedCount(); got != f.Nodes() {
+		t.Fatalf("depleted %d, want all %d", got, f.Nodes())
+	}
+	if f.MinSoC() > 1e-9 || f.MeanSoC() > 1e-9 {
+		t.Fatalf("stats nonzero on empty fleet: min=%v mean=%v", f.MinSoC(), f.MeanSoC())
+	}
+	socs := f.SoCs()
+	if len(socs) != f.Nodes() {
+		t.Fatalf("SoCs length %d", len(socs))
+	}
+}
+
+// TestFleetParallelTryTrainDeterministic drives TryTrain from one goroutine
+// per node — the engine's worst-case interleaving — and checks the SoC
+// trajectory is bit-identical to a serial run. All fleet state is per-node,
+// so scheduling must not matter.
+func TestFleetParallelTryTrainDeterministic(t *testing.T) {
+	trace := func() Trace {
+		d, err := NewDiurnal(0.01, 12, LongitudePhase(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	run := func(parallel bool) [][]float64 {
+		f := testFleet(t, trace(), Options{InitialRounds: 2})
+		var history [][]float64
+		for round := 0; round < 40; round++ {
+			if parallel {
+				var wg sync.WaitGroup
+				for i := 0; i < f.Nodes(); i++ {
+					wg.Add(1)
+					go func(i int) {
+						defer wg.Done()
+						if f.SoC(i) > 0.0001 {
+							f.TryTrain(i)
+						}
+					}(i)
+				}
+				wg.Wait()
+			} else {
+				for i := 0; i < f.Nodes(); i++ {
+					if f.SoC(i) > 0.0001 {
+						f.TryTrain(i)
+					}
+				}
+			}
+			f.EndRound(round)
+			history = append(history, f.SoCs())
+		}
+		return history
+	}
+	serial, concurrent := run(false), run(true)
+	for round := range serial {
+		for i := range serial[round] {
+			if serial[round][i] != concurrent[round][i] {
+				t.Fatalf("round %d node %d: serial SoC %v != parallel SoC %v",
+					round, i, serial[round][i], concurrent[round][i])
+			}
+		}
+	}
+}
+
+func TestFleetCapacityRoundsOverride(t *testing.T) {
+	f := testFleet(t, Constant{0}, Options{CapacityRounds: 10, InitialSoC: 0.5})
+	for i := 0; i < f.Nodes(); i++ {
+		if got, want := f.ChargeWh(i), 5*f.TrainCostWh(i); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("node %d charge %v, want %v (5 rounds of a 10-round cap)", i, got, want)
+		}
+		if math.Abs(f.SoC(i)-0.5) > 1e-12 {
+			t.Fatalf("node %d SoC %v, want 0.5", i, f.SoC(i))
+		}
+	}
+	if _, err := NewFleet(energy.AssignDevices(2, energy.Devices()), energy.CIFAR10Workload(),
+		Constant{0}, Options{CapacityRounds: -1}); err == nil {
+		t.Fatal("negative capacity rounds should error")
+	}
+}
+
+func TestFleetInitialOptionsValidationAndStartEmpty(t *testing.T) {
+	devices := energy.AssignDevices(2, energy.Devices())
+	w := energy.CIFAR10Workload()
+	if _, err := NewFleet(devices, w, Constant{0}, Options{InitialSoC: 1.5}); err == nil {
+		t.Fatal("InitialSoC > 1 should error")
+	}
+	if _, err := NewFleet(devices, w, Constant{0}, Options{InitialSoC: -0.2}); err == nil {
+		t.Fatal("negative InitialSoC should error")
+	}
+	if _, err := NewFleet(devices, w, Constant{0}, Options{InitialRounds: -1}); err == nil {
+		t.Fatal("negative InitialRounds should error")
+	}
+	f, err := NewFleet(devices, w, Constant{0}, Options{InitialSoC: 0.8, StartEmpty: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < f.Nodes(); i++ {
+		if f.ChargeWh(i) != 0 {
+			t.Fatalf("StartEmpty node %d has charge %v", i, f.ChargeWh(i))
+		}
+	}
+}

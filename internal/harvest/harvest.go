@@ -1,0 +1,114 @@
+// Package harvest models per-node battery dynamics and ambient energy
+// harvesting for intermittently-powered fleets, generalizing the paper's
+// static energy budgets τ_i (Section 2.3) to live battery state.
+//
+// The paper's SkipTrain-constrained policy spreads a fixed, monotonically
+// draining budget across the horizon with p_i = min(τ_i / T_train, 1)
+// (Eq. 5). Real intermittently-powered deployments recharge: solar panels
+// follow the sun, phones sit on chargers overnight, RF-powered sensors see
+// bursty ambient energy. This package models that regime round by round:
+//
+//   - a Battery is a per-node charge state machine: capacity in Wh, a
+//     brown-out cutoff below which the node cannot operate, harvesting
+//     clamped at capacity, and all-or-nothing training consumption;
+//   - a Trace generates the per-round harvested energy — constant trickle,
+//     diurnal/solar sinusoid with per-node phase (longitude), a Markov
+//     on-off chain for bursty sources, or a CSV replay;
+//   - a Fleet binds one battery per node to its device's training cost
+//     (energy.Device × energy.Workload) and advances all batteries each
+//     round: pay idle and communication draw, then harvest;
+//   - the policies in policy.go implement core.Policy from live
+//     state-of-charge, generalizing Eq. 5's static p_i to p_i^t = f(SoC_i^t).
+//
+// Every stochastic trace owns per-node RNG streams derived from the
+// experiment seed, and all fleet state is strictly per-node, so simulations
+// remain bit-reproducible regardless of GOMAXPROCS or goroutine
+// interleaving.
+package harvest
+
+import "fmt"
+
+// Battery is one node's charge state. Construct with NewBattery; the zero
+// value is not usable.
+type Battery struct {
+	// CapacityWh is the storage capacity; harvesting beyond it is wasted.
+	CapacityWh float64
+	// CutoffWh is the brown-out level: a battery at or below the cutoff
+	// cannot power the node (Usable reports false), and training may never
+	// drain charge below it.
+	CutoffWh float64
+
+	chargeWh float64
+}
+
+// NewBattery returns a battery with the given capacity, initial charge and
+// brown-out cutoff (all Wh). The initial charge is clamped into
+// [0, capacity].
+func NewBattery(capacityWh, initialWh, cutoffWh float64) (Battery, error) {
+	switch {
+	case capacityWh <= 0:
+		return Battery{}, fmt.Errorf("harvest: non-positive capacity %v", capacityWh)
+	case cutoffWh < 0 || cutoffWh >= capacityWh:
+		return Battery{}, fmt.Errorf("harvest: cutoff %v outside [0, capacity %v)", cutoffWh, capacityWh)
+	}
+	b := Battery{CapacityWh: capacityWh, CutoffWh: cutoffWh, chargeWh: clamp(initialWh, 0, capacityWh)}
+	return b, nil
+}
+
+// ChargeWh returns the current charge level in Wh.
+func (b *Battery) ChargeWh() float64 { return b.chargeWh }
+
+// SoC returns the state of charge as a fraction of capacity in [0, 1].
+func (b *Battery) SoC() float64 { return b.chargeWh / b.CapacityWh }
+
+// Usable reports whether the battery is above the brown-out cutoff.
+func (b *Battery) Usable() bool { return b.chargeWh > b.CutoffWh }
+
+// Harvest stores up to wh watt-hours and returns the amount actually stored;
+// the remainder (a full battery) is wasted. Negative input is ignored.
+func (b *Battery) Harvest(wh float64) float64 {
+	if wh <= 0 {
+		return 0
+	}
+	stored := wh
+	if room := b.CapacityWh - b.chargeWh; stored > room {
+		stored = room
+	}
+	b.chargeWh += stored
+	return stored
+}
+
+// Drain removes up to wh watt-hours for loads the node cannot refuse (idle
+// and communication draw), clamping at empty, and returns the amount
+// actually drained.
+func (b *Battery) Drain(wh float64) float64 {
+	if wh <= 0 {
+		return 0
+	}
+	if wh > b.chargeWh {
+		wh = b.chargeWh
+	}
+	b.chargeWh -= wh
+	return wh
+}
+
+// TryConsume atomically spends wh watt-hours on a training round. It is
+// all-or-nothing and never takes the battery below the cutoff: a node must
+// not brown out mid-round.
+func (b *Battery) TryConsume(wh float64) bool {
+	if wh < 0 || b.chargeWh-wh < b.CutoffWh {
+		return false
+	}
+	b.chargeWh -= wh
+	return true
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,127 @@
+package harvest
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// The policies below implement core.Policy from live battery state,
+// generalizing the paper's static SkipTrain-constrained rule
+// p_i = min(τ_i / T_train, 1) (Eq. 5) to charge-aware rules
+// p_i^t = f(SoC_i^t). They are declared against the same
+// Participate(node, t, rng) contract, so they drop into core.Algorithm and
+// the sim engine unchanged; each consults — and on success drains — the
+// shared Fleet, which is safe for concurrent use across distinct nodes.
+
+// SoCThreshold trains whenever the node's state of charge is at least
+// MinSoC and the battery can afford a full round: the simplest
+// duty-cycling rule of intermittent computing.
+type SoCThreshold struct {
+	Fleet  *Fleet
+	MinSoC float64
+}
+
+// NewSoCThreshold validates and returns a threshold policy.
+func NewSoCThreshold(f *Fleet, minSoC float64) (*SoCThreshold, error) {
+	if f == nil {
+		return nil, fmt.Errorf("harvest: nil fleet")
+	}
+	if minSoC < 0 || minSoC > 1 {
+		return nil, fmt.Errorf("harvest: threshold SoC %v outside [0, 1]", minSoC)
+	}
+	return &SoCThreshold{Fleet: f, MinSoC: minSoC}, nil
+}
+
+// Participate trains iff SoC ≥ MinSoC and the round is affordable.
+func (p *SoCThreshold) Participate(node, _ int, _ *rng.RNG) bool {
+	if p.Fleet.SoC(node) < p.MinSoC {
+		return false
+	}
+	return p.Fleet.TryTrain(node)
+}
+
+// Name returns "soc-threshold".
+func (*SoCThreshold) Name() string { return "soc-threshold" }
+
+// SoCHysteresis duty-cycles with two thresholds to avoid oscillating at a
+// single cutoff: a node that falls below Low goes dormant and only resumes
+// training after recharging above High — the checkpoint/restore pattern of
+// intermittently-powered devices.
+type SoCHysteresis struct {
+	fleet     *Fleet
+	low, high float64
+	dormant   []bool
+}
+
+// NewSoCHysteresis validates 0 ≤ low < high ≤ 1 and returns the policy.
+func NewSoCHysteresis(f *Fleet, low, high float64) (*SoCHysteresis, error) {
+	if f == nil {
+		return nil, fmt.Errorf("harvest: nil fleet")
+	}
+	if low < 0 || high > 1 || low >= high {
+		return nil, fmt.Errorf("harvest: hysteresis band [%v, %v] invalid", low, high)
+	}
+	return &SoCHysteresis{fleet: f, low: low, high: high, dormant: make([]bool, f.Nodes())}, nil
+}
+
+// Participate applies the two-threshold rule. Dormancy state is strictly
+// per-node, so concurrent calls for distinct nodes are race-free.
+func (p *SoCHysteresis) Participate(node, _ int, _ *rng.RNG) bool {
+	soc := p.fleet.SoC(node)
+	if p.dormant[node] {
+		if soc < p.high {
+			return false
+		}
+		p.dormant[node] = false
+	} else if soc < p.low {
+		p.dormant[node] = true
+		return false
+	}
+	return p.fleet.TryTrain(node)
+}
+
+// Name returns "soc-hysteresis".
+func (*SoCHysteresis) Name() string { return "soc-hysteresis" }
+
+// Dormant reports whether node is currently in the dormant phase.
+func (p *SoCHysteresis) Dormant(node int) bool { return p.dormant[node] }
+
+// SoCProportional trains with probability p_i^t = SoC_i^t raised to
+// Exponent: the charge-aware generalization of Eq. 5, spreading expected
+// consumption in proportion to available charge instead of a static budget
+// ratio. Exponent 1 is linear; larger exponents hoard charge (train only
+// when nearly full), smaller ones spend it eagerly.
+type SoCProportional struct {
+	Fleet    *Fleet
+	Exponent float64
+}
+
+// NewSoCProportional validates and returns a proportional policy.
+func NewSoCProportional(f *Fleet, exponent float64) (*SoCProportional, error) {
+	if f == nil {
+		return nil, fmt.Errorf("harvest: nil fleet")
+	}
+	if exponent <= 0 {
+		return nil, fmt.Errorf("harvest: non-positive exponent %v", exponent)
+	}
+	return &SoCProportional{Fleet: f, Exponent: exponent}, nil
+}
+
+// Probability returns the node's current training probability f(SoC).
+func (p *SoCProportional) Probability(node int) float64 {
+	return math.Pow(p.Fleet.SoC(node), p.Exponent)
+}
+
+// Participate flips the charge-proportional coin and consumes battery only
+// when actually training (mirroring Algorithm 2 lines 5-11).
+func (p *SoCProportional) Participate(node, _ int, r *rng.RNG) bool {
+	if r.Float64() <= p.Probability(node) {
+		return p.Fleet.TryTrain(node)
+	}
+	return false
+}
+
+// Name returns "soc-proportional".
+func (*SoCProportional) Name() string { return "soc-proportional" }

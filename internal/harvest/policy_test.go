@@ -1,0 +1,170 @@
+package harvest
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/rng"
+)
+
+// The harvest policies must satisfy the engine's policy contract.
+var (
+	_ core.Policy = (*SoCThreshold)(nil)
+	_ core.Policy = (*SoCHysteresis)(nil)
+	_ core.Policy = (*SoCProportional)(nil)
+)
+
+func policyFleet(t *testing.T, trace Trace, opt Options) *Fleet {
+	t.Helper()
+	devices := energy.AssignDevices(4, energy.Devices())
+	f, err := NewFleet(devices, energy.CIFAR10Workload(), trace, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestSoCThreshold(t *testing.T) {
+	f := policyFleet(t, Constant{0}, Options{InitialSoC: 0.5})
+	p, err := NewSoCThreshold(f, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(1)
+	if !p.Participate(0, 0, r) {
+		t.Fatal("SoC 0.5 >= 0.4 should train")
+	}
+	p.MinSoC = 0.6
+	if p.Participate(0, 1, r) {
+		t.Fatal("SoC below threshold should skip")
+	}
+	if _, err := NewSoCThreshold(nil, 0.5); err == nil {
+		t.Fatal("nil fleet should error")
+	}
+	if _, err := NewSoCThreshold(f, 1.5); err == nil {
+		t.Fatal("threshold > 1 should error")
+	}
+}
+
+func TestSoCThresholdDrainsExactlyOnTrain(t *testing.T) {
+	f := policyFleet(t, Constant{0}, Options{InitialRounds: 2})
+	p, err := NewSoCThreshold(f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(1)
+	before := f.ChargeWh(1)
+	if !p.Participate(1, 0, r) {
+		t.Fatal("affordable round refused")
+	}
+	if got := before - f.ChargeWh(1); math.Abs(got-f.TrainCostWh(1)) > 1e-12 {
+		t.Fatalf("train drained %v, want %v", got, f.TrainCostWh(1))
+	}
+}
+
+func TestSoCHysteresisBand(t *testing.T) {
+	// Start with no recharge: the node trains down through the low
+	// threshold, goes dormant, and stays dormant until recharged above the
+	// high threshold. One training round on this device drops SoC by
+	// ~3.7e-4, so the band sits a few rounds below the initial charge.
+	f := policyFleet(t, Constant{0}, Options{InitialSoC: 0.002})
+	p, err := NewSoCHysteresis(f, 0.001, 0.0015)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(2)
+	trained := 0
+	for round := 0; round < 200 && !p.Dormant(0); round++ {
+		if p.Participate(0, round, r) {
+			trained++
+		}
+	}
+	if trained == 0 {
+		t.Fatal("node never trained before going dormant")
+	}
+	if !p.Dormant(0) {
+		t.Fatal("draining node never went dormant")
+	}
+	// Recharge into the band but below high: still dormant.
+	f.batteries[0].chargeWh = 0.0012 * f.batteries[0].CapacityWh
+	if p.Participate(0, 999, r) || !p.Dormant(0) {
+		t.Fatal("node inside the band must stay dormant")
+	}
+	// Recharge above high: resumes.
+	f.batteries[0].chargeWh = 0.5 * f.batteries[0].CapacityWh
+	if !p.Participate(0, 1000, r) {
+		t.Fatal("recharged node should resume training")
+	}
+	if p.Dormant(0) {
+		t.Fatal("resumed node still marked dormant")
+	}
+}
+
+func TestSoCHysteresisValidates(t *testing.T) {
+	f := policyFleet(t, Constant{0}, Options{})
+	if _, err := NewSoCHysteresis(nil, 0.1, 0.2); err == nil {
+		t.Fatal("nil fleet should error")
+	}
+	if _, err := NewSoCHysteresis(f, 0.3, 0.2); err == nil {
+		t.Fatal("low >= high should error")
+	}
+	if _, err := NewSoCHysteresis(f, -0.1, 0.2); err == nil {
+		t.Fatal("negative low should error")
+	}
+}
+
+func TestSoCProportionalProbabilityFollowsCharge(t *testing.T) {
+	f := policyFleet(t, Constant{0}, Options{InitialSoC: 0.25})
+	p, err := NewSoCProportional(f, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Probability(0); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("linear probability %v, want 0.25", got)
+	}
+	p.Exponent = 2
+	if got := p.Probability(0); math.Abs(got-0.0625) > 1e-12 {
+		t.Fatalf("quadratic probability %v, want 0.0625", got)
+	}
+	// Empirical rate over many flips tracks the probability.
+	p.Exponent = 1
+	r := rng.New(5)
+	hits := 0
+	const trials = 4000
+	for i := 0; i < trials; i++ {
+		if r.Float64() <= p.Probability(0) {
+			hits++
+		}
+	}
+	if rate := float64(hits) / trials; math.Abs(rate-0.25) > 0.03 {
+		t.Fatalf("empirical rate %v far from 0.25", rate)
+	}
+}
+
+func TestSoCProportionalConsumesOnlyWhenTraining(t *testing.T) {
+	f := policyFleet(t, Constant{0}, Options{InitialRounds: 100})
+	p, err := NewSoCProportional(f, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(9)
+	before := f.ChargeWh(0)
+	trained := 0
+	for round := 0; round < 50; round++ {
+		if p.Participate(0, round, r) {
+			trained++
+		}
+	}
+	drained := before - f.ChargeWh(0)
+	if want := float64(trained) * f.TrainCostWh(0); math.Abs(drained-want) > 1e-9 {
+		t.Fatalf("drained %v for %d trained rounds, want %v", drained, trained, want)
+	}
+	if _, err := NewSoCProportional(f, 0); err == nil {
+		t.Fatal("zero exponent should error")
+	}
+	if _, err := NewSoCProportional(nil, 1); err == nil {
+		t.Fatal("nil fleet should error")
+	}
+}

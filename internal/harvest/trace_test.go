@@ -1,0 +1,199 @@
+package harvest
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestDiurnalGoldenValues pins the diurnal generator to hand-computed
+// values: peak 1 Wh, 24-round day, zero phase. sin(2π t/24) at t=0,6,12,18
+// is 0, 1, 0, -1 (night, clipped to 0), and t=3 gives sin(π/4)=√2/2.
+func TestDiurnalGoldenValues(t *testing.T) {
+	d, err := NewDiurnal(1, 24, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := map[int]float64{
+		0:  0,
+		3:  math.Sqrt2 / 2,
+		6:  1,
+		9:  math.Sqrt2 / 2,
+		12: 0,
+		15: 0, // night
+		18: 0, // night
+		21: 0, // night
+		24: 0, // next day wraps
+		30: 1, // next day's noon
+	}
+	for round, want := range golden {
+		if got := d.HarvestWh(0, round); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("diurnal t=%d: %v, want %v", round, got, want)
+		}
+	}
+}
+
+func TestDiurnalPhaseShiftsNoon(t *testing.T) {
+	// Node phase 0.25 advances the day by 6 rounds: its noon is t=0.
+	d, err := NewDiurnal(2, 24, func(int) float64 { return 0.25 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.HarvestWh(0, 0); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("phase-shifted noon harvest %v, want 2", got)
+	}
+	if got := d.HarvestWh(0, 12); got != 0 {
+		t.Fatalf("phase-shifted night harvest %v, want 0", got)
+	}
+}
+
+func TestLongitudePhaseSpread(t *testing.T) {
+	phase := LongitudePhase(4)
+	want := []float64{0, 0.25, 0.5, 0.75}
+	for i, w := range want {
+		if got := phase(i); math.Abs(got-w) > 1e-12 {
+			t.Fatalf("node %d phase %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestDiurnalValidates(t *testing.T) {
+	if _, err := NewDiurnal(0, 24, nil); err == nil {
+		t.Fatal("zero peak should error")
+	}
+	if _, err := NewDiurnal(1, 1, nil); err == nil {
+		t.Fatal("degenerate period should error")
+	}
+}
+
+func TestMarkovOnOffDeterministicPerSeed(t *testing.T) {
+	run := func() []float64 {
+		m, err := NewMarkovOnOff(4, 0.5, 0.3, 0.4, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []float64
+		for round := 0; round < 64; round++ {
+			for node := 0; node < 4; node++ {
+				out = append(out, m.HarvestWh(node, round))
+			}
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("markov trace diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// A different seed must eventually diverge.
+	m2, _ := NewMarkovOnOff(4, 0.5, 0.3, 0.4, 8)
+	diverged := false
+	for round := 0; round < 64 && !diverged; round++ {
+		for node := 0; node < 4; node++ {
+			if m2.HarvestWh(node, round) != a[round*4+node] {
+				diverged = true
+			}
+		}
+	}
+	if !diverged {
+		t.Fatal("different seeds produced identical 64-round trajectories")
+	}
+}
+
+func TestMarkovOnOffSpendsTimeInBothStates(t *testing.T) {
+	m, err := NewMarkovOnOff(1, 1, 0.5, 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, off := 0, 0
+	for round := 0; round < 400; round++ {
+		if m.HarvestWh(0, round) > 0 {
+			on++
+		} else {
+			off++
+		}
+	}
+	// Symmetric chain: stationary distribution is 50/50.
+	if on < 100 || off < 100 {
+		t.Fatalf("chain stuck: on=%d off=%d", on, off)
+	}
+}
+
+func TestMarkovOnOffValidates(t *testing.T) {
+	if _, err := NewMarkovOnOff(0, 1, 0.5, 0.5, 1); err == nil {
+		t.Fatal("zero nodes should error")
+	}
+	if _, err := NewMarkovOnOff(2, 0, 0.5, 0.5, 1); err == nil {
+		t.Fatal("zero on-harvest should error")
+	}
+	if _, err := NewMarkovOnOff(2, 1, 1.5, 0.5, 1); err == nil {
+		t.Fatal("probability > 1 should error")
+	}
+}
+
+func TestReplayWrapsAround(t *testing.T) {
+	p, err := NewReplay([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Rounds() != 3 || p.Nodes() != 2 {
+		t.Fatalf("shape %dx%d", p.Nodes(), p.Rounds())
+	}
+	if got := p.HarvestWh(1, 4); got != 4 {
+		t.Fatalf("wrapped harvest %v, want 4 (round 4 ≡ 1)", got)
+	}
+}
+
+func TestReplayValidates(t *testing.T) {
+	if _, err := NewReplay(nil); err == nil {
+		t.Fatal("empty schedule should error")
+	}
+	if _, err := NewReplay([][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("ragged schedule should error")
+	}
+	if _, err := NewReplay([][]float64{{-1}}); err == nil {
+		t.Fatal("negative harvest should error")
+	}
+	if _, err := NewReplay([][]float64{{math.NaN()}}); err == nil {
+		t.Fatal("NaN harvest should error")
+	}
+}
+
+func TestReplayCSVRoundTrip(t *testing.T) {
+	wh := [][]float64{{0, 0.5, 1.25}, {2, 0, 0.0065}}
+	var sb strings.Builder
+	if err := WriteReplay(&sb, wh); err != nil {
+		t.Fatal(err)
+	}
+	p, err := ReadReplay(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := range wh {
+		for node := range wh[round] {
+			if got := p.HarvestWh(node, round); got != wh[round][node] {
+				t.Fatalf("cell (%d,%d) = %v, want %v", round, node, got, wh[round][node])
+			}
+		}
+	}
+}
+
+func TestReadReplayRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"empty":       "",
+		"bad header":  "round,node,wh\n0,0,1\n",
+		"no cells":    "round,node,harvest_wh\n",
+		"bad round":   "round,node,harvest_wh\nx,0,1\n",
+		"bad node":    "round,node,harvest_wh\n0,-1,1\n",
+		"bad value":   "round,node,harvest_wh\n0,0,zap\n",
+		"duplicate":   "round,node,harvest_wh\n0,0,1\n0,0,2\n",
+		"incomplete":  "round,node,harvest_wh\n0,0,1\n1,1,2\n",
+		"field count": "round,node,harvest_wh\n0,0\n",
+	}
+	for name, input := range cases {
+		if _, err := ReadReplay(strings.NewReader(input)); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+}

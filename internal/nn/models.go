@@ -9,7 +9,7 @@ import "repro/internal/rng"
 //     These drive the energy model and can be trained (slowly) end to end.
 //  2. Scaled-down models (logistic regression, MLP, SmallCNN) used by the
 //     simulator so that 256-node experiments run on CPU-only machines while
-//     preserving the paper's learning dynamics (see DESIGN.md §2).
+//     preserving the paper's learning dynamics (see README.md).
 
 // CIFARGNLeNet builds DecentralizePy's GN-LeNet for 3x32x32 inputs and 10
 // classes: three 5x5 convolutions (32, 32, 64 channels, padding 2), each

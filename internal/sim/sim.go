@@ -12,6 +12,10 @@
 //     applies the W-weighted average;
 //  4. (optionally) evaluation on the shared test set.
 //
+// When a harvest fleet is attached (Config.Harvest), every round also closes
+// with a battery update — idle and communication draw, then ambient energy
+// harvest — and the round metrics carry the fleet's state of charge.
+//
 // Phases are fanned out across GOMAXPROCS workers, but all stochastic
 // state is per-node, so results are bit-identical regardless of
 // parallelism or transport.
@@ -26,6 +30,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/energy"
 	"repro/internal/graph"
+	"repro/internal/harvest"
 	"repro/internal/metrics"
 	"repro/internal/nn"
 	"repro/internal/rng"
@@ -65,6 +70,16 @@ type Config struct {
 	// per-round workload. Both optional; when absent energy is not tracked.
 	Devices  []energy.Device
 	Workload energy.Workload
+
+	// Harvest optionally attaches a battery/harvesting fleet
+	// (internal/harvest) covering Graph.N nodes. Training drains batteries
+	// only through the harvest policies' Fleet.TryTrain — pair the fleet
+	// with a charge-aware Algo.Policy — while the engine closes every round
+	// with Fleet.EndRound: idle and communication draw, then ambient
+	// harvest. State-of-charge statistics land in RoundMetrics; set
+	// TrackSoC to also record the full per-node SoC snapshot each round.
+	Harvest  *harvest.Fleet
+	TrackSoC bool
 
 	// Network is the transport to use; nil selects an in-process channel
 	// network sized for the topology.
@@ -107,6 +122,12 @@ func (c *Config) validate() error {
 			return err
 		}
 	}
+	if c.Harvest != nil && c.Harvest.Nodes() != c.Graph.N {
+		return fmt.Errorf("sim: harvest fleet covers %d nodes, graph has %d", c.Harvest.Nodes(), c.Graph.N)
+	}
+	if c.TrackSoC && c.Harvest == nil {
+		return fmt.Errorf("sim: TrackSoC requires a harvest fleet")
+	}
 	return nil
 }
 
@@ -123,6 +144,13 @@ type RoundMetrics struct {
 	Consensus    float64 // mean L2 distance to the mean model
 	CumTrainWh   float64 // cumulative network training energy (Eq. 3)
 	CumCommWh    float64 // cumulative sharing/aggregation energy
+
+	// Battery state (only meaningful when Config.Harvest is set).
+	MeanSoC      float64   // fleet-average state of charge after the round
+	MinSoC       float64   // lowest state of charge in the fleet
+	Depleted     int       // nodes at or below their brown-out cutoff
+	CumHarvestWh float64   // cumulative stored ambient energy
+	SoCs         []float64 // per-node SoC snapshot (Config.TrackSoC only)
 }
 
 // Result is the outcome of a run.
@@ -139,6 +167,10 @@ type Result struct {
 	FinalGlobalParams tensor.Vector
 	// Energy totals.
 	TotalTrainWh, TotalCommWh float64
+	// Harvest totals and final per-node state of charge (Config.Harvest
+	// runs only; FinalSoC is nil otherwise).
+	TotalHarvestWh float64
+	FinalSoC       []float64
 	// TrainedRounds counts how many rounds each node actually trained.
 	TrainedRounds []int
 }
@@ -218,6 +250,7 @@ func Run(cfg Config) (*Result, error) {
 	acct := energy.NewAccountant(n)
 	evaluator := newEvaluator(&cfg, paramCount)
 	result := &Result{TrainedRounds: make([]int, n)}
+	cumHarvestWh := 0.0
 
 	for t := 0; t < cfg.Rounds; t++ {
 		kind := cfg.Algo.Schedule.Kind(t)
@@ -316,6 +349,22 @@ func Run(cfg Config) (*Result, error) {
 				acct.AddCommunication(i, cfg.Devices[i].TrainRoundWh(cfg.Workload)*energy.CommShareOfTraining)
 			}
 		}
+		if cfg.Harvest != nil {
+			// Close the battery round: idle+comm draw, then ambient harvest.
+			// The fleet's per-node ledger is authoritative; the accountant
+			// mirrors it so energy reports pair harvested with consumed.
+			for i, wh := range cfg.Harvest.EndRound(t) {
+				acct.AddHarvest(i, wh)
+				cumHarvestWh += wh
+			}
+			m.MeanSoC = cfg.Harvest.MeanSoC()
+			m.MinSoC = cfg.Harvest.MinSoC()
+			m.Depleted = cfg.Harvest.DepletedCount()
+			m.CumHarvestWh = cumHarvestWh
+			if cfg.TrackSoC {
+				m.SoCs = cfg.Harvest.SoCs()
+			}
+		}
 
 		// Phase 4: evaluation.
 		if shouldEval(t, cfg.Rounds, cfg.EvalEvery) {
@@ -330,6 +379,10 @@ func Run(cfg Config) (*Result, error) {
 	}
 	result.TotalTrainWh = acct.TotalTrainingWh()
 	result.TotalCommWh = acct.TotalCommunicationWh()
+	if cfg.Harvest != nil {
+		result.TotalHarvestWh = cumHarvestWh
+		result.FinalSoC = cfg.Harvest.SoCs()
+	}
 	if evaluator.globalVec != nil {
 		models := make([]tensor.Vector, n)
 		for i, nd := range nodes {

@@ -2,12 +2,14 @@ package sim
 
 import (
 	"math"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/energy"
 	"repro/internal/graph"
+	"repro/internal/harvest"
 	"repro/internal/nn"
 	"repro/internal/rng"
 	"repro/internal/transport"
@@ -494,5 +496,155 @@ func TestTransportFailureSurfaces(t *testing.T) {
 	_, err = Run(cfg)
 	if err == nil {
 		t.Fatal("injected transport failure did not surface")
+	}
+}
+
+// harvestConfig attaches a diurnal harvest fleet and a charge-proportional
+// policy to the standard test config.
+func harvestConfig(t *testing.T, seed uint64) Config {
+	t.Helper()
+	cfg := testConfig(t, seed)
+	devices := energy.AssignDevices(cfg.Graph.N, energy.Devices())
+	w := energy.CIFAR10Workload()
+	trace, err := harvest.NewDiurnal(0.01, 8, harvest.LongitudePhase(cfg.Graph.N))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := harvest.NewFleet(devices, w, trace, harvest.Options{CapacityRounds: 8, InitialSoC: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy, err := harvest.NewSoCProportional(fleet, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Algo = core.Algorithm{Label: "harvest", Schedule: core.AllTrain{}, Policy: policy}
+	cfg.Devices = devices
+	cfg.Workload = w
+	cfg.Harvest = fleet
+	cfg.TrackSoC = true
+	return cfg
+}
+
+func TestHarvestFleetWiring(t *testing.T) {
+	cfg := harvestConfig(t, 6)
+	cfg.Rounds = 24
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalHarvestWh <= 0 {
+		t.Fatal("diurnal fleet harvested nothing")
+	}
+	if len(res.FinalSoC) != cfg.Graph.N {
+		t.Fatalf("FinalSoC has %d nodes", len(res.FinalSoC))
+	}
+	trainedTotal := 0
+	for _, tr := range res.TrainedRounds {
+		trainedTotal += tr
+	}
+	if trainedTotal == 0 {
+		t.Fatal("no node ever trained")
+	}
+	for _, m := range res.History {
+		if m.MeanSoC < 0 || m.MeanSoC > 1 || m.MinSoC > m.MeanSoC {
+			t.Fatalf("round %d SoC stats inconsistent: %+v", m.Round, m)
+		}
+		if len(m.SoCs) != cfg.Graph.N {
+			t.Fatalf("round %d SoC snapshot has %d nodes", m.Round, len(m.SoCs))
+		}
+	}
+	// Cumulative harvest is monotone.
+	for i := 1; i < len(res.History); i++ {
+		if res.History[i].CumHarvestWh < res.History[i-1].CumHarvestWh {
+			t.Fatalf("cumulative harvest decreased at round %d", i)
+		}
+	}
+}
+
+// TestHarvestDeterministicAcrossGOMAXPROCS pins the tentpole guarantee:
+// same seed and config produce bit-identical SoC trajectories no matter how
+// many workers the engine fans phases out to.
+func TestHarvestDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	run := func(procs int) *Result {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		cfg := harvestConfig(t, 7)
+		cfg.Rounds = 20
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1)
+	wide := run(8)
+	for r := range serial.History {
+		a, b := serial.History[r], wide.History[r]
+		if a.MeanSoC != b.MeanSoC || a.MinSoC != b.MinSoC || a.TrainedCount != b.TrainedCount {
+			t.Fatalf("round %d differs across GOMAXPROCS: %+v vs %+v", r, a, b)
+		}
+		for i := range a.SoCs {
+			if a.SoCs[i] != b.SoCs[i] {
+				t.Fatalf("round %d node %d SoC %v vs %v", r, i, a.SoCs[i], b.SoCs[i])
+			}
+		}
+	}
+	for i := range serial.FinalSoC {
+		if serial.FinalSoC[i] != wide.FinalSoC[i] {
+			t.Fatalf("final SoC differs at node %d", i)
+		}
+	}
+}
+
+func TestHarvestConfigValidation(t *testing.T) {
+	cfg := harvestConfig(t, 8)
+	small := energy.AssignDevices(cfg.Graph.N-1, energy.Devices())
+	fleet, err := harvest.NewFleet(small, energy.CIFAR10Workload(), harvest.Constant{Wh: 0}, harvest.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Harvest = fleet
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("fleet/graph size mismatch should error")
+	}
+	cfg2 := testConfig(t, 8)
+	cfg2.TrackSoC = true
+	if _, err := Run(cfg2); err == nil {
+		t.Fatal("TrackSoC without fleet should error")
+	}
+}
+
+// TestHarvestBatteriesBindParticipation: with zero recharge the fleet is a
+// strict budget — nodes can never train more rounds than their initial
+// charge affords, reproducing the paper's static-τ setting as a special
+// case of the harvesting model.
+func TestHarvestBatteriesBindParticipation(t *testing.T) {
+	cfg := harvestConfig(t, 9)
+	devices := energy.AssignDevices(cfg.Graph.N, energy.Devices())
+	const initialRounds = 4
+	fleet, err := harvest.NewFleet(devices, energy.CIFAR10Workload(), harvest.Constant{Wh: 0},
+		harvest.Options{InitialRounds: initialRounds, CommFrac: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy, err := harvest.NewSoCThreshold(fleet, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Algo = core.Algorithm{Label: "dark", Schedule: core.AllTrain{}, Policy: policy}
+	cfg.Harvest = fleet
+	cfg.Rounds = 16
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range res.TrainedRounds {
+		if tr != initialRounds {
+			t.Fatalf("node %d trained %d rounds on a %d-round battery with no recharge", i, tr, initialRounds)
+		}
+	}
+	if res.TotalHarvestWh != 0 {
+		t.Fatalf("dark scenario harvested %v Wh", res.TotalHarvestWh)
 	}
 }

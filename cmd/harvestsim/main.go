@@ -10,6 +10,14 @@
 //	harvestsim -trace markov -policy hysteresis  # bursty RF-powered fleet
 //	harvestsim -trace constant -peak 0           # no recharge (paper setting)
 //	harvestsim -trace csv -tracefile solar.csv   # replay a recorded trace
+//	harvestsim -dropdead -cutoff 0.25 -idle 0.2  # brown-outs silence radios
+//
+// With -dropdead, a node whose battery sits at or below the -cutoff
+// state of charge is browned out for the round: it neither trains nor
+// communicates, every edge incident to it is dropped, and the mixing
+// matrix is re-normalized over the live subgraph (see docs/ARCHITECTURE.md).
+// Without it the engine routes sync traffic through depleted nodes — the
+// optimistic baseline.
 //
 // Runs are deterministic: the same seed and flags reproduce the same
 // output bit-for-bit.
@@ -47,27 +55,101 @@ func main() {
 		lowSoC   = flag.Float64("low", 0.15, "hysteresis policy: dormancy threshold")
 		highSoC  = flag.Float64("high", 0.4, "hysteresis policy: resume threshold")
 		exponent = flag.Float64("exponent", 1, "proportional policy: p = SoC^exponent")
+		cutoff   = flag.Float64("cutoff", 0, "brown-out cutoff as a fraction of capacity [0,1)")
+		idle     = flag.Float64("idle", 0, "always-on idle draw per round, as a multiple of the mean training cost")
+		dropDead = flag.Bool("dropdead", false, "silence browned-out nodes: drop their edges and re-normalize the mixing matrix each round")
 		gt       = flag.Int("gt", 0, "Γtrain (0 = all-train schedule)")
-		gs       = flag.Int("gs", 0, "Γsync (with -gt: SkipTrain schedule)")
+		gs       = flag.Int("gs", 0, "Γsync (used when -gt > 0: SkipTrain schedule)")
 		lr       = flag.Float64("lr", 0.2, "learning rate η")
 		batch    = flag.Int("batch", 16, "batch size |ξ|")
 		steps    = flag.Int("steps", 8, "local steps E")
-		evalInt  = flag.Int("eval", 12, "evaluate every N rounds")
+		evalInt  = flag.Int("eval", 12, "evaluate every N rounds (and always after the last)")
 		seed     = flag.Uint64("seed", 42, "experiment seed")
 	)
+	flag.Usage = usage
 	flag.Parse()
 
-	if err := run(*nodes, *degree, *rounds, *period, *peak, *traceKin, *traceCSV, *policyK,
-		*capacity, *initSoC, *minSoC, *lowSoC, *highSoC, *exponent,
-		*gt, *gs, *lr, *batch, *steps, *evalInt, *seed); err != nil {
+	if err := run(runConfig{
+		nodes: *nodes, degree: *degree, rounds: *rounds, period: *period,
+		peak: *peak, traceKind: *traceKin, traceCSV: *traceCSV, policyKind: *policyK,
+		capacity: *capacity, initSoC: *initSoC,
+		minSoC: *minSoC, lowSoC: *lowSoC, highSoC: *highSoC, exponent: *exponent,
+		cutoff: *cutoff, idle: *idle, dropDead: *dropDead,
+		gt: *gt, gs: *gs, lr: *lr, batch: *batch, steps: *steps,
+		evalInt: *evalInt, seed: *seed,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
 }
 
-func run(nodes, degree, rounds, period int, peak float64, traceKind, traceCSV, policyKind string,
-	capacity, initSoC, minSoC, lowSoC, highSoC, exponent float64,
-	gt, gs int, lr float64, batch, steps, evalInt int, seed uint64) error {
+// runConfig carries the parsed flag values into run; field names mirror the
+// flags, so the call site assigns by name instead of threading two dozen
+// positional parameters.
+type runConfig struct {
+	nodes, degree, rounds, period   int
+	peak                            float64
+	traceKind, traceCSV, policyKind string
+	capacity, initSoC               float64
+	minSoC, lowSoC, highSoC         float64
+	exponent, cutoff, idle          float64
+	dropDead                        bool
+	gt, gs                          int
+	lr                              float64
+	batch, steps, evalInt           int
+	seed                            uint64
+}
+
+// usage prints the flag defaults plus the scenario list: which trace and
+// policy combinations exist and what they model.
+func usage() {
+	out := flag.CommandLine.Output()
+	fmt.Fprintf(out, `harvestsim simulates decentralized learning on an intermittently-powered
+fleet: per-node batteries, an ambient harvest trace, a charge-aware
+participation policy, and (optionally) brown-out-aware topology dropout.
+
+Usage:
+
+  harvestsim [flags]
+
+Traces (-trace):
+  diurnal   solar sinusoid; each node's phase is its longitude, so the
+            sun sweeps the fleet and nodes train in waves (-peak, -period)
+  constant  steady trickle of -peak x mean training cost per round;
+            -peak 0 is the paper's no-recharge setting
+  markov    two-state on/off chain per node: bursty ambient sources (RF,
+            wind); on-state harvest is -peak x mean training cost
+  csv       replay a recorded per-node trace from -tracefile
+            (CSV rows: round,node,harvest_wh)
+
+Policies (-policy):
+  proportional  train with probability SoC^-exponent (charge-aware Eq. 5)
+  threshold     train whenever SoC >= -minsoc
+  hysteresis    go dormant below -low, resume above -high
+
+Scenarios:
+
+  harvestsim                                   # 96-node solar fleet
+  harvestsim -trace markov -policy hysteresis  # bursty RF-powered fleet
+  harvestsim -trace constant -peak 0           # no recharge (paper setting)
+  harvestsim -trace csv -tracefile solar.csv   # replay a recorded trace
+  harvestsim -dropdead -cutoff 0.25 -idle 0.2  # brown-outs silence radios
+
+Flags:
+
+`)
+	flag.PrintDefaults()
+}
+
+func run(c runConfig) error {
+	// Unpack by name; the body reads like the flag list.
+	nodes, degree, rounds, period := c.nodes, c.degree, c.rounds, c.period
+	peak, traceKind, traceCSV, policyKind := c.peak, c.traceKind, c.traceCSV, c.policyKind
+	capacity, initSoC := c.capacity, c.initSoC
+	minSoC, lowSoC, highSoC, exponent := c.minSoC, c.lowSoC, c.highSoC, c.exponent
+	cutoff, idle, dropDead := c.cutoff, c.idle, c.dropDead
+	gt, gs, lr := c.gt, c.gs, c.lr
+	batch, steps, evalInt, seed := c.batch, c.steps, c.evalInt, c.seed
 	g, err := graph.Regular(nodes, degree, seed)
 	if err != nil {
 		return err
@@ -126,6 +208,8 @@ func run(nodes, degree, rounds, period int, peak float64, traceKind, traceCSV, p
 		InitialSoC:     initSoC,
 		// Options treats InitialSoC 0 as "unset"; the flag's 0 means empty.
 		StartEmpty: initSoC == 0,
+		CutoffSoC:  cutoff,
+		IdleWh:     idle * meanTrainWh,
 	})
 	if err != nil {
 		return err
@@ -167,28 +251,38 @@ func run(nodes, degree, rounds, period int, peak float64, traceKind, traceCSV, p
 		EvalEvery: evalInt, EvalSubsample: 320,
 		Devices: devices, Workload: workload,
 		Harvest: fleet, TrackSoC: true,
-		Seed: seed,
+		DropDeadNodes: dropDead,
+		Seed:          seed,
 	})
 	if err != nil {
 		return err
 	}
 
-	fmt.Printf("harvest fleet: %d nodes, %d-regular, %d rounds | trace %s | policy %s | capacity %g rounds\n",
-		nodes, degree, rounds, fleet.TraceName(), policy.Name(), capacity)
+	commModel := "route-through-dead"
+	if dropDead {
+		commModel = "drop-and-renormalize"
+	}
+	fmt.Printf("harvest fleet: %d nodes, %d-regular, %d rounds | trace %s | policy %s | capacity %g rounds | dead nodes: %s\n",
+		nodes, degree, rounds, fleet.TraceName(), policy.Name(), capacity, commModel)
 
-	// The wave: per-round participation and fleet charge over time.
-	var participation, meanSoC []float64
+	// The wave: per-round participation, fleet charge, and liveness over
+	// time.
+	var participation, meanSoC, liveCount []float64
 	for _, m := range res.History {
 		participation = append(participation, float64(m.TrainedCount))
 		meanSoC = append(meanSoC, m.MeanSoC)
+		liveCount = append(liveCount, float64(m.LiveCount))
 	}
 	fmt.Printf("participation/round: %s\n", report.Sparkline(participation))
 	fmt.Printf("fleet mean SoC:      %s\n", report.Sparkline(meanSoC))
+	fmt.Printf("live nodes/round:    %s\n", report.Sparkline(liveCount))
 
-	ev := report.NewTable("evaluations", "round", "mean acc %", "std %", "mean SoC", "min SoC", "depleted", "cum harvest Wh")
+	ev := report.NewTable("evaluations",
+		"round", "mean acc %", "std %", "mean SoC", "min SoC", "depleted", "live", "eff deg", "components", "cum harvest Wh")
 	for _, m := range res.Evaluations() {
-		ev.AddRowf("%d|%.2f|%.2f|%.3f|%.3f|%d|%.4f",
-			m.Round+1, m.MeanAcc*100, m.StdAcc*100, m.MeanSoC, m.MinSoC, m.Depleted, m.CumHarvestWh)
+		ev.AddRowf("%d|%.2f|%.2f|%.3f|%.3f|%d|%d|%.2f|%d|%.4f",
+			m.Round+1, m.MeanAcc*100, m.StdAcc*100, m.MeanSoC, m.MinSoC, m.Depleted,
+			m.LiveCount, m.MeanLiveDegree, m.LiveComponents, m.CumHarvestWh)
 	}
 	ev.Render(os.Stdout)
 
@@ -214,9 +308,13 @@ func run(nodes, degree, rounds, period int, peak float64, traceKind, traceCSV, p
 	for _, tr := range res.TrainedRounds {
 		trained += tr
 	}
-	fmt.Printf("\nfinal: %.2f%% ± %.2f | participation %.1f%% | harvested %.4f Wh, consumed %.4f Wh, wasted %.4f Wh\n",
+	fmt.Printf("\nfinal: %.2f%% ± %.2f | participation %.1f%% | harvested %.4f Wh, consumed %.4f Wh, wasted %.4f Wh",
 		res.FinalMeanAcc*100, res.FinalStdAcc*100,
 		100*float64(trained)/float64(nodes*trainSlots),
 		res.TotalHarvestWh, fleet.ConsumedWh(), fleet.WastedWh())
+	if dropDead {
+		fmt.Printf(" | dropped msgs %d", res.TotalDroppedSends)
+	}
+	fmt.Println()
 	return nil
 }

@@ -1,0 +1,55 @@
+package repro
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches inline markdown links [text](target). Images and
+// reference-style links are out of scope; the repo's docs use inline links
+// only.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestDocsRelativeLinks fails on broken relative links in README.md and
+// docs/: every non-URL target must exist on disk relative to the file that
+// references it. The CI docs job runs this alongside go vet and gofmt.
+func TestDocsRelativeLinks(t *testing.T) {
+	files := []string{"README.md", "ROADMAP.md", "PAPER.md", "PAPERS.md", "CHANGES.md"}
+	entries, err := filepath.Glob("docs/*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	files = append(files, entries...)
+
+	checked := 0
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if os.IsNotExist(err) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, match := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := match[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue // external; liveness is not this test's job
+			}
+			target, _, _ = strings.Cut(target, "#")
+			if target == "" {
+				continue // pure in-page anchor
+			}
+			resolved := filepath.Join(filepath.Dir(file), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken relative link %q (resolved %s)", file, match[1], resolved)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no relative links found; the link checker is not seeing the docs")
+	}
+}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"math"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -478,6 +479,73 @@ func TestTableHarvestDeterministic(t *testing.T) {
 	for i := range a {
 		if a[i] != b[i] {
 			t.Fatalf("scenario %d differs across identical runs:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTableBrownoutScenarios(t *testing.T) {
+	var sb strings.Builder
+	o := tiny()
+	o.Rounds = 24
+	o.Out = &sb
+	rows, err := TableBrownout(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows, want 4 (2 regimes x 2 modes)", len(rows))
+	}
+	byKey := map[string]BrownoutRow{}
+	for _, r := range rows {
+		byKey[r.Regime+"/"+r.Mode] = r
+		if r.MeanLivePct <= 0 || r.MeanLivePct > 100 {
+			t.Fatalf("%s/%s live share %.1f%% out of range", r.Regime, r.Mode, r.MeanLivePct)
+		}
+	}
+	for _, regime := range []string{"diurnal", "markov"} {
+		route := byKey[regime+"/route-through-dead"]
+		drop := byKey[regime+"/drop-and-renormalize"]
+		if route.DroppedSends != 0 {
+			t.Fatalf("%s route mode dropped %d sends", regime, route.DroppedSends)
+		}
+		// The comparison is only meaningful if brown-outs happen and the
+		// drop mode actually loses messages over those dead edges.
+		if drop.MinLive >= o.Nodes {
+			t.Fatalf("%s never browned a node out", regime)
+		}
+		if drop.DroppedSends <= 0 {
+			t.Fatalf("%s drop mode lost no messages despite brown-outs", regime)
+		}
+		// Effective degree under dropout cannot exceed the topology degree.
+		if drop.MeanLiveDeg > 6 {
+			t.Fatalf("%s effective degree %.2f exceeds d=6", regime, drop.MeanLiveDeg)
+		}
+	}
+	if !strings.Contains(sb.String(), "Brown-out communication model") {
+		t.Fatalf("table not rendered:\n%s", sb.String())
+	}
+}
+
+// TestTableBrownoutReproducibleAcrossGOMAXPROCS is the acceptance pin for
+// the brown-out table: every row — both modes, both regimes — must be
+// bit-identical no matter how many workers the engine uses.
+func TestTableBrownoutReproducibleAcrossGOMAXPROCS(t *testing.T) {
+	run := func(procs int) []BrownoutRow {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		o := tiny()
+		o.Rounds = 16
+		rows, err := TableBrownout(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	serial := run(1)
+	wide := run(8)
+	for i := range serial {
+		if serial[i] != wide[i] {
+			t.Fatalf("row %d differs across GOMAXPROCS:\n%+v\n%+v", i, serial[i], wide[i])
 		}
 	}
 }

@@ -1,8 +1,3 @@
-// Package graph builds and analyzes the communication topologies of the
-// paper: undirected d-regular graphs on n nodes (the paper uses
-// d ∈ {6, 8, 10} on n = 256), plus rings and complete graphs for baselines.
-// It also computes the Metropolis-Hastings mixing matrix W of Section 2.2
-// and diagnostic quantities (connectivity, spectral gap) used in ablations.
 package graph
 
 import (

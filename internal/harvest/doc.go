@@ -1,0 +1,44 @@
+// Package harvest models per-node battery dynamics and ambient energy
+// harvesting for intermittently-powered fleets, generalizing the paper's
+// static energy budgets τ_i (Section 2.3) to live battery state.
+//
+// The paper's SkipTrain-constrained policy spreads a fixed, monotonically
+// draining budget across the horizon with p_i = min(τ_i / T_train, 1)
+// (Eq. 5). Real intermittently-powered deployments recharge: solar panels
+// follow the sun, phones sit on chargers overnight, RF-powered sensors see
+// bursty ambient energy. This package models that regime round by round.
+//
+// # Components
+//
+//   - Battery is a per-node charge state machine: capacity in Wh, a
+//     brown-out cutoff below which the node cannot operate, harvesting
+//     clamped at capacity, and all-or-nothing training consumption
+//     (TryConsume never takes a node below its cutoff mid-round).
+//   - Trace generates the per-round harvested energy — constant trickle,
+//     diurnal/solar sinusoid with per-node phase (longitude), a Markov
+//     on-off chain for bursty sources, or a CSV replay.
+//   - Fleet binds one battery per node to its device's training cost
+//     (energy.Device × energy.Workload) and advances all batteries each
+//     round: pay idle and communication draw, then harvest. EndRoundLive
+//     is the brown-out-aware variant where dead nodes owe idle draw only —
+//     their radio never powered up.
+//   - The policies in policy.go implement core.Policy from live
+//     state-of-charge, generalizing Eq. 5's static p_i to p_i^t =
+//     f(SoC_i^t): threshold, hysteresis (dormant until recharged), and
+//     charge-proportional.
+//
+// # Liveness
+//
+// A node at or below its brown-out cutoff is dead: Usable reports false
+// and Fleet.Live snapshots the whole fleet's mask. The simulation engine
+// takes that snapshot at the start of every round; with dead-node dropout
+// enabled (sim.Config.DropDeadNodes) the mask also silences the node's
+// edges (transport.DeadNode) and re-normalizes the mixing matrix
+// (graph.RenormalizeLive), so a brown-out affects computation and
+// communication alike.
+//
+// Every stochastic trace owns per-node RNG streams derived from the
+// experiment seed, and all fleet state is strictly per-node, so simulations
+// remain bit-reproducible regardless of GOMAXPROCS or goroutine
+// interleaving.
+package harvest

@@ -151,6 +151,22 @@ func (f *Fleet) ChargeWh(i int) float64 { return f.batteries[i].ChargeWh() }
 // Usable reports whether node i is above its brown-out cutoff.
 func (f *Fleet) Usable(i int) bool { return f.batteries[i].Usable() }
 
+// Live snapshots the fleet's live set: live[i] reports that node i is above
+// its brown-out cutoff and can power its radio this round. The simulation
+// engine takes this snapshot at the start of every round and feeds it to
+// graph.RenormalizeLive and the transport's dead-node wrapper, so liveness
+// is decided once per round from battery state, never mid-phase.
+func (f *Fleet) Live() []bool {
+	live := make([]bool, len(f.batteries))
+	for i := range f.batteries {
+		live[i] = f.batteries[i].Usable()
+	}
+	return live
+}
+
+// LiveCount returns how many nodes are above their brown-out cutoff.
+func (f *Fleet) LiveCount() int { return len(f.batteries) - f.DepletedCount() }
+
 // TrainCostWh returns the per-round training cost of node i's device.
 func (f *Fleet) TrainCostWh(i int) float64 { return f.trainWh[i] }
 
@@ -170,10 +186,23 @@ func (f *Fleet) TryTrain(i int) bool {
 // (clamped at empty — dead nodes cannot pay), then harvests trace energy
 // into its battery. It returns the per-node energy actually stored this
 // round; the slice is reused by the next EndRound call.
-func (f *Fleet) EndRound(t int) []float64 {
+func (f *Fleet) EndRound(t int) []float64 { return f.endRound(t, nil) }
+
+// EndRoundLive closes round t like EndRound, but nodes marked dead in the
+// liveness mask pay only their idle draw: a browned-out radio sends and
+// receives nothing, so it owes no communication energy. This is the
+// battery-side counterpart of dropping the node's edges for the round; a
+// nil mask recovers EndRound exactly.
+func (f *Fleet) EndRoundLive(t int, live []bool) []float64 { return f.endRound(t, live) }
+
+func (f *Fleet) endRound(t int, live []bool) []float64 {
 	for i := range f.batteries {
 		b := &f.batteries[i]
-		f.consumed[i] += b.Drain(f.commWh[i] + f.idleWh)
+		draw := f.idleWh
+		if live == nil || live[i] {
+			draw += f.commWh[i]
+		}
+		f.consumed[i] += b.Drain(draw)
 		arrived := f.trace.HarvestWh(i, t)
 		stored := b.Harvest(arrived)
 		f.harvested[i] += stored

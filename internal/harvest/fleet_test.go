@@ -219,3 +219,74 @@ func TestFleetInitialOptionsValidationAndStartEmpty(t *testing.T) {
 		}
 	}
 }
+
+func TestFleetLiveSnapshot(t *testing.T) {
+	f := testFleet(t, Constant{0}, Options{CapacityRounds: 4, InitialSoC: 1, CutoffSoC: 0.5})
+	live := f.Live()
+	if len(live) != f.Nodes() {
+		t.Fatalf("live set covers %d nodes, fleet has %d", len(live), f.Nodes())
+	}
+	for i, l := range live {
+		if !l {
+			t.Fatalf("full node %d reported dead", i)
+		}
+	}
+	if f.LiveCount() != f.Nodes() {
+		t.Fatalf("LiveCount = %d, want %d", f.LiveCount(), f.Nodes())
+	}
+	// Brown node 0 out (idle draw can push past the cutoff where training
+	// cannot): it leaves the live set, others stay.
+	f.batteries[0].Drain(f.ChargeWh(0))
+	live = f.Live()
+	if live[0] {
+		t.Fatal("browned-out node 0 still reported live")
+	}
+	if !live[1] {
+		t.Fatal("node 1 should still be live")
+	}
+	if f.LiveCount() != f.Nodes()-1 {
+		t.Fatalf("LiveCount = %d, want %d", f.LiveCount(), f.Nodes()-1)
+	}
+	// The snapshot is a copy: mutating it does not touch fleet state.
+	live[1] = false
+	if !f.Usable(1) {
+		t.Fatal("snapshot aliased fleet state")
+	}
+}
+
+func TestEndRoundLiveSkipsCommDrawForDead(t *testing.T) {
+	// Two otherwise-identical fleets: one closes the round with a dead set,
+	// the other with EndRound. Dead nodes must save exactly the comm draw.
+	const idle = 1e-6
+	mk := func() *Fleet {
+		return testFleet(t, Constant{0}, Options{CapacityRounds: 8, InitialSoC: 0.5, IdleWh: idle})
+	}
+	a, b := mk(), mk()
+	live := make([]bool, a.Nodes())
+	for i := range live {
+		live[i] = i%2 == 0
+	}
+	a.EndRoundLive(0, live)
+	b.EndRound(0)
+	for i := 0; i < a.Nodes(); i++ {
+		if live[i] {
+			if a.ChargeWh(i) != b.ChargeWh(i) {
+				t.Fatalf("live node %d charge differs: %v vs %v", i, a.ChargeWh(i), b.ChargeWh(i))
+			}
+			continue
+		}
+		want := b.ChargeWh(i) + a.commWh[i]
+		if math.Abs(a.ChargeWh(i)-want) > 1e-15 {
+			t.Fatalf("dead node %d paid comm draw: %v, want %v", i, a.ChargeWh(i), want)
+		}
+	}
+	// Nil mask is exactly EndRound.
+	c, d := mk(), mk()
+	c.EndRoundLive(0, nil)
+	d.EndRound(0)
+	for i := 0; i < c.Nodes(); i++ {
+		if c.ChargeWh(i) != d.ChargeWh(i) {
+			t.Fatalf("nil-mask EndRoundLive differs at node %d", i)
+		}
+	}
+}

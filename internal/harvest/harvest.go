@@ -1,29 +1,3 @@
-// Package harvest models per-node battery dynamics and ambient energy
-// harvesting for intermittently-powered fleets, generalizing the paper's
-// static energy budgets τ_i (Section 2.3) to live battery state.
-//
-// The paper's SkipTrain-constrained policy spreads a fixed, monotonically
-// draining budget across the horizon with p_i = min(τ_i / T_train, 1)
-// (Eq. 5). Real intermittently-powered deployments recharge: solar panels
-// follow the sun, phones sit on chargers overnight, RF-powered sensors see
-// bursty ambient energy. This package models that regime round by round:
-//
-//   - a Battery is a per-node charge state machine: capacity in Wh, a
-//     brown-out cutoff below which the node cannot operate, harvesting
-//     clamped at capacity, and all-or-nothing training consumption;
-//   - a Trace generates the per-round harvested energy — constant trickle,
-//     diurnal/solar sinusoid with per-node phase (longitude), a Markov
-//     on-off chain for bursty sources, or a CSV replay;
-//   - a Fleet binds one battery per node to its device's training cost
-//     (energy.Device × energy.Workload) and advances all batteries each
-//     round: pay idle and communication draw, then harvest;
-//   - the policies in policy.go implement core.Policy from live
-//     state-of-charge, generalizing Eq. 5's static p_i to p_i^t = f(SoC_i^t).
-//
-// Every stochastic trace owns per-node RNG streams derived from the
-// experiment seed, and all fleet state is strictly per-node, so simulations
-// remain bit-reproducible regardless of GOMAXPROCS or goroutine
-// interleaving.
 package harvest
 
 import "fmt"

@@ -16,6 +16,13 @@
 // with a battery update — idle and communication draw, then ambient energy
 // harvest — and the round metrics carry the fleet's state of charge.
 //
+// With Config.DropDeadNodes, brown-outs also silence the topology: every
+// round starts by snapshotting the live set, edges incident to dead nodes
+// go down for the round (transport.DeadNode), and the mixing matrix is
+// re-normalized over the live subgraph (graph.RenormalizeLive) so
+// aggregation stays doubly stochastic on the live component. See
+// docs/ARCHITECTURE.md for the full round walkthrough.
+//
 // Phases are fanned out across GOMAXPROCS workers, but all stochastic
 // state is per-node, so results are bit-identical regardless of
 // parallelism or transport.
@@ -81,6 +88,29 @@ type Config struct {
 	Harvest  *harvest.Fleet
 	TrackSoC bool
 
+	// DropDeadNodes makes node liveness a first-class, per-round property
+	// of the topology: at the start of every round the engine snapshots the
+	// live set (nodes above their brown-out cutoff), silences every edge
+	// incident to a dead node for the round (transport.DeadNode), and
+	// re-normalizes the mixing matrix over the induced live subgraph
+	// (graph.RenormalizeLive), so aggregation stays symmetric and
+	// doubly stochastic on the live component. Dead nodes freeze: no
+	// training, no sends, no receives, model held until they recharge, and
+	// they pay idle draw only (harvest.Fleet.EndRoundLive). Without this
+	// flag the engine routes sync traffic through depleted nodes unchanged
+	// — the optimistic baseline the brown-out experiments compare against.
+	// Requires a Harvest fleet or a Liveness hook, and neighborhood
+	// aggregation (AggGlobal has no topology to drop edges from). The
+	// configured Weights are used verbatim on all-live rounds, so they
+	// should be graph.Metropolis for consistency with renormalized rounds.
+	DropDeadNodes bool
+	// Liveness overrides the fleet-derived live set: it is called once at
+	// the start of round t and returns the mask of powered nodes (nil means
+	// all live). The returned slice is only read before the next call.
+	// When nil and a Harvest fleet is attached, liveness is the fleet's
+	// per-node Usable state.
+	Liveness func(t int) []bool
+
 	// Network is the transport to use; nil selects an in-process channel
 	// network sized for the topology.
 	Network transport.Network
@@ -128,6 +158,14 @@ func (c *Config) validate() error {
 	if c.TrackSoC && c.Harvest == nil {
 		return fmt.Errorf("sim: TrackSoC requires a harvest fleet")
 	}
+	if c.DropDeadNodes {
+		if c.Harvest == nil && c.Liveness == nil {
+			return fmt.Errorf("sim: DropDeadNodes needs a harvest fleet or a Liveness hook")
+		}
+		if c.Algo.Aggregation == core.AggGlobal {
+			return fmt.Errorf("sim: DropDeadNodes requires neighborhood aggregation")
+		}
+	}
 	return nil
 }
 
@@ -151,6 +189,16 @@ type RoundMetrics struct {
 	Depleted     int       // nodes at or below their brown-out cutoff
 	CumHarvestWh float64   // cumulative stored ambient energy
 	SoCs         []float64 // per-node SoC snapshot (Config.TrackSoC only)
+
+	// Live-topology state, recorded whenever a live-set source exists (a
+	// harvest fleet or a Liveness hook), in both route-through-dead and
+	// drop-and-renormalize runs, so the two modes are directly comparable.
+	LiveCount      int     // nodes powered at the start of the round
+	MeanLiveDegree float64 // mean induced degree over live nodes
+	LiveComponents int     // connected components of the live subgraph
+	// DroppedSends counts messages lost on dead edges this round
+	// (Config.DropDeadNodes runs only; always 0 when routing through).
+	DroppedSends int
 }
 
 // Result is the outcome of a run.
@@ -173,6 +221,9 @@ type Result struct {
 	FinalSoC       []float64
 	// TrainedRounds counts how many rounds each node actually trained.
 	TrainedRounds []int
+	// TotalDroppedSends is the number of messages lost on dead edges over
+	// the whole run (Config.DropDeadNodes runs only).
+	TotalDroppedSends int
 }
 
 // Evaluations returns only the evaluated rounds of the history.
@@ -221,6 +272,14 @@ func Run(cfg Config) (*Result, error) {
 		}
 		defer net.Close()
 	}
+	// In dropout mode every endpoint goes through the dead-node wrapper, so
+	// radio silence is enforced at the transport no matter which network
+	// backs the run (channels or TCP).
+	var deadNet *transport.DeadNode
+	if cfg.DropDeadNodes {
+		deadNet = &transport.DeadNode{Inner: net}
+		net = deadNet
+	}
 
 	nodes := make([]*nodeState, n)
 	var paramCount int
@@ -256,9 +315,52 @@ func Run(cfg Config) (*Result, error) {
 		kind := cfg.Algo.Schedule.Kind(t)
 		m := RoundMetrics{Round: t, Kind: kind}
 
+		// Phase 0: snapshot the live set from battery state (or the hook)
+		// before any phase runs, so liveness is a whole-round property and
+		// independent of phase interleaving.
+		var live []bool
+		haveLiveSource := cfg.Liveness != nil || cfg.Harvest != nil
+		if cfg.Liveness != nil {
+			live = cfg.Liveness(t)
+			if live != nil && len(live) != n {
+				return nil, fmt.Errorf("sim: Liveness(%d) returned %d nodes, graph has %d", t, len(live), n)
+			}
+		} else if cfg.Harvest != nil {
+			live = cfg.Harvest.Live()
+		}
+		if haveLiveSource {
+			// A nil mask means "all live" (the graph helpers share that
+			// convention), so the metrics stay truthful on all-live rounds.
+			m.LiveCount = n
+			if live != nil {
+				m.LiveCount = countTrue(live)
+			}
+			m.MeanLiveDegree = cfg.Graph.MeanLiveDegree(live)
+			m.LiveComponents = cfg.Graph.LiveComponents(live)
+		}
+		// dropRound marks rounds where the topology actually loses edges:
+		// the transport silences them and the mixing matrix is rebuilt over
+		// the live subgraph. All-live rounds keep the configured Weights.
+		dropRound := false
+		roundWeights := cfg.Weights
+		if cfg.DropDeadNodes {
+			deadNet.SetLive(live)
+			if live != nil && countTrue(live) < n {
+				dropRound = true
+				roundWeights = graph.RenormalizeLive(cfg.Graph, live)
+			}
+		}
+
 		// Phase 1: local training.
 		parallelFor(n, func(i int) {
 			nd := nodes[i]
+			if dropRound && !live[i] {
+				// Browned out: the CPU is unpowered, so the node neither
+				// trains nor refreshes its shared model; it holds state
+				// until it recharges past the cutoff.
+				nd.net.CopyParamsTo(nd.half)
+				return
+			}
 			if kind == core.RoundTrain && cfg.Algo.Policy.Participate(i, t, nd.policy) {
 				for e := 0; e < cfg.LocalSteps; e++ {
 					xs, ys := nd.batcher.Next(cfg.BatchSize)
@@ -294,9 +396,15 @@ func Run(cfg Config) (*Result, error) {
 		default:
 			// Phase 2: all sends complete before any receive (inboxes are
 			// buffered beyond the per-round in-flight maximum, so sends
-			// never block and the receive phase cannot deadlock).
+			// never block and the receive phase cannot deadlock). On drop
+			// rounds a dead node sends nothing, and live nodes still
+			// transmit to every neighbor — the radio cannot know a peer is
+			// down — with the dead-node wrapper losing those messages.
 			parallelFor(n, func(i int) {
 				nd := nodes[i]
+				if dropRound && !live[i] {
+					return
+				}
 				for _, j := range cfg.Graph.Adj[i] {
 					if err := nd.ep.Send(j, transport.Message{Round: t, Kind: transport.KindModel, Vec: nd.half}); err != nil {
 						nd.err = err
@@ -307,11 +415,21 @@ func Run(cfg Config) (*Result, error) {
 			if err := firstError(nodes); err != nil {
 				return nil, err
 			}
-			// Phase 3: receive exactly one model per neighbor, then apply
-			// the W-row average (Algorithm 1, line 8).
+			// Phase 3: receive exactly one model per live neighbor, then
+			// apply the W-row average (Algorithm 1, line 8) — the
+			// renormalized row on drop rounds. Dead nodes receive nothing
+			// and hold their model (their row of W is the identity).
+			var liveMask []bool
+			if dropRound {
+				liveMask = live
+			}
 			parallelFor(n, func(i int) {
 				nd := nodes[i]
-				deg := cfg.Graph.Degree(i)
+				if dropRound && !live[i] {
+					copy(nd.agg, nd.half)
+					return
+				}
+				deg := cfg.Graph.LiveDegree(liveMask, i)
 				for k := 0; k < deg; k++ {
 					msg, err := nd.ep.Recv()
 					if err != nil {
@@ -328,14 +446,17 @@ func Run(cfg Config) (*Result, error) {
 					}
 					nd.inbox[msg.From] = msg.Vec
 				}
-				tensor.ScaleTo(nd.agg, cfg.Weights.Self[i], nd.half)
+				tensor.ScaleTo(nd.agg, roundWeights.Self[i], nd.half)
 				for k, j := range cfg.Graph.Adj[i] {
+					if dropRound && !live[j] {
+						continue // edge down this round: weight 0, no message
+					}
 					vec, ok := nd.inbox[j]
 					if !ok {
 						nd.err = fmt.Errorf("sim: node %d missing model from neighbor %d", i, j)
 						return
 					}
-					tensor.AXPY(nd.agg, cfg.Weights.Nbr[i][k], vec)
+					tensor.AXPY(nd.agg, roundWeights.Nbr[i][k], vec)
 					delete(nd.inbox, j)
 				}
 				nd.net.SetParams(nd.agg)
@@ -346,14 +467,30 @@ func Run(cfg Config) (*Result, error) {
 		}
 		if cfg.Devices != nil {
 			for i := 0; i < n; i++ {
+				if dropRound && !live[i] {
+					continue // radio off: no sharing, no comm energy
+				}
 				acct.AddCommunication(i, cfg.Devices[i].TrainRoundWh(cfg.Workload)*energy.CommShareOfTraining)
 			}
+		}
+		if deadNet != nil {
+			total := deadNet.Dropped()
+			m.DroppedSends = total - result.TotalDroppedSends
+			result.TotalDroppedSends = total
 		}
 		if cfg.Harvest != nil {
 			// Close the battery round: idle+comm draw, then ambient harvest.
 			// The fleet's per-node ledger is authoritative; the accountant
 			// mirrors it so energy reports pair harvested with consumed.
-			for i, wh := range cfg.Harvest.EndRound(t) {
+			// On drop rounds dead nodes owe idle draw only — their radio
+			// never powered up.
+			var roundHarvest []float64
+			if dropRound {
+				roundHarvest = cfg.Harvest.EndRoundLive(t, live)
+			} else {
+				roundHarvest = cfg.Harvest.EndRound(t)
+			}
+			for i, wh := range roundHarvest {
 				acct.AddHarvest(i, wh)
 				cumHarvestWh += wh
 			}
@@ -411,6 +548,16 @@ func firstError(nodes []*nodeState) error {
 		}
 	}
 	return nil
+}
+
+func countTrue(bs []bool) int {
+	n := 0
+	for _, b := range bs {
+		if b {
+			n++
+		}
+	}
+	return n
 }
 
 func boolToInt(b bool) int {

@@ -648,3 +648,248 @@ func TestHarvestBatteriesBindParticipation(t *testing.T) {
 		t.Fatalf("dark scenario harvested %v Wh", res.TotalHarvestWh)
 	}
 }
+
+// brownoutConfig builds a harvest run where brown-outs actually happen: a
+// supercap-scale fleet with a real cutoff and idle draw, so night-side
+// nodes deplete below the cutoff and leave the live set.
+func brownoutConfig(t *testing.T, seed uint64) Config {
+	t.Helper()
+	cfg := testConfig(t, seed)
+	devices := energy.AssignDevices(cfg.Graph.N, energy.Devices())
+	w := energy.CIFAR10Workload()
+	meanTrainWh := energy.NetworkRoundWh(cfg.Graph.N, energy.Devices(), w) / float64(cfg.Graph.N)
+	trace, err := harvest.NewDiurnal(1.0*meanTrainWh, 8, harvest.LongitudePhase(cfg.Graph.N))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := harvest.NewFleet(devices, w, trace, harvest.Options{
+		CapacityRounds: 6,
+		InitialSoC:     0.6,
+		CutoffSoC:      0.3,
+		IdleWh:         0.25 * meanTrainWh,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy, err := harvest.NewSoCThreshold(fleet, 0.35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Algo = core.Algorithm{Label: "brownout", Schedule: core.AllTrain{}, Policy: policy}
+	cfg.Devices = devices
+	cfg.Workload = w
+	cfg.Harvest = fleet
+	cfg.DropDeadNodes = true
+	cfg.Rounds = 24
+	return cfg
+}
+
+func TestDropDeadNodesValidation(t *testing.T) {
+	cfg := testConfig(t, 30)
+	cfg.DropDeadNodes = true
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("DropDeadNodes without a fleet or hook should error")
+	}
+	cfg2 := brownoutConfig(t, 30)
+	cfg2.Algo.Aggregation = core.AggGlobal
+	if _, err := Run(cfg2); err == nil {
+		t.Fatal("DropDeadNodes with AggGlobal should error")
+	}
+	cfg3 := testConfig(t, 30)
+	cfg3.DropDeadNodes = true
+	cfg3.Liveness = func(int) []bool { return []bool{true} } // wrong length
+	if _, err := Run(cfg3); err == nil {
+		t.Fatal("wrong-length live set should error")
+	}
+}
+
+func TestDropDeadNodesFreezesDeadNode(t *testing.T) {
+	// A Liveness hook (no fleet needed) that keeps node 0 browned out for
+	// the whole run: it must never train, its neighbors' broadcasts to it
+	// must be dropped, and the live metrics must see 7 of 8 nodes.
+	cfg := testConfig(t, 31)
+	cfg.DropDeadNodes = true
+	dead := make([]bool, 8)
+	for i := range dead {
+		dead[i] = i != 0
+	}
+	cfg.Liveness = func(int) []bool { return dead }
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TrainedRounds[0] != 0 {
+		t.Fatalf("dead node trained %d rounds", res.TrainedRounds[0])
+	}
+	for i := 1; i < 8; i++ {
+		if res.TrainedRounds[i] != cfg.Rounds {
+			t.Fatalf("live node %d trained %d/%d rounds", i, res.TrainedRounds[i], cfg.Rounds)
+		}
+	}
+	// Node 0 has degree 4: its 4 live neighbors each lose one send per
+	// round (node 0 itself never transmits).
+	deg := cfg.Graph.Degree(0)
+	if res.TotalDroppedSends != deg*cfg.Rounds {
+		t.Fatalf("dropped %d sends, want %d", res.TotalDroppedSends, deg*cfg.Rounds)
+	}
+	for _, m := range res.History {
+		if m.LiveCount != 7 {
+			t.Fatalf("round %d LiveCount = %d, want 7", m.Round, m.LiveCount)
+		}
+		if m.DroppedSends != deg {
+			t.Fatalf("round %d dropped %d, want %d", m.Round, m.DroppedSends, deg)
+		}
+		if m.LiveComponents < 1 {
+			t.Fatalf("round %d has %d live components", m.Round, m.LiveComponents)
+		}
+	}
+}
+
+func TestDropDeadPreservesMeanModel(t *testing.T) {
+	// The renormalized W is doubly stochastic with identity rows for dead
+	// nodes, so on sync-only rounds the global mean model is invariant even
+	// while the live set churns: a 1-round and a 6-round run must evaluate
+	// the identical mean model.
+	run := func(rounds int) float64 {
+		cfg := testConfig(t, 32)
+		cfg.Rounds = rounds
+		cfg.Algo = core.Greedy(energy.NewBudget(make([]int, 8)))
+		cfg.EvalGlobalModel = true
+		cfg.EvalEvery = 0
+		cfg.DropDeadNodes = true
+		cfg.Liveness = func(t int) []bool {
+			live := make([]bool, 8)
+			for i := range live {
+				live[i] = (i+t)%3 != 0 // churning dead set
+			}
+			return live
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.FinalGlobalAcc
+	}
+	if a, b := run(1), run(6); a != b {
+		t.Fatalf("mean model drifted under dropout: %.6f vs %.6f", a, b)
+	}
+}
+
+func TestBrownoutDropoutEndToEnd(t *testing.T) {
+	res, err := Run(brownoutConfig(t, 33))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawDead, sawDrop bool
+	for _, m := range res.History {
+		if m.LiveCount < 8 {
+			sawDead = true
+		}
+		if m.DroppedSends > 0 {
+			sawDrop = true
+		}
+		if m.LiveCount > 0 && m.MeanLiveDegree > 4 {
+			t.Fatalf("round %d mean live degree %v exceeds topology degree", m.Round, m.MeanLiveDegree)
+		}
+	}
+	if !sawDead {
+		t.Fatal("no round ever browned a node out; scenario too easy")
+	}
+	if !sawDrop {
+		t.Fatal("brown-outs occurred but no sends were dropped")
+	}
+	if res.TotalDroppedSends == 0 {
+		t.Fatal("TotalDroppedSends not accumulated")
+	}
+}
+
+// TestBrownoutRouteVsDropDiffer pins that the mode switch matters: routing
+// through dead nodes and dropping their edges must produce different
+// trajectories once brown-outs occur (the route-through baseline keeps
+// using dead relays).
+func TestBrownoutRouteVsDropDiffer(t *testing.T) {
+	drop, err := Run(brownoutConfig(t, 34))
+	if err != nil {
+		t.Fatal(err)
+	}
+	routeCfg := brownoutConfig(t, 34)
+	routeCfg.DropDeadNodes = false
+	route, err := Run(routeCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if route.TotalDroppedSends != 0 {
+		t.Fatalf("route-through mode dropped %d sends", route.TotalDroppedSends)
+	}
+	// Live metrics are recorded in both modes for comparability.
+	if route.History[0].LiveCount != drop.History[0].LiveCount {
+		t.Fatal("round 0 live counts should match across modes")
+	}
+	same := true
+	for i := range drop.History {
+		if drop.History[i].MeanAcc != route.History[i].MeanAcc ||
+			drop.History[i].MeanSoC != route.History[i].MeanSoC {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("dropout mode produced a bit-identical run to route-through")
+	}
+}
+
+func TestBrownoutDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	run := func(procs int) *Result {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		res, err := Run(brownoutConfig(t, 35))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1)
+	wide := run(8)
+	for r := range serial.History {
+		a, b := serial.History[r], wide.History[r]
+		if a.MeanAcc != b.MeanAcc || a.MeanSoC != b.MeanSoC || a.TrainedCount != b.TrainedCount ||
+			a.LiveCount != b.LiveCount || a.DroppedSends != b.DroppedSends ||
+			a.LiveComponents != b.LiveComponents || a.MeanLiveDegree != b.MeanLiveDegree {
+			t.Fatalf("round %d differs across GOMAXPROCS: %+v vs %+v", r, a, b)
+		}
+	}
+	if serial.TotalDroppedSends != wide.TotalDroppedSends {
+		t.Fatalf("dropped sends differ: %d vs %d", serial.TotalDroppedSends, wide.TotalDroppedSends)
+	}
+}
+
+func TestNilLivenessRecordsAllLiveMetrics(t *testing.T) {
+	// A Liveness hook returning nil means "all live": the live metrics must
+	// say so rather than report zeros, and the run must match a plain one.
+	cfg := testConfig(t, 36)
+	cfg.DropDeadNodes = true
+	cfg.Liveness = func(int) []bool { return nil }
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range res.History {
+		if m.LiveCount != 8 {
+			t.Fatalf("round %d LiveCount = %d, want 8", m.Round, m.LiveCount)
+		}
+		if m.LiveComponents != 1 || m.MeanLiveDegree != 4 {
+			t.Fatalf("round %d live topology %d comps / %.2f deg, want 1 / 4", m.Round, m.LiveComponents, m.MeanLiveDegree)
+		}
+	}
+	if res.TotalDroppedSends != 0 {
+		t.Fatalf("all-live run dropped %d sends", res.TotalDroppedSends)
+	}
+	plain, err := Run(testConfig(t, 36))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.FinalMeanAcc != res.FinalMeanAcc {
+		t.Fatalf("all-live dropout run diverged from plain run: %.6f vs %.6f",
+			res.FinalMeanAcc, plain.FinalMeanAcc)
+	}
+}

@@ -1,0 +1,32 @@
+// Package transport moves model vectors between nodes. It is the
+// counterpart of DecentralizePy's socket layer in the paper's stack.
+//
+// # Networks and endpoints
+//
+// A Network hands out one Endpoint per node; Send delivers a Message to a
+// peer and Recv blocks for the next arrival. Two implementations share the
+// interface: Local delivers through buffered channels inside a single
+// process (the fast path used for 256-node simulations), and TCP frames
+// the same messages over real sockets (examples/tcpcluster and the
+// transport tests run nodes as genuine network peers on localhost). The
+// simulator is agnostic to which one it is given — runs are bit-identical
+// across transports.
+//
+// # Fault-injection wrappers
+//
+// Two wrappers compose over any Network to model imperfect links:
+//
+//   - Flaky injects deterministic send failures (every n-th send errors),
+//     used to verify the engine surfaces transport errors instead of
+//     hanging or corrupting a round.
+//   - DeadNode models brown-outs at the radio level: a per-round live set
+//     marks unpowered nodes, and messages on edges incident to a dead node
+//     vanish silently — the sender still pays its transmit cost, exactly
+//     as a real radio would against an unpowered peer. Flaky understands
+//     the same live sets, so noisy links and dead links compose in one
+//     run.
+//
+// The simulation engine installs DeadNode automatically when dead-node
+// dropout is enabled (sim.Config.DropDeadNodes) and refreshes the live set
+// from battery state every round.
+package transport

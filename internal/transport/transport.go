@@ -1,11 +1,3 @@
-// Package transport moves model vectors between nodes. It is the
-// counterpart of DecentralizePy's socket layer in the paper's stack.
-//
-// Two implementations share one interface: Local delivers through buffered
-// channels inside a single process (the fast path used for 256-node
-// simulations), and TCP frames the same messages over real sockets
-// (examples/tcpcluster and the transport tests run nodes as genuine network
-// peers on localhost). The simulator is agnostic to which one it is given.
 package transport
 
 import (

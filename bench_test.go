@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sync"
 	"testing"
 
 	"repro/internal/compress"
@@ -590,6 +592,57 @@ func BenchmarkHarvestFleetRound(b *testing.B) {
 					fleet.TryTrain(node)
 				}
 			}
+			fleet.EndRound(t)
+		}
+		if fleet.HarvestedWh() <= 0 {
+			b.Fatal("fleet harvested nothing")
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*nodes*rounds), "ns/node-round")
+}
+
+// BenchmarkHarvestFleetRoundParallel measures the same hot path with the
+// policy loop fanned out across GOMAXPROCS workers (the engine's phase
+// pattern) and EndRound sharding internally — the million-node
+// configuration of the ROADMAP perf item. Results are bit-identical to the
+// serial benchmark because all fleet state is per-node.
+func BenchmarkHarvestFleetRoundParallel(b *testing.B) {
+	const (
+		nodes  = 1000
+		rounds = 1000
+	)
+	devices := energy.AssignDevices(nodes, energy.Devices())
+	w := energy.CIFAR10Workload()
+	workers := runtime.GOMAXPROCS(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		trace, err := harvest.NewDiurnal(0.01, 24, harvest.LongitudePhase(nodes))
+		if err != nil {
+			b.Fatal(err)
+		}
+		fleet, err := harvest.NewFleet(devices, w, trace, harvest.Options{CapacityRounds: 12, InitialSoC: 0.5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		chunk := (nodes + workers - 1) / workers
+		for t := 0; t < rounds; t++ {
+			var wg sync.WaitGroup
+			for lo := 0; lo < nodes; lo += chunk {
+				hi := lo + chunk
+				if hi > nodes {
+					hi = nodes
+				}
+				wg.Add(1)
+				go func(lo, hi int) {
+					defer wg.Done()
+					for node := lo; node < hi; node++ {
+						if fleet.SoC(node) > 0.2 {
+							fleet.TryTrain(node)
+						}
+					}
+				}(lo, hi)
+			}
+			wg.Wait()
 			fleet.EndRound(t)
 		}
 		if fleet.HarvestedWh() <= 0 {

@@ -11,6 +11,8 @@
 //	harvestsim -trace constant -peak 0           # no recharge (paper setting)
 //	harvestsim -trace csv -tracefile solar.csv   # replay a recorded trace
 //	harvestsim -dropdead -cutoff 0.25 -idle 0.2  # brown-outs silence radios
+//	harvestsim -dropdead -cutoff 0.3 -idle 0.25 -rejoin catchup
+//	                                             # checkpoint/restore on rejoin
 //
 // With -dropdead, a node whose battery sits at or below the -cutoff
 // state of charge is browned out for the round: it neither trains nor
@@ -18,6 +20,13 @@
 // matrix is re-normalized over the live subgraph (see docs/ARCHITECTURE.md).
 // Without it the engine routes sync traffic through depleted nodes — the
 // optimistic baseline.
+//
+// With -rejoin, the checkpoint subsystem (internal/checkpoint) snapshots a
+// dying node's post-aggregation model and applies the chosen rejoin rule
+// when it recharges: stale (resume frozen parameters, the baseline),
+// restore (freshest aggregated state in the live neighborhood), or catchup
+// (staleness-discounted blend). -ckptdir persists snapshots to disk;
+// without it they live in memory.
 //
 // Runs are deterministic: the same seed and flags reproduce the same
 // output bit-for-bit.
@@ -28,6 +37,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/energy"
@@ -58,6 +68,8 @@ func main() {
 		cutoff   = flag.Float64("cutoff", 0, "brown-out cutoff as a fraction of capacity [0,1)")
 		idle     = flag.Float64("idle", 0, "always-on idle draw per round, as a multiple of the mean training cost")
 		dropDead = flag.Bool("dropdead", false, "silence browned-out nodes: drop their edges and re-normalize the mixing matrix each round")
+		rejoin   = flag.String("rejoin", "", "checkpoint/restore on rejoin: stale | restore | catchup (requires -dropdead; empty = off)")
+		ckptDir  = flag.String("ckptdir", "", "persist snapshots under this directory (default: in-memory store)")
 		gt       = flag.Int("gt", 0, "Γtrain (0 = all-train schedule)")
 		gs       = flag.Int("gs", 0, "Γsync (used when -gt > 0: SkipTrain schedule)")
 		lr       = flag.Float64("lr", 0.2, "learning rate η")
@@ -75,6 +87,7 @@ func main() {
 		capacity: *capacity, initSoC: *initSoC,
 		minSoC: *minSoC, lowSoC: *lowSoC, highSoC: *highSoC, exponent: *exponent,
 		cutoff: *cutoff, idle: *idle, dropDead: *dropDead,
+		rejoin: *rejoin, ckptDir: *ckptDir,
 		gt: *gt, gs: *gs, lr: *lr, batch: *batch, steps: *steps,
 		evalInt: *evalInt, seed: *seed,
 	}); err != nil {
@@ -94,6 +107,7 @@ type runConfig struct {
 	minSoC, lowSoC, highSoC         float64
 	exponent, cutoff, idle          float64
 	dropDead                        bool
+	rejoin, ckptDir                 string
 	gt, gs                          int
 	lr                              float64
 	batch, steps, evalInt           int
@@ -127,6 +141,13 @@ Policies (-policy):
   threshold     train whenever SoC >= -minsoc
   hysteresis    go dormant below -low, resume above -high
 
+Rejoin rules (-rejoin, with -dropdead):
+  stale    resume from parameters frozen at death (baseline)
+  restore  resume from the freshest aggregated state in the live
+           neighborhood (own durable snapshot when isolated)
+  catchup  staleness-discounted blend: 2^(-staleness/2) of the snapshot,
+           the rest from live neighbors' mean
+
 Scenarios:
 
   harvestsim                                   # 96-node solar fleet
@@ -134,6 +155,8 @@ Scenarios:
   harvestsim -trace constant -peak 0           # no recharge (paper setting)
   harvestsim -trace csv -tracefile solar.csv   # replay a recorded trace
   harvestsim -dropdead -cutoff 0.25 -idle 0.2  # brown-outs silence radios
+  harvestsim -dropdead -cutoff 0.3 -idle 0.25 -rejoin catchup
+                                               # checkpoint/restore on rejoin
 
 Flags:
 
@@ -148,6 +171,7 @@ func run(c runConfig) error {
 	capacity, initSoC := c.capacity, c.initSoC
 	minSoC, lowSoC, highSoC, exponent := c.minSoC, c.lowSoC, c.highSoC, c.exponent
 	cutoff, idle, dropDead := c.cutoff, c.idle, c.dropDead
+	rejoin, ckptDir := c.rejoin, c.ckptDir
 	gt, gs, lr := c.gt, c.gs, c.lr
 	batch, steps, evalInt, seed := c.batch, c.steps, c.evalInt, c.seed
 	g, err := graph.Regular(nodes, degree, seed)
@@ -230,6 +254,30 @@ func run(c runConfig) error {
 		return err
 	}
 
+	// The checkpoint/rejoin subsystem only makes sense when dead nodes
+	// freeze, i.e. under -dropdead.
+	var mgr *checkpoint.Manager
+	if rejoin != "" {
+		if !dropDead {
+			return fmt.Errorf("-rejoin requires -dropdead")
+		}
+		rule, err := checkpoint.RuleByName(rejoin)
+		if err != nil {
+			return err
+		}
+		var store checkpoint.Store
+		if ckptDir != "" {
+			if store, err = checkpoint.NewFileStore(ckptDir, nodes); err != nil {
+				return err
+			}
+		}
+		if mgr, err = checkpoint.NewManager(nodes, store, rule); err != nil {
+			return err
+		}
+	} else if ckptDir != "" {
+		return fmt.Errorf("-ckptdir needs -rejoin")
+	}
+
 	var schedule core.Schedule = core.AllTrain{}
 	if gt > 0 {
 		gamma, err := core.NewGamma(gt, gs)
@@ -252,6 +300,7 @@ func run(c runConfig) error {
 		Devices: devices, Workload: workload,
 		Harvest: fleet, TrackSoC: true,
 		DropDeadNodes: dropDead,
+		Checkpoint:    mgr,
 		Seed:          seed,
 	})
 	if err != nil {
@@ -262,8 +311,15 @@ func run(c runConfig) error {
 	if dropDead {
 		commModel = "drop-and-renormalize"
 	}
-	fmt.Printf("harvest fleet: %d nodes, %d-regular, %d rounds | trace %s | policy %s | capacity %g rounds | dead nodes: %s\n",
-		nodes, degree, rounds, fleet.TraceName(), policy.Name(), capacity, commModel)
+	rejoinModel := "off"
+	if mgr != nil {
+		rejoinModel = mgr.Rule().Name()
+		if ckptDir != "" {
+			rejoinModel += " (snapshots in " + ckptDir + ")"
+		}
+	}
+	fmt.Printf("harvest fleet: %d nodes, %d-regular, %d rounds | trace %s | policy %s | capacity %g rounds | dead nodes: %s | rejoin: %s\n",
+		nodes, degree, rounds, fleet.TraceName(), policy.Name(), capacity, commModel, rejoinModel)
 
 	// The wave: per-round participation, fleet charge, and liveness over
 	// time.
@@ -314,6 +370,10 @@ func run(c runConfig) error {
 		res.TotalHarvestWh, fleet.ConsumedWh(), fleet.WastedWh())
 	if dropDead {
 		fmt.Printf(" | dropped msgs %d", res.TotalDroppedSends)
+	}
+	if mgr != nil {
+		fmt.Printf(" | revivals %d, restores %d, mean staleness %.1f",
+			res.TotalRevivals, res.TotalRestores, res.MeanRejoinStaleness())
 	}
 	fmt.Println()
 	return nil

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -13,9 +14,43 @@ import (
 // only.
 var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
 
+// mdHeading matches ATX headings, whose GitHub-style anchors the link
+// checker validates fragments against.
+var mdHeading = regexp.MustCompile(`(?m)^#{1,6}\s+(.+?)\s*$`)
+
+// nonAnchorRune strips everything GitHub's anchor slugger drops: anything
+// that is not a letter, digit, space, hyphen, or underscore.
+var nonAnchorRune = regexp.MustCompile(`[^\p{L}\p{N} _-]`)
+
+// headingAnchors returns the set of GitHub-style anchors for a markdown
+// file: headings lowercased, punctuation stripped, spaces replaced with
+// hyphens, duplicates suffixed -1, -2, ...
+func headingAnchors(md string) map[string]bool {
+	anchors := map[string]bool{}
+	for _, match := range mdHeading.FindAllStringSubmatch(md, -1) {
+		slug := strings.ToLower(match[1])
+		slug = nonAnchorRune.ReplaceAllString(slug, "")
+		slug = strings.ReplaceAll(slug, " ", "-")
+		if !anchors[slug] {
+			anchors[slug] = true
+			continue
+		}
+		for n := 1; ; n++ {
+			withSuffix := fmt.Sprintf("%s-%d", slug, n)
+			if !anchors[withSuffix] {
+				anchors[withSuffix] = true
+				break
+			}
+		}
+	}
+	return anchors
+}
+
 // TestDocsRelativeLinks fails on broken relative links in README.md and
 // docs/: every non-URL target must exist on disk relative to the file that
-// references it. The CI docs job runs this alongside go vet and gofmt.
+// references it, and every #fragment pointing at a markdown file (or at the
+// same file) must name a real heading anchor there. The CI docs job runs
+// this alongside go vet and gofmt.
 func TestDocsRelativeLinks(t *testing.T) {
 	files := []string{"README.md", "ROADMAP.md", "PAPER.md", "PAPERS.md", "CHANGES.md"}
 	entries, err := filepath.Glob("docs/*.md")
@@ -24,7 +59,15 @@ func TestDocsRelativeLinks(t *testing.T) {
 	}
 	files = append(files, entries...)
 
-	checked := 0
+	anchorsOf := func(path string) (map[string]bool, error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return headingAnchors(string(data)), nil
+	}
+
+	checked, anchorsChecked := 0, 0
 	for _, file := range files {
 		data, err := os.ReadFile(file)
 		if os.IsNotExist(err) {
@@ -38,18 +81,48 @@ func TestDocsRelativeLinks(t *testing.T) {
 			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
 				continue // external; liveness is not this test's job
 			}
-			target, _, _ = strings.Cut(target, "#")
-			if target == "" {
-				continue // pure in-page anchor
+			target, fragment, _ := strings.Cut(target, "#")
+			resolved := file // pure in-page anchor: check against this file
+			if target != "" {
+				resolved = filepath.Join(filepath.Dir(file), target)
+				if _, err := os.Stat(resolved); err != nil {
+					t.Errorf("%s: broken relative link %q (resolved %s)", file, match[1], resolved)
+					continue
+				}
+				checked++
 			}
-			resolved := filepath.Join(filepath.Dir(file), target)
-			if _, err := os.Stat(resolved); err != nil {
-				t.Errorf("%s: broken relative link %q (resolved %s)", file, match[1], resolved)
+			if fragment == "" || !strings.HasSuffix(resolved, ".md") {
+				continue
 			}
-			checked++
+			anchors, err := anchorsOf(resolved)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !anchors[fragment] {
+				t.Errorf("%s: link %q points at missing anchor #%s in %s", file, match[1], fragment, resolved)
+			}
+			anchorsChecked++
 		}
 	}
 	if checked == 0 {
 		t.Fatal("no relative links found; the link checker is not seeing the docs")
+	}
+	if anchorsChecked == 0 {
+		t.Fatal("no anchored links found; the anchor checker is not seeing the docs")
+	}
+}
+
+func TestHeadingAnchors(t *testing.T) {
+	md := "# Death, checkpoint, rejoin\n## Phase 0 — live-set snapshot (`harvest`, `graph`)\n## Dup\n## Dup\n"
+	anchors := headingAnchors(md)
+	for _, want := range []string{
+		"death-checkpoint-rejoin",
+		"phase-0--live-set-snapshot-harvest-graph",
+		"dup",
+		"dup-1",
+	} {
+		if !anchors[want] {
+			t.Fatalf("anchor %q missing from %v", want, anchors)
+		}
 	}
 }

@@ -1,0 +1,41 @@
+// Package checkpoint gives brown-outs a memory model: it persists each
+// node's last post-aggregation parameters across power failures and decides
+// what a node resumes with when its battery recovers.
+//
+// The simulation engine (internal/sim) freezes a browned-out node: no
+// training, no sends, no receives, model held until the battery climbs back
+// over its cutoff. Intermittent-computing systems show that on-device
+// learners must persist state across power failures to make progress at
+// all, and that how a node rejoins dominates convergence under energy
+// harvesting. This package supplies both halves:
+//
+//   - A Store (MemStore in memory, FileStore on disk reusing the nn
+//     checkpoint codec with atomic writes) that snapshots a node's
+//     post-aggregation model and round stamp at its death transition.
+//
+//   - A Tracker that turns the per-round live mask into discrete deaths and
+//     revivals, with per-node staleness (rounds missed while dead).
+//
+//   - A family of RejoinRule strategies applied at revival:
+//
+//     ResumeStale        resume from the parameters frozen at death — the
+//     pre-checkpoint engine behavior and the baseline.
+//     RestoreCheckpoint  resume from the last aggregated snapshot reachable
+//     at revival: the continuously-live neighbors' mean
+//     (own durable snapshot when reviving isolated).
+//     CatchUp            staleness-discounted convex blend,
+//     w(s)·snapshot + (1−w(s))·neighborMean with
+//     w(s) = 2^(−s/halfLife).
+//
+// A deliberate subtlety: under the drop-dead engine a node's own durable
+// snapshot is bit-identical to its frozen in-RAM state, so restoring it
+// alone can never beat ResumeStale. What the checkpoint layer buys is the
+// trustworthy round stamp — the staleness the rules discount by — and the
+// durable rendezvous point; the freshness that actually improves rejoin
+// accuracy comes from the live neighborhood.
+//
+// Wire a Manager into a run through sim.Config.Checkpoint (requires
+// DropDeadNodes); experiments.TableRejoin compares the three rules across
+// harvest regimes, and cmd/harvestsim exposes them as -rejoin/-ckptdir.
+// See docs/ARCHITECTURE.md, section "Death, checkpoint, rejoin".
+package checkpoint

@@ -1,0 +1,51 @@
+package checkpoint_test
+
+import (
+	"fmt"
+
+	"repro/internal/checkpoint"
+	"repro/internal/tensor"
+)
+
+// Example walks a three-node neighborhood through a death and a rejoin:
+// node 1 browns out at round 3, misses two rounds, and comes back under the
+// CatchUp rule, which blends its durable snapshot with its live neighbors'
+// mean, discounting the snapshot by staleness.
+func Example() {
+	rule, _ := checkpoint.NewCatchUp(2) // trust halves every 2 rounds dead
+	m, _ := checkpoint.NewManager(3, nil, rule)
+
+	// Rounds 0-2: everyone live.
+	for t := 0; t < 3; t++ {
+		m.BeginRound(t, nil)
+	}
+
+	// Round 3: node 1's battery crosses the cutoff. The engine snapshots
+	// its post-aggregation model from round 2 at the death transition.
+	died, _ := m.BeginRound(3, []bool{true, false, true})
+	fmt.Println("died:", died)
+	m.Snapshot(1, 2, tensor.Vector{1, 1})
+
+	// Round 4: still dead. Round 5: recharged — staleness is 2 (missed
+	// rounds 3 and 4).
+	m.BeginRound(4, []bool{true, false, true})
+	_, revived := m.BeginRound(5, nil)
+	fmt.Printf("revived: node %d, staleness %d\n", revived[0].Node, revived[0].Staleness)
+
+	// The engine hands the rule the frozen state, the snapshot, and the
+	// continuously-live neighbors' mean; at one half-life per side the
+	// blend is exactly 50/50.
+	snap, _, _ := m.Load(1)
+	resumed := tensor.NewVector(2)
+	rule.Apply(resumed, checkpoint.Rejoin{
+		Node: 1, Round: 5, Staleness: revived[0].Staleness,
+		Current:  snap.Params, // frozen in RAM == own durable snapshot
+		Snapshot: snap.Params, SnapshotRound: snap.Round,
+		NeighborMean: tensor.Vector{3, 5},
+	})
+	fmt.Println("resumes with:", resumed)
+	// Output:
+	// died: [1]
+	// revived: node 1, staleness 2
+	// resumes with: [2 3]
+}

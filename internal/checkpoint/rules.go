@@ -1,0 +1,160 @@
+package checkpoint
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Rejoin is everything a rejoin rule may draw on when a node comes back
+// from a brown-out. All vectors share the model's parameter length and are
+// read-only; a rule writes its decision into the destination it is given.
+type Rejoin struct {
+	Node      int
+	Round     int // the round the node revives at
+	Staleness int // rounds missed while dead (>= 1)
+
+	// Current is the node's frozen in-RAM state: its post-aggregation
+	// parameters from its last live round, held unchanged through the
+	// outage. Under the drop-dead engine this is bit-identical to the
+	// node's own durable snapshot, which is why beating ResumeStale
+	// requires neighborhood information.
+	Current tensor.Vector
+	// Snapshot is the node's own durable snapshot (nil when it was never
+	// checkpointed) and SnapshotRound the round that produced it.
+	Snapshot      tensor.Vector
+	SnapshotRound int
+	// NeighborMean is the mean of the current post-aggregation models of
+	// the node's continuously-live neighbors — the freshest aggregated
+	// state reachable at revival. Nil when the node revives isolated (no
+	// neighbor was live both this round and last).
+	NeighborMean tensor.Vector
+}
+
+// RejoinRule decides what parameters a node resumes with after a brown-out.
+type RejoinRule interface {
+	// Name identifies the rule in reports and CLI flags.
+	Name() string
+	// Apply writes the parameters the node resumes with into dst and
+	// reports whether it replaced the stale in-RAM state (false means the
+	// node resumes exactly where it froze).
+	Apply(dst tensor.Vector, rj Rejoin) bool
+}
+
+// ResumeStale is the baseline — the engine's behavior before the
+// checkpoint subsystem existed: the node resumes from the parameters
+// frozen at its death and immediately trains on them, however many rounds
+// old they are.
+type ResumeStale struct{}
+
+// Name returns "resume-stale".
+func (ResumeStale) Name() string { return "resume-stale" }
+
+// Apply keeps the frozen parameters.
+func (ResumeStale) Apply(dst tensor.Vector, rj Rejoin) bool {
+	copy(dst, rj.Current)
+	return false
+}
+
+// RestoreCheckpoint resumes from the last aggregated snapshot reachable at
+// revival: the mean of the continuously-live neighbors' current models —
+// the decentralized analogue of re-fetching the model from a live peer on
+// rejoin — falling back to the node's own durable snapshot when it revives
+// isolated. A node's own snapshot alone equals its frozen state (see
+// Rejoin.Current), so the neighborhood is where freshness comes from.
+type RestoreCheckpoint struct{}
+
+// Name returns "restore-checkpoint".
+func (RestoreCheckpoint) Name() string { return "restore-checkpoint" }
+
+// Apply restores the freshest aggregated state available. The isolated
+// fallback copies the node's own snapshot, which is bit-identical to the
+// frozen state, so only a neighborhood restore counts as replacing it —
+// keeping the Restores metric comparable across rules.
+func (RestoreCheckpoint) Apply(dst tensor.Vector, rj Rejoin) bool {
+	switch {
+	case rj.NeighborMean != nil:
+		copy(dst, rj.NeighborMean)
+		return true
+	case rj.Snapshot != nil:
+		copy(dst, rj.Snapshot)
+		return false
+	default:
+		copy(dst, rj.Current)
+		return false
+	}
+}
+
+// CatchUp blends the node's own snapshot with its live neighbors' mean,
+// discounting the snapshot by how stale it is:
+//
+//	w(s)      = 2^(-s / HalfLife)
+//	x_rejoin  = w(s) * x_snapshot + (1 - w(s)) * x̄_neighbors
+//
+// A node dead for one half-life keeps half of its own state; one dead for
+// many half-lives effectively re-syncs to its neighborhood. The weights
+// are convex for every staleness s >= 0: w ∈ (0, 1] and the pair sums to
+// exactly 1.
+type CatchUp struct {
+	halfLife float64
+}
+
+// DefaultHalfLife is the staleness (in rounds) at which CatchUp trusts its
+// own snapshot and its neighborhood equally.
+const DefaultHalfLife = 2.0
+
+// NewCatchUp returns a CatchUp rule with the given half-life in rounds.
+func NewCatchUp(halfLife float64) (*CatchUp, error) {
+	if halfLife <= 0 || math.IsNaN(halfLife) || math.IsInf(halfLife, 0) {
+		return nil, fmt.Errorf("checkpoint: catch-up half-life %v must be positive and finite", halfLife)
+	}
+	return &CatchUp{halfLife: halfLife}, nil
+}
+
+// Name returns e.g. "catch-up(h=2)".
+func (c *CatchUp) Name() string { return fmt.Sprintf("catch-up(h=%g)", c.halfLife) }
+
+// Weights returns the convex blend (wSnapshot, wNeighbors) for a given
+// staleness: wSnapshot decays exponentially in rounds-dead and the pair
+// always sums to exactly 1 with both terms non-negative.
+func (c *CatchUp) Weights(staleness int) (wSnapshot, wNeighbors float64) {
+	if staleness < 0 {
+		staleness = 0
+	}
+	wSnapshot = math.Exp2(-float64(staleness) / c.halfLife)
+	return wSnapshot, 1 - wSnapshot
+}
+
+// Apply blends snapshot and neighborhood. Without live neighbors there is
+// nothing to catch up to and the node resumes from its snapshot (or frozen
+// state); without a snapshot the frozen state stands in for it.
+func (c *CatchUp) Apply(dst tensor.Vector, rj Rejoin) bool {
+	base := rj.Snapshot
+	if base == nil {
+		base = rj.Current
+	}
+	if rj.NeighborMean == nil {
+		copy(dst, base)
+		return false
+	}
+	wSnap, wNbr := c.Weights(rj.Staleness)
+	tensor.ScaleTo(dst, wSnap, base)
+	tensor.AXPY(dst, wNbr, rj.NeighborMean)
+	return true
+}
+
+// RuleByName maps a CLI/table name to a rule: "stale", "restore", or
+// "catchup" (the latter with DefaultHalfLife).
+func RuleByName(name string) (RejoinRule, error) {
+	switch name {
+	case "stale":
+		return ResumeStale{}, nil
+	case "restore":
+		return RestoreCheckpoint{}, nil
+	case "catchup":
+		return NewCatchUp(DefaultHalfLife)
+	default:
+		return nil, fmt.Errorf("checkpoint: unknown rejoin rule %q (want stale, restore, or catchup)", name)
+	}
+}

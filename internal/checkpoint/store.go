@@ -1,0 +1,76 @@
+package checkpoint
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Snapshot is one durable model image: the parameters a node held after its
+// last completed aggregation, and the round that aggregation closed.
+type Snapshot struct {
+	// Round is the round whose aggregation produced Params. A node that
+	// browned out before ever aggregating carries Round -1 (its
+	// initialization snapshot).
+	Round int
+	// Params is the post-aggregation parameter vector. Loaded snapshots are
+	// read-only: callers must copy before mutating.
+	Params tensor.Vector
+}
+
+// Store persists per-node model snapshots across brown-outs. The engine
+// drives a store strictly sequentially (snapshots happen in the round's
+// phase-0 transition handling), so implementations need not be safe for
+// concurrent use.
+type Store interface {
+	// Save persists node's post-aggregation parameters stamped with the
+	// round that produced them, replacing any previous snapshot.
+	Save(node, round int, params tensor.Vector) error
+	// Load returns the node's latest snapshot. ok is false when the node
+	// has never been snapshotted. The returned parameters are read-only.
+	Load(node int) (snap Snapshot, ok bool, err error)
+	// Nodes returns how many nodes the store covers.
+	Nodes() int
+}
+
+// MemStore keeps snapshots in memory: the zero-cost store for simulations
+// where durability inside one process is enough.
+type MemStore struct {
+	rounds []int
+	params []tensor.Vector // nil until first Save
+}
+
+// NewMemStore returns an in-memory store covering n nodes.
+func NewMemStore(n int) (*MemStore, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("checkpoint: store needs >= 1 node, got %d", n)
+	}
+	return &MemStore{rounds: make([]int, n), params: make([]tensor.Vector, n)}, nil
+}
+
+// Nodes returns the number of nodes the store covers.
+func (s *MemStore) Nodes() int { return len(s.params) }
+
+// Save copies params into the node's snapshot slot.
+func (s *MemStore) Save(node, round int, params tensor.Vector) error {
+	if node < 0 || node >= len(s.params) {
+		return fmt.Errorf("checkpoint: node %d outside store of %d", node, len(s.params))
+	}
+	if s.params[node] == nil || len(s.params[node]) != len(params) {
+		s.params[node] = tensor.NewVector(len(params))
+	}
+	copy(s.params[node], params)
+	s.rounds[node] = round
+	return nil
+}
+
+// Load returns the node's snapshot without copying; treat it as read-only.
+func (s *MemStore) Load(node int) (Snapshot, bool, error) {
+	if node < 0 || node >= len(s.params) {
+		return Snapshot{}, false, fmt.Errorf("checkpoint: node %d outside store of %d", node, len(s.params))
+	}
+	if s.params[node] == nil {
+		return Snapshot{}, false, nil
+	}
+	return Snapshot{Round: s.rounds[node], Params: s.params[node]}, true, nil
+}

@@ -47,6 +47,28 @@ func brownoutFleetOptions(meanTrainWh float64) harvest.Options {
 	}
 }
 
+// brownoutRegime is one harvest regime of the brown-out experiment family:
+// a named trace constructor shared by TableBrownout and TableRejoin so both
+// compare over identical fleets.
+type brownoutRegime struct {
+	name  string
+	trace func() (harvest.Trace, error)
+}
+
+// brownoutRegimes returns the two standard regimes: diurnal/solar (regular,
+// predictable outages sweeping the fleet) and bursty Markov (irregular
+// outages of random length).
+func brownoutRegimes(o Options, meanTrainWh float64) []brownoutRegime {
+	return []brownoutRegime{
+		{"diurnal", func() (harvest.Trace, error) {
+			return harvest.NewDiurnal(1.2*meanTrainWh, diurnalPeriod(o.Rounds), harvest.LongitudePhase(o.Nodes))
+		}},
+		{"markov", func() (harvest.Trace, error) {
+			return harvest.NewMarkovOnOff(o.Nodes, 1.4*meanTrainWh, 0.25, 0.35, o.Seed)
+		}},
+	}
+}
+
 // TableBrownout runs the 2x2 brown-out comparison (harvest regime x
 // dead-node communication model) and renders the table. Every cell is
 // bit-reproducible: all stochastic state is per-node and the live set is
@@ -65,17 +87,7 @@ func TableBrownout(o Options) ([]BrownoutRow, error) {
 	workload := energy.CIFAR10Workload()
 	meanTrainWh := energy.NetworkRoundWh(o.Nodes, energy.Devices(), workload) / float64(o.Nodes)
 
-	regimes := []struct {
-		name  string
-		trace func() (harvest.Trace, error)
-	}{
-		{"diurnal", func() (harvest.Trace, error) {
-			return harvest.NewDiurnal(1.2*meanTrainWh, diurnalPeriod(o.Rounds), harvest.LongitudePhase(o.Nodes))
-		}},
-		{"markov", func() (harvest.Trace, error) {
-			return harvest.NewMarkovOnOff(o.Nodes, 1.4*meanTrainWh, 0.25, 0.35, o.Seed)
-		}},
-	}
+	regimes := brownoutRegimes(o, meanTrainWh)
 
 	schedule := core.AllTrain{}
 	trainSlots := core.CountTrainRounds(schedule, o.Rounds)

@@ -526,6 +526,140 @@ func TestTableBrownoutScenarios(t *testing.T) {
 	}
 }
 
+func TestTableHarvestFairnessColumns(t *testing.T) {
+	var sb strings.Builder
+	o := tiny()
+	o.Rounds = 24
+	o.Out = &sb
+	rows, err := TableHarvest(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]HarvestRow{}
+	for _, r := range rows {
+		byName[r.Scenario] = r
+		if r.TrainGini < 0 || r.TrainGini > 1 {
+			t.Fatalf("%s Gini %v out of range", r.Scenario, r.TrainGini)
+		}
+		if r.HarvestAccCorr < -1 || r.HarvestAccCorr > 1 {
+			t.Fatalf("%s harvest-accuracy correlation %v out of range", r.Scenario, r.HarvestAccCorr)
+		}
+	}
+	// Dark fleet: every node affords exactly the same number of rounds from
+	// its identical (in rounds) initial charge — perfectly equal
+	// participation, and no harvest to correlate with.
+	dark := byName["dark (no recharge)"]
+	if dark.TrainGini != 0 {
+		t.Fatalf("dark scenario Gini %v, want 0 (identical budgets)", dark.TrainGini)
+	}
+	if dark.HarvestAccCorr != 0 {
+		t.Fatalf("dark scenario correlation %v, want 0 (constant harvest)", dark.HarvestAccCorr)
+	}
+	for _, col := range []string{"Train Gini", "Harvest-acc corr"} {
+		if !strings.Contains(sb.String(), col) {
+			t.Fatalf("fairness column %q not rendered:\n%s", col, sb.String())
+		}
+	}
+}
+
+func TestTableRejoinStructure(t *testing.T) {
+	var sb strings.Builder
+	o := tiny()
+	o.Rounds = 24
+	o.Out = &sb
+	rows, err := TableRejoin(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("%d rows, want 6 (2 regimes x 3 rules)", len(rows))
+	}
+	byKey := map[string]RejoinRow{}
+	for _, r := range rows {
+		byKey[r.Regime+"/"+r.Rule] = r
+		if r.Revivals == 0 {
+			t.Fatalf("%s/%s saw no revivals; the rejoin path never ran", r.Regime, r.Rule)
+		}
+		if r.MeanStaleness < 1 || r.MaxStaleness < 1 {
+			t.Fatalf("%s/%s staleness not recorded: %+v", r.Regime, r.Rule, r)
+		}
+		if float64(r.MaxStaleness) < r.MeanStaleness {
+			t.Fatalf("%s/%s max staleness below mean: %+v", r.Regime, r.Rule, r)
+		}
+	}
+	for _, regime := range []string{"diurnal", "markov"} {
+		stale := byKey[regime+"/resume-stale"]
+		restore := byKey[regime+"/restore-checkpoint"]
+		catchup := byKey[regime+"/catch-up(h=2)"]
+		// The baseline never replaces state; the restoring rules do.
+		if stale.Restores != 0 {
+			t.Fatalf("%s resume-stale restored %d times", regime, stale.Restores)
+		}
+		if restore.Restores == 0 || catchup.Restores == 0 {
+			t.Fatalf("%s restoring rules never restored: %+v / %+v", regime, restore, catchup)
+		}
+		// Rejoin rules only touch parameters, never batteries: the energy
+		// trajectory — participation, revivals, staleness — is identical
+		// across rules within a regime.
+		for _, r := range []RejoinRow{restore, catchup} {
+			if r.Participation != stale.Participation || r.Revivals != stale.Revivals ||
+				r.MeanStaleness != stale.MeanStaleness || r.DeadShare != stale.DeadShare {
+				t.Fatalf("%s: energy trajectory differs across rejoin rules:\n%+v\n%+v", regime, stale, r)
+			}
+		}
+	}
+	if !strings.Contains(sb.String(), "Rejoin after brown-out") {
+		t.Fatalf("table not rendered:\n%s", sb.String())
+	}
+}
+
+// TestTableRejoinOrderingAtScale is the acceptance pin for the rejoin
+// table: at the table's default scale, restoring rules beat resume-stale
+// final accuracy in both regimes — in particular the bursty Markov regime,
+// where outage lengths are irregular and staleness is the error source the
+// rules exist to remove.
+func TestTableRejoinOrderingAtScale(t *testing.T) {
+	rows, err := TableRejoin(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]RejoinRow{}
+	for _, r := range rows {
+		byKey[r.Regime+"/"+r.Rule] = r
+	}
+	for _, regime := range []string{"diurnal", "markov"} {
+		stale := byKey[regime+"/resume-stale"]
+		for _, rule := range []string{"restore-checkpoint", "catch-up(h=2)"} {
+			r := byKey[regime+"/"+rule]
+			if r.FinalAcc <= stale.FinalAcc {
+				t.Fatalf("%s: %s %.2f%% does not beat resume-stale %.2f%%",
+					regime, rule, r.FinalAcc, stale.FinalAcc)
+			}
+		}
+	}
+}
+
+// TestTableRejoinReproducibleAcrossGOMAXPROCS pins the second half of the
+// acceptance criterion: every row is bit-identical at GOMAXPROCS 1 and 8.
+func TestTableRejoinReproducibleAcrossGOMAXPROCS(t *testing.T) {
+	run := func(procs int) []RejoinRow {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		rows, err := TableRejoin(Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	serial := run(1)
+	wide := run(8)
+	for i := range serial {
+		if serial[i] != wide[i] {
+			t.Fatalf("row %d differs across GOMAXPROCS:\n%+v\n%+v", i, serial[i], wide[i])
+		}
+	}
+}
+
 // TestTableBrownoutReproducibleAcrossGOMAXPROCS is the acceptance pin for
 // the brown-out table: every row — both modes, both regimes — must be
 // bit-identical no matter how many workers the engine uses.

@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/energy"
 	"repro/internal/harvest"
+	"repro/internal/metrics"
 	"repro/internal/nn"
 	"repro/internal/report"
 	"repro/internal/rng"
@@ -29,6 +30,13 @@ type HarvestRow struct {
 	Depleted      int     // nodes below cutoff at the end
 	HarvestedWh   float64 // stored ambient energy (sim scale)
 	ConsumedWh    float64 // battery drain: train + comm + idle (sim scale)
+
+	// Fairness view (internal/metrics): ambient sources are spatially
+	// biased — a solar fleet trains day-side nodes far more often — so each
+	// scenario reports how unequal participation was and whether the model
+	// favors the energy-rich.
+	TrainGini      float64 // Gini of per-node trained-round counts (0 = equal)
+	HarvestAccCorr float64 // Pearson corr. of a node's stored harvest vs its final accuracy
 }
 
 // harvestScenario bundles one (trace, policy) configuration.
@@ -137,8 +145,20 @@ func TableHarvest(o Options) ([]HarvestRow, error) {
 			return nil, fmt.Errorf("experiments: scenario %q: %w", sc.name, err)
 		}
 		trained := 0
-		for _, tr := range res.TrainedRounds {
+		trainedPerNode := make([]float64, o.Nodes)
+		harvestPerNode := make([]float64, o.Nodes)
+		for i, tr := range res.TrainedRounds {
 			trained += tr
+			trainedPerNode[i] = float64(tr)
+			harvestPerNode[i] = fleet.NodeHarvestedWh(i)
+		}
+		gini, err := metrics.Gini(trainedPerNode)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: scenario %q: %w", sc.name, err)
+		}
+		corr, err := metrics.Pearson(harvestPerNode, res.FinalNodeAccs)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: scenario %q: %w", sc.name, err)
 		}
 		meanSoC := 0.0
 		for _, s := range res.FinalSoC {
@@ -146,24 +166,27 @@ func TableHarvest(o Options) ([]HarvestRow, error) {
 		}
 		meanSoC /= float64(len(res.FinalSoC))
 		rows = append(rows, HarvestRow{
-			Scenario:      sc.name,
-			Trace:         fleet.TraceName(),
-			Policy:        policy.Name(),
-			FinalAcc:      res.FinalMeanAcc * 100,
-			Participation: 100 * float64(trained) / float64(o.Nodes*trainSlots),
-			MeanFinalSoC:  meanSoC,
-			Depleted:      res.History[len(res.History)-1].Depleted,
-			HarvestedWh:   res.TotalHarvestWh,
-			ConsumedWh:    fleet.ConsumedWh(),
+			Scenario:       sc.name,
+			Trace:          fleet.TraceName(),
+			Policy:         policy.Name(),
+			FinalAcc:       res.FinalMeanAcc * 100,
+			Participation:  100 * float64(trained) / float64(o.Nodes*trainSlots),
+			MeanFinalSoC:   meanSoC,
+			Depleted:       res.History[len(res.History)-1].Depleted,
+			HarvestedWh:    res.TotalHarvestWh,
+			ConsumedWh:     fleet.ConsumedWh(),
+			TrainGini:      gini,
+			HarvestAccCorr: corr,
 		})
 	}
 
 	tb := report.NewTable("Harvesting scenarios: charge-aware policies under ambient energy (sim scale)",
-		"Scenario", "Trace", "Policy", "Acc %", "Participation %", "Mean final SoC", "Depleted", "Harvested Wh", "Consumed Wh")
+		"Scenario", "Trace", "Policy", "Acc %", "Participation %", "Mean final SoC", "Depleted", "Harvested Wh", "Consumed Wh", "Train Gini", "Harvest-acc corr")
 	for _, r := range rows {
-		tb.AddRowf("%s|%s|%s|%.2f|%.1f|%.3f|%d|%.4f|%.4f",
+		tb.AddRowf("%s|%s|%s|%.2f|%.1f|%.3f|%d|%.4f|%.4f|%.3f|%+.3f",
 			r.Scenario, r.Trace, r.Policy, r.FinalAcc, r.Participation,
-			r.MeanFinalSoC, r.Depleted, r.HarvestedWh, r.ConsumedWh)
+			r.MeanFinalSoC, r.Depleted, r.HarvestedWh, r.ConsumedWh,
+			r.TrainGini, r.HarvestAccCorr)
 	}
 	tb.Render(o.Out)
 	return rows, nil

@@ -63,7 +63,9 @@ func (o Options) defaults() Options {
 // pays every node's idle and communication draw and harvests ambient
 // energy. All mutable state is strictly per-node, so TryTrain may be called
 // concurrently for distinct nodes; EndRound and the whole-fleet statistics
-// must not race with per-node calls.
+// must not race with per-node calls. EndRound itself shards the close-out
+// across GOMAXPROCS workers for large fleets — bit-identical to the serial
+// path because no cross-node state exists.
 type Fleet struct {
 	batteries []Battery
 	trainWh   []float64 // per-round training cost of node i's device
@@ -73,7 +75,7 @@ type Fleet struct {
 
 	harvested    []float64 // cumulative stored harvest per node
 	consumed     []float64 // cumulative train+idle+comm drain per node
-	wastedWh     float64   // harvest that arrived with the battery full
+	wasted       []float64 // per-node harvest that arrived with the battery full
 	roundHarvest []float64 // scratch: last EndRound's per-node stored harvest
 }
 
@@ -114,6 +116,7 @@ func NewFleet(devices []energy.Device, w energy.Workload, trace Trace, opt Optio
 		trace:        trace,
 		harvested:    make([]float64, len(devices)),
 		consumed:     make([]float64, len(devices)),
+		wasted:       make([]float64, len(devices)),
 		roundHarvest: make([]float64, len(devices)),
 	}
 	for i, d := range devices {
@@ -196,7 +199,11 @@ func (f *Fleet) EndRound(t int) []float64 { return f.endRound(t, nil) }
 func (f *Fleet) EndRoundLive(t int, live []bool) []float64 { return f.endRound(t, live) }
 
 func (f *Fleet) endRound(t int, live []bool) []float64 {
-	for i := range f.batteries {
+	// The round close-out is sharded across workers for big fleets: every
+	// write below is to node-i state only (battery, ledgers, scratch), and
+	// Trace implementations are documented race-free across distinct nodes,
+	// so the parallel path is bit-identical to the serial one.
+	parallelFor(len(f.batteries), func(i int) {
 		b := &f.batteries[i]
 		draw := f.idleWh
 		if live == nil || live[i] {
@@ -206,9 +213,9 @@ func (f *Fleet) endRound(t int, live []bool) []float64 {
 		arrived := f.trace.HarvestWh(i, t)
 		stored := b.Harvest(arrived)
 		f.harvested[i] += stored
-		f.wastedWh += arrived - stored
+		f.wasted[i] += arrived - stored
 		f.roundHarvest[i] = stored
-	}
+	})
 	return f.roundHarvest
 }
 
@@ -259,7 +266,7 @@ func (f *Fleet) HarvestedWh() float64 { return sum(f.harvested) }
 func (f *Fleet) ConsumedWh() float64 { return sum(f.consumed) }
 
 // WastedWh returns harvest energy that arrived while batteries were full.
-func (f *Fleet) WastedWh() float64 { return f.wastedWh }
+func (f *Fleet) WastedWh() float64 { return sum(f.wasted) }
 
 // NodeHarvestedWh returns node i's cumulative stored harvest.
 func (f *Fleet) NodeHarvestedWh(i int) float64 { return f.harvested[i] }

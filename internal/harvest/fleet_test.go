@@ -181,6 +181,57 @@ func TestFleetParallelTryTrainDeterministic(t *testing.T) {
 	}
 }
 
+// TestEndRoundParallelMatchesSerial pins the sharded round close-out: with
+// the parallel path forced on (threshold lowered to cover the test fleet),
+// every ledger and battery trajectory must be bit-identical to the serial
+// path — all EndRound state is per-node, so worker count cannot matter.
+func TestEndRoundParallelMatchesSerial(t *testing.T) {
+	const nodes, rounds = 64, 60
+	run := func(minNodes int) (socs []float64, harvested, consumed, wasted float64) {
+		old := parallelMinNodes
+		parallelMinNodes = minNodes
+		defer func() { parallelMinNodes = old }()
+		devices := energy.AssignDevices(nodes, energy.Devices())
+		trace, err := NewMarkovOnOff(nodes, 0.01, 0.3, 0.4, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := NewFleet(devices, energy.CIFAR10Workload(), trace,
+			Options{CapacityRounds: 6, InitialSoC: 0.9, IdleWh: 1e-4, CutoffSoC: 0.1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		live := make([]bool, nodes)
+		for round := 0; round < rounds; round++ {
+			for i := 0; i < nodes; i++ {
+				if f.SoC(i) > 0.3 {
+					f.TryTrain(i)
+				}
+				live[i] = f.Usable(i)
+			}
+			if round%2 == 0 {
+				f.EndRound(round)
+			} else {
+				f.EndRoundLive(round, live)
+			}
+		}
+		return f.SoCs(), f.HarvestedWh(), f.ConsumedWh(), f.WastedWh()
+	}
+	serialSoC, sh, sc, sw := run(nodes + 1) // threshold above fleet: serial
+	parSoC, ph, pc, pw := run(1)            // threshold below fleet: parallel
+	if sh != ph || sc != pc || sw != pw {
+		t.Fatalf("ledgers differ: serial (%v,%v,%v) vs parallel (%v,%v,%v)", sh, sc, sw, ph, pc, pw)
+	}
+	for i := range serialSoC {
+		if serialSoC[i] != parSoC[i] {
+			t.Fatalf("node %d SoC %v (serial) != %v (parallel)", i, serialSoC[i], parSoC[i])
+		}
+	}
+	if sw <= 0 {
+		t.Fatal("scenario wasted no harvest; WastedWh ledger untested")
+	}
+}
+
 func TestFleetCapacityRoundsOverride(t *testing.T) {
 	f := testFleet(t, Constant{0}, Options{CapacityRounds: 10, InitialSoC: 0.5})
 	for i := 0; i < f.Nodes(); i++ {

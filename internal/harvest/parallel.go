@@ -1,0 +1,15 @@
+package harvest
+
+import "repro/internal/par"
+
+// parallelMinNodes is the fleet size below which the round close-out stays
+// serial: goroutine fan-out only pays for itself on large fleets. A test
+// hook lowers it to pin serial/parallel bit-identity.
+var parallelMinNodes = 256
+
+// parallelFor shards fn(0..n-1) across workers (internal/par). Every
+// caller writes node-i state only, so results are bit-identical to a
+// serial loop; small fleets take the serial path outright.
+func parallelFor(n int, fn func(i int)) {
+	par.For(n, parallelMinNodes, fn)
+}

@@ -19,17 +19,24 @@ import (
 //	crc32    uint32  IEEE checksum of the params bytes
 //
 // Only parameters are stored — architecture is code, so loading validates
-// the parameter count against the receiving network.
+// the parameter count against the receiving network. The vector-level codec
+// (WriteVector/ReadVector) is shared with internal/checkpoint, whose stores
+// persist brown-out snapshots in the same format.
 
 const (
 	checkpointMagic   = 0x534b5054
 	checkpointVersion = 1
+
+	// maxCheckpointParams bounds the header's count field before any
+	// allocation: the count is outside the CRC, so a corrupted file must
+	// surface as an error, not a huge make() panic. 2^27 float64s (1 GiB)
+	// is orders of magnitude above any model this engine trains.
+	maxCheckpointParams = 1 << 27
 )
 
-// SaveParams writes the network's parameters as a checkpoint to w.
-func (n *Network) SaveParams(w io.Writer) error {
-	params := tensor.NewVector(n.ParamCount())
-	n.CopyParamsTo(params)
+// WriteVector writes a parameter vector as a checkpoint to w. Encoding is
+// bit-exact: every float64 round-trips through ReadVector unchanged.
+func WriteVector(w io.Writer, params tensor.Vector) error {
 	var hdr [16]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], checkpointMagic)
 	binary.LittleEndian.PutUint32(hdr[4:8], checkpointVersion)
@@ -52,37 +59,58 @@ func (n *Network) SaveParams(w io.Writer) error {
 	return nil
 }
 
-// LoadParams reads a checkpoint from r into the network. The parameter
-// count must match the network exactly and the checksum must verify.
-func (n *Network) LoadParams(r io.Reader) error {
+// ReadVector reads a checkpoint from r and returns the parameter vector.
+// The checksum must verify; the caller validates the length against its
+// receiving model.
+func ReadVector(r io.Reader) (tensor.Vector, error) {
 	var hdr [16]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return fmt.Errorf("nn: read checkpoint header: %w", err)
+		return nil, fmt.Errorf("nn: read checkpoint header: %w", err)
 	}
 	if binary.LittleEndian.Uint32(hdr[0:4]) != checkpointMagic {
-		return fmt.Errorf("nn: not a checkpoint (bad magic)")
+		return nil, fmt.Errorf("nn: not a checkpoint (bad magic)")
 	}
 	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != checkpointVersion {
-		return fmt.Errorf("nn: unsupported checkpoint version %d", v)
+		return nil, fmt.Errorf("nn: unsupported checkpoint version %d", v)
 	}
 	count := binary.LittleEndian.Uint64(hdr[8:16])
-	if count != uint64(n.ParamCount()) {
-		return fmt.Errorf("nn: checkpoint has %d params, network has %d", count, n.ParamCount())
+	if count > maxCheckpointParams {
+		return nil, fmt.Errorf("nn: checkpoint corrupted (implausible parameter count %d)", count)
 	}
 	buf := make([]byte, 8*count)
 	if _, err := io.ReadFull(r, buf); err != nil {
-		return fmt.Errorf("nn: read checkpoint params: %w", err)
+		return nil, fmt.Errorf("nn: read checkpoint params: %w", err)
 	}
 	var crcBuf [4]byte
 	if _, err := io.ReadFull(r, crcBuf[:]); err != nil {
-		return fmt.Errorf("nn: read checkpoint crc: %w", err)
+		return nil, fmt.Errorf("nn: read checkpoint crc: %w", err)
 	}
 	if crc32.ChecksumIEEE(buf) != binary.LittleEndian.Uint32(crcBuf[:]) {
-		return fmt.Errorf("nn: checkpoint corrupted (crc mismatch)")
+		return nil, fmt.Errorf("nn: checkpoint corrupted (crc mismatch)")
 	}
 	params := tensor.NewVector(int(count))
 	for i := range params {
 		params[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return params, nil
+}
+
+// SaveParams writes the network's parameters as a checkpoint to w.
+func (n *Network) SaveParams(w io.Writer) error {
+	params := tensor.NewVector(n.ParamCount())
+	n.CopyParamsTo(params)
+	return WriteVector(w, params)
+}
+
+// LoadParams reads a checkpoint from r into the network. The parameter
+// count must match the network exactly and the checksum must verify.
+func (n *Network) LoadParams(r io.Reader) error {
+	params, err := ReadVector(r)
+	if err != nil {
+		return err
+	}
+	if len(params) != n.ParamCount() {
+		return fmt.Errorf("nn: checkpoint has %d params, network has %d", len(params), n.ParamCount())
 	}
 	n.SetParams(params)
 	return nil

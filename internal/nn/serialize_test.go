@@ -62,6 +62,24 @@ func TestCheckpointCorruption(t *testing.T) {
 	}
 }
 
+// TestCheckpointImplausibleCount: the count field sits outside the CRC, so
+// a corrupted count must surface as an error before any allocation — never
+// as a giant make() panic or OOM.
+func TestCheckpointImplausibleCount(t *testing.T) {
+	net := LogisticRegression(2, 2, rng.New(6))
+	var buf bytes.Buffer
+	if err := net.SaveParams(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for i := 8; i < 16; i++ {
+		data[i] = 0xff // count = 2^64 - 1
+	}
+	if _, err := ReadVector(bytes.NewReader(data)); err == nil {
+		t.Fatal("implausible parameter count must be rejected")
+	}
+}
+
 func TestCheckpointBadMagicAndTruncation(t *testing.T) {
 	net := LogisticRegression(2, 2, rng.New(5))
 	if err := net.LoadParams(bytes.NewReader([]byte("notacheckpoint!!"))); err == nil {

@@ -1,0 +1,44 @@
+// Package par holds the engine's worker fan-out primitive, shared by the
+// simulation phases (internal/sim) and the fleet round close-out
+// (internal/harvest). Callers guarantee fn(i) touches index-i state only,
+// which makes results bit-identical to a serial loop regardless of worker
+// count or scheduling.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// For runs fn(0..n-1) across GOMAXPROCS workers and waits. Workloads with
+// fewer than minSerial items take the serial path outright — goroutine
+// fan-out only pays for itself above a caller-known size (use 0 to always
+// fan out).
+func For(n, minSerial int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < minSerial {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -20,8 +20,12 @@
 // round starts by snapshotting the live set, edges incident to dead nodes
 // go down for the round (transport.DeadNode), and the mixing matrix is
 // re-normalized over the live subgraph (graph.RenormalizeLive) so
-// aggregation stays doubly stochastic on the live component. See
-// docs/ARCHITECTURE.md for the full round walkthrough.
+// aggregation stays doubly stochastic on the live component. With
+// Config.Checkpoint, live-set transitions additionally drive the
+// brown-out checkpoint/restore subsystem (internal/checkpoint): dying
+// nodes get their last aggregated model snapshotted, reviving nodes get
+// a staleness-aware rejoin rule applied. See docs/ARCHITECTURE.md for
+// the full round walkthrough.
 //
 // Phases are fanned out across GOMAXPROCS workers, but all stochastic
 // state is per-node, so results are bit-identical regardless of
@@ -30,9 +34,8 @@ package sim
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/energy"
@@ -40,6 +43,7 @@ import (
 	"repro/internal/harvest"
 	"repro/internal/metrics"
 	"repro/internal/nn"
+	"repro/internal/par"
 	"repro/internal/rng"
 	"repro/internal/tensor"
 	"repro/internal/transport"
@@ -111,6 +115,19 @@ type Config struct {
 	// per-node Usable state.
 	Liveness func(t int) []bool
 
+	// Checkpoint attaches the brown-out checkpoint/restore subsystem
+	// (internal/checkpoint): at every death transition the dying node's
+	// post-aggregation model is snapshotted with its round stamp, and at
+	// every revival the manager's RejoinRule decides what the node resumes
+	// with — its frozen state (ResumeStale), the freshest aggregated state
+	// in its live neighborhood (RestoreCheckpoint), or a staleness-
+	// discounted blend of the two (CatchUp). Rejoins happen before the
+	// round's training phase and are applied in node order from the frozen
+	// start-of-round models, so runs stay bit-reproducible at any
+	// GOMAXPROCS. Requires DropDeadNodes (without it dead nodes never
+	// freeze, so there is nothing to restore from).
+	Checkpoint *checkpoint.Manager
+
 	// Network is the transport to use; nil selects an in-process channel
 	// network sized for the topology.
 	Network transport.Network
@@ -166,6 +183,18 @@ func (c *Config) validate() error {
 			return fmt.Errorf("sim: DropDeadNodes requires neighborhood aggregation")
 		}
 	}
+	if c.Checkpoint != nil {
+		if !c.DropDeadNodes {
+			return fmt.Errorf("sim: Checkpoint requires DropDeadNodes (dead nodes must freeze to have state worth restoring)")
+		}
+		if c.Checkpoint.Nodes() != c.Graph.N {
+			return fmt.Errorf("sim: checkpoint manager covers %d nodes, graph has %d", c.Checkpoint.Nodes(), c.Graph.N)
+		}
+		if c.Checkpoint.Tracker().LastObserved() >= 0 {
+			return fmt.Errorf("sim: checkpoint manager already observed round %d; build a fresh manager per run",
+				c.Checkpoint.Tracker().LastObserved())
+		}
+	}
 	return nil
 }
 
@@ -199,6 +228,12 @@ type RoundMetrics struct {
 	// DroppedSends counts messages lost on dead edges this round
 	// (Config.DropDeadNodes runs only; always 0 when routing through).
 	DroppedSends int
+
+	// Checkpoint/rejoin state (Config.Checkpoint runs only).
+	Revivals      int     // nodes back from a brown-out this round
+	Restores      int     // revivals whose rejoin rule replaced the stale in-RAM model
+	MeanStaleness float64 // mean rounds-missed across this round's revivals (0 when none)
+	MaxStaleness  int     // largest rounds-missed across this round's revivals
 }
 
 // Result is the outcome of a run.
@@ -224,6 +259,24 @@ type Result struct {
 	// TotalDroppedSends is the number of messages lost on dead edges over
 	// the whole run (Config.DropDeadNodes runs only).
 	TotalDroppedSends int
+	// TotalRevivals and TotalRestores count brown-out rejoins over the
+	// whole run and how many of them replaced stale state
+	// (Config.Checkpoint runs only).
+	TotalRevivals, TotalRestores int
+}
+
+// MeanRejoinStaleness returns the revival-weighted mean staleness over the
+// whole run: how many rounds the average rejoining node had missed. 0 when
+// the run saw no revivals.
+func (r *Result) MeanRejoinStaleness() float64 {
+	if r.TotalRevivals == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, m := range r.History {
+		sum += m.MeanStaleness * float64(m.Revivals)
+	}
+	return sum / float64(r.TotalRevivals)
 }
 
 // Evaluations returns only the evaluated rounds of the history.
@@ -311,6 +364,16 @@ func Run(cfg Config) (*Result, error) {
 	result := &Result{TrainedRounds: make([]int, n)}
 	cumHarvestWh := 0.0
 
+	// Scratch for the checkpoint/rejoin phase: one snapshot buffer and the
+	// this-round revival mask. Per-revival vectors are allocated on demand —
+	// revivals are rare events.
+	var ckParams tensor.Vector
+	var revivedMask []bool
+	if cfg.Checkpoint != nil {
+		ckParams = tensor.NewVector(paramCount)
+		revivedMask = make([]bool, n)
+	}
+
 	for t := 0; t < cfg.Rounds; t++ {
 		kind := cfg.Algo.Schedule.Kind(t)
 		m := RoundMetrics{Round: t, Kind: kind}
@@ -348,6 +411,79 @@ func Run(cfg Config) (*Result, error) {
 			if live != nil && countTrue(live) < n {
 				dropRound = true
 				roundWeights = graph.RenormalizeLive(cfg.Graph, live)
+			}
+		}
+
+		// Phase 0b: checkpoint/rejoin on live-set transitions. Dying nodes
+		// get their post-aggregation model snapshotted (stamped with the
+		// round that produced it); reviving nodes get the rejoin rule
+		// applied before any training. Rejoins are computed first — from
+		// the frozen start-of-round models — and applied second, in node
+		// order, so adjacent simultaneous revivals see identical inputs and
+		// results are bit-identical at any GOMAXPROCS.
+		if ck := cfg.Checkpoint; ck != nil {
+			died, revived := ck.BeginRound(t, live)
+			for _, i := range died {
+				nodes[i].net.CopyParamsTo(ckParams)
+				if err := ck.Snapshot(i, t-1, ckParams); err != nil {
+					return nil, fmt.Errorf("sim: snapshot dying node %d: %w", i, err)
+				}
+			}
+			if len(revived) > 0 {
+				for i := range revivedMask {
+					revivedMask[i] = false
+				}
+				for _, rv := range revived {
+					revivedMask[rv.Node] = true
+				}
+				resumed := make([]tensor.Vector, len(revived))
+				for k, rv := range revived {
+					i := rv.Node
+					rj := checkpoint.Rejoin{
+						Node: i, Round: t, Staleness: rv.Staleness,
+						// nd.agg holds the frozen post-aggregation model:
+						// dead rounds copy the held half-step into it.
+						Current: nodes[i].agg,
+					}
+					if snap, ok, err := ck.Load(i); err != nil {
+						return nil, fmt.Errorf("sim: load snapshot for node %d: %w", i, err)
+					} else if ok {
+						rj.Snapshot, rj.SnapshotRound = snap.Params, snap.Round
+					}
+					// Mean over continuously-live neighbors: live this round
+					// and not themselves reviving, so their models are fresh
+					// post-aggregation state from round t-1.
+					var mean tensor.Vector
+					cnt := 0
+					for _, j := range cfg.Graph.Adj[i] {
+						if (live == nil || live[j]) && !revivedMask[j] {
+							if mean == nil {
+								mean = tensor.NewVector(paramCount)
+							}
+							tensor.AXPY(mean, 1, nodes[j].agg)
+							cnt++
+						}
+					}
+					if cnt > 0 {
+						tensor.ScaleTo(mean, 1/float64(cnt), mean)
+						rj.NeighborMean = mean
+					}
+					resumed[k] = tensor.NewVector(paramCount)
+					if ck.Rule().Apply(resumed[k], rj) {
+						m.Restores++
+					}
+					m.Revivals++
+					m.MeanStaleness += float64(rv.Staleness)
+					if rv.Staleness > m.MaxStaleness {
+						m.MaxStaleness = rv.Staleness
+					}
+				}
+				for k, rv := range revived {
+					nodes[rv.Node].net.SetParams(resumed[k])
+				}
+				m.MeanStaleness /= float64(len(revived))
+				result.TotalRevivals += m.Revivals
+				result.TotalRestores += m.Restores
 			}
 		}
 
@@ -567,34 +703,10 @@ func boolToInt(b bool) int {
 	return 0
 }
 
-// parallelFor runs fn(0..n-1) across GOMAXPROCS workers and waits.
+// parallelFor runs fn(0..n-1) across GOMAXPROCS workers and waits
+// (internal/par); every phase body writes node-i state only.
 func parallelFor(n int, fn func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan int, n)
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				fn(i)
-			}
-		}()
-	}
-	wg.Wait()
+	par.For(n, 0, fn)
 }
 
 // evaluator owns the shared test subset and the scratch network used to

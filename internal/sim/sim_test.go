@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"testing"
 
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/energy"
@@ -860,6 +861,218 @@ func TestBrownoutDeterministicAcrossGOMAXPROCS(t *testing.T) {
 	}
 	if serial.TotalDroppedSends != wide.TotalDroppedSends {
 		t.Fatalf("dropped sends differ: %d vs %d", serial.TotalDroppedSends, wide.TotalDroppedSends)
+	}
+}
+
+func TestCheckpointValidation(t *testing.T) {
+	mgr := func(n int) *checkpoint.Manager {
+		m, err := checkpoint.NewManager(n, nil, checkpoint.ResumeStale{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	cfg := testConfig(t, 40)
+	cfg.Checkpoint = mgr(8)
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("Checkpoint without DropDeadNodes should error")
+	}
+	cfg2 := brownoutConfig(t, 40)
+	cfg2.Checkpoint = mgr(5)
+	if _, err := Run(cfg2); err == nil {
+		t.Fatal("checkpoint/graph size mismatch should error")
+	}
+	// A manager is single-run state: its tracker's staleness bookkeeping
+	// would go negative if rounds restarted at 0.
+	cfg3 := brownoutConfig(t, 40)
+	cfg3.Checkpoint = mgr(8)
+	if _, err := Run(cfg3); err != nil {
+		t.Fatal(err)
+	}
+	cfg4 := brownoutConfig(t, 40)
+	cfg4.Checkpoint = cfg3.Checkpoint
+	if _, err := Run(cfg4); err == nil {
+		t.Fatal("reusing a checkpoint manager across runs should error")
+	}
+}
+
+// TestCheckpointResumeStaleIsBaseline pins that ResumeStale is exactly the
+// pre-checkpoint engine behavior: attaching the manager with the baseline
+// rule changes nothing about the learning trajectory — it only surfaces
+// revival accounting.
+func TestCheckpointResumeStaleIsBaseline(t *testing.T) {
+	plain, err := Run(brownoutConfig(t, 41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := brownoutConfig(t, 41)
+	var merr error
+	cfg.Checkpoint, merr = checkpoint.NewManager(cfg.Graph.N, nil, checkpoint.ResumeStale{})
+	if merr != nil {
+		t.Fatal(merr)
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain.History {
+		if plain.History[i].MeanAcc != res.History[i].MeanAcc ||
+			plain.History[i].MeanSoC != res.History[i].MeanSoC {
+			t.Fatalf("round %d: resume-stale diverged from plain run", i)
+		}
+	}
+	if res.TotalRevivals == 0 {
+		t.Fatal("scenario produced no revivals; checkpoint path untested")
+	}
+	if res.TotalRestores != 0 {
+		t.Fatalf("resume-stale restored %d times", res.TotalRestores)
+	}
+	var sawStaleness bool
+	for _, m := range res.History {
+		if m.Revivals > 0 {
+			if m.MeanStaleness < 1 || m.MaxStaleness < 1 {
+				t.Fatalf("round %d: revivals without staleness: %+v", m.Round, m)
+			}
+			if float64(m.MaxStaleness) < m.MeanStaleness {
+				t.Fatalf("round %d: max staleness below mean", m.Round)
+			}
+			sawStaleness = true
+		} else if m.MeanStaleness != 0 || m.MaxStaleness != 0 {
+			t.Fatalf("round %d: staleness without revivals: %+v", m.Round, m)
+		}
+	}
+	if !sawStaleness {
+		t.Fatal("no round recorded staleness")
+	}
+}
+
+// TestCheckpointRestoreChangesTrajectory: a restoring rule must actually
+// alter the run once revivals happen, and count its restores.
+func TestCheckpointRestoreChangesTrajectory(t *testing.T) {
+	run := func(rule checkpoint.RejoinRule) *Result {
+		cfg := brownoutConfig(t, 42)
+		var err error
+		cfg.Checkpoint, err = checkpoint.NewManager(cfg.Graph.N, nil, rule)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	stale := run(checkpoint.ResumeStale{})
+	restore := run(checkpoint.RestoreCheckpoint{})
+	if stale.TotalRevivals == 0 || restore.TotalRevivals != stale.TotalRevivals {
+		t.Fatalf("revivals: stale %d, restore %d (want equal and > 0)",
+			stale.TotalRevivals, restore.TotalRevivals)
+	}
+	if restore.TotalRestores == 0 {
+		t.Fatal("restore-checkpoint never restored")
+	}
+	same := true
+	for i := range stale.History {
+		if stale.History[i].MeanAcc != restore.History[i].MeanAcc {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("restore rule produced a bit-identical run to resume-stale")
+	}
+}
+
+// TestCheckpointScriptedLifecycle drives a known death/revival pattern
+// through a Liveness hook and checks snapshots and staleness exactly:
+// node 0 dies at round 3 (snapshot stamped round 2), stays dead through
+// round 5, revives at round 6 with staleness 3.
+func TestCheckpointScriptedLifecycle(t *testing.T) {
+	cfg := testConfig(t, 43)
+	cfg.Rounds = 10
+	cfg.DropDeadNodes = true
+	cfg.Liveness = func(round int) []bool {
+		live := make([]bool, 8)
+		for i := range live {
+			live[i] = true
+		}
+		live[0] = round < 3 || round >= 6
+		return live
+	}
+	store, err := checkpoint.NewMemStore(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rule, err := checkpoint.NewCatchUp(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Checkpoint, err = checkpoint.NewManager(8, store, rule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, ok, err := store.Load(0)
+	if err != nil || !ok {
+		t.Fatalf("node 0 never snapshotted: ok=%v err=%v", ok, err)
+	}
+	if snap.Round != 2 {
+		t.Fatalf("snapshot stamped round %d, want 2", snap.Round)
+	}
+	if res.TotalRevivals != 1 || res.TotalRestores != 1 {
+		t.Fatalf("revivals/restores = %d/%d, want 1/1", res.TotalRevivals, res.TotalRestores)
+	}
+	m := res.History[6]
+	if m.Revivals != 1 || m.MeanStaleness != 3 || m.MaxStaleness != 3 {
+		t.Fatalf("revival round metrics %+v, want staleness 3", m)
+	}
+	for i, mm := range res.History {
+		if i != 6 && mm.Revivals != 0 {
+			t.Fatalf("round %d recorded %d revivals", i, mm.Revivals)
+		}
+	}
+	// The revived node trains again after rejoin (it is live rounds 6-9).
+	if res.TrainedRounds[0] != 3+4 {
+		t.Fatalf("node 0 trained %d rounds, want 7", res.TrainedRounds[0])
+	}
+}
+
+func TestCheckpointDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	run := func(procs int) *Result {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		cfg := brownoutConfig(t, 44)
+		rule, err := checkpoint.NewCatchUp(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Checkpoint, err = checkpoint.NewManager(cfg.Graph.N, nil, rule)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1)
+	wide := run(8)
+	if serial.TotalRevivals == 0 {
+		t.Fatal("scenario produced no revivals")
+	}
+	for r := range serial.History {
+		a, b := serial.History[r], wide.History[r]
+		if a.MeanAcc != b.MeanAcc || a.Revivals != b.Revivals || a.Restores != b.Restores ||
+			a.MeanStaleness != b.MeanStaleness || a.MaxStaleness != b.MaxStaleness {
+			t.Fatalf("round %d differs across GOMAXPROCS: %+v vs %+v", r, a, b)
+		}
+	}
+	if serial.TotalRestores != wide.TotalRestores {
+		t.Fatalf("restores differ: %d vs %d", serial.TotalRestores, wide.TotalRestores)
 	}
 }
 

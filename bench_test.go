@@ -546,6 +546,35 @@ func BenchmarkAblationCompressedGossip(b *testing.B) {
 	b.ReportMetric(compressedRatio, "topk-ratio")
 }
 
+// BenchmarkGammaGrid measures the harvest-aware Γ-schedule grid search of
+// TableGammaHarvest: one regime's 4x4 grid, every cell a fresh-fleet
+// harvest-coupled simulation, cells fanned out across GOMAXPROCS workers
+// (internal/par). BenchmarkGammaGridSerial pins the GOMAXPROCS=1 baseline
+// so the parallel speedup is tracked release over release; both produce
+// bit-identical grids (cells write preallocated slots).
+func BenchmarkGammaGrid(b *testing.B)       { benchGammaGrid(b, 0) }
+func BenchmarkGammaGridSerial(b *testing.B) { benchGammaGrid(b, 1) }
+
+func benchGammaGrid(b *testing.B, procs int) {
+	if procs > 0 {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+	}
+	o := experiments.Options{Nodes: *benchScale, Rounds: 32, Seed: 42}
+	regime := experiments.GammaGridRegimes(o)[1] // diurnal-lo
+	var res *experiments.GammaGridResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunGammaGrid(o, regime)
+		if err != nil {
+			b.Fatal(err)
+		}
+		once(i, func() { res.Render(os.Stdout) })
+	}
+	b.ReportMetric(res.Best.FinalAcc, "best-acc-pct")
+	b.ReportMetric(float64(res.Best.GammaTrain*10+res.Best.GammaSync), "best-gamma-ts")
+}
+
 // BenchmarkSection51Fairness quantifies the Section 5.1 bias discussion:
 // participation inequality (Gini) and budget-accuracy correlation of
 // SkipTrain-constrained vs energy-oblivious D-PSGD.
@@ -568,7 +597,9 @@ func BenchmarkSection51Fairness(b *testing.B) {
 // of the harvesting subsystem at scale: 1k nodes stepping through 1k rounds
 // of TryTrain + EndRound (diurnal trace) per iteration. This is the loop a
 // million-device deployment would shard, so its ns/node-round and allocation
-// profile anchor the perf trajectory.
+// profile anchor the perf trajectory. The fleet is built once and rewound
+// with Fleet.Reset per iteration — the cheap fresh-state path the grid
+// searches rely on — so construction noise stays out of the measurement.
 func BenchmarkHarvestFleetRound(b *testing.B) {
 	const (
 		nodes  = 1000
@@ -576,14 +607,18 @@ func BenchmarkHarvestFleetRound(b *testing.B) {
 	)
 	devices := energy.AssignDevices(nodes, energy.Devices())
 	w := energy.CIFAR10Workload()
+	trace, err := harvest.NewDiurnal(0.01, 24, harvest.LongitudePhase(nodes))
+	if err != nil {
+		b.Fatal(err)
+	}
+	fleet, err := harvest.NewFleet(devices, w, trace, harvest.Options{CapacityRounds: 12, InitialSoC: 0.5})
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		trace, err := harvest.NewDiurnal(0.01, 24, harvest.LongitudePhase(nodes))
-		if err != nil {
-			b.Fatal(err)
-		}
-		fleet, err := harvest.NewFleet(devices, w, trace, harvest.Options{CapacityRounds: 12, InitialSoC: 0.5})
-		if err != nil {
+		if err := fleet.Reset(); err != nil {
 			b.Fatal(err)
 		}
 		for t := 0; t < rounds; t++ {
@@ -614,14 +649,18 @@ func BenchmarkHarvestFleetRoundParallel(b *testing.B) {
 	devices := energy.AssignDevices(nodes, energy.Devices())
 	w := energy.CIFAR10Workload()
 	workers := runtime.GOMAXPROCS(0)
+	trace, err := harvest.NewDiurnal(0.01, 24, harvest.LongitudePhase(nodes))
+	if err != nil {
+		b.Fatal(err)
+	}
+	fleet, err := harvest.NewFleet(devices, w, trace, harvest.Options{CapacityRounds: 12, InitialSoC: 0.5})
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		trace, err := harvest.NewDiurnal(0.01, 24, harvest.LongitudePhase(nodes))
-		if err != nil {
-			b.Fatal(err)
-		}
-		fleet, err := harvest.NewFleet(devices, w, trace, harvest.Options{CapacityRounds: 12, InitialSoC: 0.5})
-		if err != nil {
+		if err := fleet.Reset(); err != nil {
 			b.Fatal(err)
 		}
 		chunk := (nodes + workers - 1) / workers

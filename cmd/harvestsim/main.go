@@ -13,6 +13,14 @@
 //	harvestsim -dropdead -cutoff 0.25 -idle 0.2  # brown-outs silence radios
 //	harvestsim -dropdead -cutoff 0.3 -idle 0.25 -rejoin catchup
 //	                                             # checkpoint/restore on rejoin
+//	harvestsim -grid -trace diurnal              # Γ-schedule search per regime
+//
+// With -grid, instead of a single run the command evaluates the full 4x4
+// Γtrain x Γsync grid under the harvest regime selected by -trace (each
+// cell a fresh-fleet simulation, cells fanned out across workers) and
+// reports the best schedule — the harvest-aware version of the paper's
+// Figure 3 search. -trace constant -peak 0 recovers the fixed-budget
+// baseline.
 //
 // With -dropdead, a node whose battery sits at or below the -cutoff
 // state of charge is browned out for the round: it neither trains nor
@@ -36,11 +44,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/energy"
+	"repro/internal/experiments"
 	"repro/internal/graph"
 	"repro/internal/harvest"
 	"repro/internal/nn"
@@ -70,8 +80,9 @@ func main() {
 		dropDead = flag.Bool("dropdead", false, "silence browned-out nodes: drop their edges and re-normalize the mixing matrix each round")
 		rejoin   = flag.String("rejoin", "", "checkpoint/restore on rejoin: stale | restore | catchup (requires -dropdead; empty = off)")
 		ckptDir  = flag.String("ckptdir", "", "persist snapshots under this directory (default: in-memory store)")
+		grid     = flag.Bool("grid", false, "run the 4x4 Γtrain x Γsync grid search under the -trace regime instead of a single run")
 		gt       = flag.Int("gt", 0, "Γtrain (0 = all-train schedule)")
-		gs       = flag.Int("gs", 0, "Γsync (used when -gt > 0: SkipTrain schedule)")
+		gs       = flag.Int("gs", 0, "Γsync (needs -gt > 0: SkipTrain schedule)")
 		lr       = flag.Float64("lr", 0.2, "learning rate η")
 		batch    = flag.Int("batch", 16, "batch size |ξ|")
 		steps    = flag.Int("steps", 8, "local steps E")
@@ -81,6 +92,36 @@ func main() {
 	flag.Usage = usage
 	flag.Parse()
 
+	// Validate the Γ flag pair up front: -gs without -gt used to be
+	// silently ignored and negative values were accepted. Both are usage
+	// errors, reported as such.
+	if _, err := core.ScheduleFromGammaFlags(*gt, *gs); err != nil {
+		usageError(err.Error())
+	}
+	// -grid runs the experiment package's standard grid world (6-regular
+	// topology, shared fleet shape and SoC-threshold policy) and searches
+	// the schedule itself, so the single-run fleet/policy/schedule flags
+	// have no effect there. Explicitly setting one alongside -grid is the
+	// same silent-ignore hazard as -gs without -gt: reject it.
+	if *grid {
+		single := map[string]bool{
+			"degree": true, "policy": true, "capacity": true, "initsoc": true,
+			"minsoc": true, "low": true, "high": true, "exponent": true,
+			"cutoff": true, "idle": true, "dropdead": true, "rejoin": true,
+			"ckptdir": true, "gt": true, "gs": true, "eval": true,
+		}
+		var ignored []string
+		flag.Visit(func(f *flag.Flag) {
+			if single[f.Name] {
+				ignored = append(ignored, "-"+f.Name)
+			}
+		})
+		if len(ignored) > 0 {
+			usageError(fmt.Sprintf("-grid searches the schedule on the standard grid world and ignores %s",
+				strings.Join(ignored, ", ")))
+		}
+	}
+
 	if err := run(runConfig{
 		nodes: *nodes, degree: *degree, rounds: *rounds, period: *period,
 		peak: *peak, traceKind: *traceKin, traceCSV: *traceCSV, policyKind: *policyK,
@@ -88,12 +129,21 @@ func main() {
 		minSoC: *minSoC, lowSoC: *lowSoC, highSoC: *highSoC, exponent: *exponent,
 		cutoff: *cutoff, idle: *idle, dropDead: *dropDead,
 		rejoin: *rejoin, ckptDir: *ckptDir,
-		gt: *gt, gs: *gs, lr: *lr, batch: *batch, steps: *steps,
+		grid: *grid,
+		gt:   *gt, gs: *gs, lr: *lr, batch: *batch, steps: *steps,
 		evalInt: *evalInt, seed: *seed,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
+}
+
+// usageError reports a flag-validation failure and exits with the
+// conventional usage status.
+func usageError(msg string) {
+	fmt.Fprintln(os.Stderr, "error:", msg)
+	fmt.Fprintln(os.Stderr, "run with -h for usage")
+	os.Exit(2)
 }
 
 // runConfig carries the parsed flag values into run; field names mirror the
@@ -108,6 +158,7 @@ type runConfig struct {
 	exponent, cutoff, idle          float64
 	dropDead                        bool
 	rejoin, ckptDir                 string
+	grid                            bool
 	gt, gs                          int
 	lr                              float64
 	batch, steps, evalInt           int
@@ -157,6 +208,8 @@ Scenarios:
   harvestsim -dropdead -cutoff 0.25 -idle 0.2  # brown-outs silence radios
   harvestsim -dropdead -cutoff 0.3 -idle 0.25 -rejoin catchup
                                                # checkpoint/restore on rejoin
+  harvestsim -grid -trace diurnal              # Γ-schedule search (4x4 grid)
+  harvestsim -grid -trace constant -peak 0     # ... under a fixed budget
 
 Flags:
 
@@ -165,6 +218,9 @@ Flags:
 }
 
 func run(c runConfig) error {
+	if c.grid {
+		return runGrid(c)
+	}
 	// Unpack by name; the body reads like the flag list.
 	nodes, degree, rounds, period := c.nodes, c.degree, c.rounds, c.period
 	peak, traceKind, traceCSV, policyKind := c.peak, c.traceKind, c.traceCSV, c.policyKind
@@ -278,13 +334,10 @@ func run(c runConfig) error {
 		return fmt.Errorf("-ckptdir needs -rejoin")
 	}
 
-	var schedule core.Schedule = core.AllTrain{}
-	if gt > 0 {
-		gamma, err := core.NewGamma(gt, gs)
-		if err != nil {
-			return err
-		}
-		schedule = gamma
+	// The pair was validated in main; this resolves it.
+	schedule, err := core.ScheduleFromGammaFlags(gt, gs)
+	if err != nil {
+		return err
 	}
 
 	res, err := sim.Run(sim.Config{
@@ -377,4 +430,73 @@ func run(c runConfig) error {
 	}
 	fmt.Println()
 	return nil
+}
+
+// runGrid runs the harvest-aware Γ-schedule search (-grid): the 4x4
+// Γtrain x Γsync grid under the regime selected by -trace, every cell a
+// full harvest-coupled simulation on a fresh fleet, cells fanned out
+// across workers. The -peak, -period, and -seed flags parameterize the
+// regime; topology, data, and fleet shape use the experiment package's
+// standard grid world, so results line up with experiments.TableGammaHarvest.
+func runGrid(c runConfig) error {
+	regime, err := gridRegime(c)
+	if err != nil {
+		return err
+	}
+	res, err := experiments.RunGammaGrid(experiments.Options{
+		Nodes: c.nodes, Rounds: c.rounds, Seed: c.seed,
+		LR: c.lr, BatchSize: c.batch, LocalSteps: c.steps,
+	}, regime)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Γ-schedule grid search: %d nodes, %d rounds | regime %s | trace %s\n\n",
+		c.nodes, c.rounds, res.Regime, res.Trace)
+	res.Render(os.Stdout)
+	return nil
+}
+
+// gridRegime maps the -trace flag onto a grid regime built from the CLI's
+// own trace parameters. Stateful traces are constructed fresh per cell;
+// the replay trace is stateless and safely shared.
+func gridRegime(c runConfig) (experiments.GammaRegime, error) {
+	switch c.traceKind {
+	case "diurnal":
+		return experiments.GammaRegime{Name: "diurnal", Trace: func(o experiments.Options, mean float64) (harvest.Trace, error) {
+			return harvest.NewDiurnal(c.peak*mean, c.period, harvest.LongitudePhase(o.Nodes))
+		}}, nil
+	case "constant":
+		name := "constant"
+		if c.peak == 0 {
+			name = "fixed-budget" // the paper's Figure 3 setting
+		}
+		return experiments.GammaRegime{Name: name, Trace: func(_ experiments.Options, mean float64) (harvest.Trace, error) {
+			return harvest.Constant{Wh: c.peak * mean}, nil
+		}}, nil
+	case "markov":
+		return experiments.GammaRegime{Name: "markov", Trace: func(o experiments.Options, mean float64) (harvest.Trace, error) {
+			return harvest.NewMarkovOnOff(o.Nodes, c.peak*mean, 0.25, 0.35, o.Seed)
+		}}, nil
+	case "csv":
+		if c.traceCSV == "" {
+			return experiments.GammaRegime{}, fmt.Errorf("-trace csv needs -tracefile")
+		}
+		fh, err := os.Open(c.traceCSV)
+		if err != nil {
+			return experiments.GammaRegime{}, err
+		}
+		defer fh.Close()
+		replay, err := harvest.ReadReplay(fh)
+		if err != nil {
+			return experiments.GammaRegime{}, err
+		}
+		if replay.Nodes() < c.nodes {
+			return experiments.GammaRegime{}, fmt.Errorf("replay covers %d nodes, fleet has %d", replay.Nodes(), c.nodes)
+		}
+		return experiments.GammaRegime{Name: "replay", Trace: func(experiments.Options, float64) (harvest.Trace, error) {
+			return replay, nil
+		}}, nil
+	default:
+		return experiments.GammaRegime{}, fmt.Errorf("unknown trace %q", c.traceKind)
+	}
 }

@@ -74,6 +74,28 @@ func NewGamma(gammaTrain, gammaSync int) (Gamma, error) {
 	return Gamma{GammaTrain: gammaTrain, GammaSync: gammaSync}, nil
 }
 
+// ScheduleFromGammaFlags resolves the CLI convention shared by the cmd/
+// binaries: -gt 0 -gs 0 selects the all-train (D-PSGD) schedule, and
+// -gt > 0 selects SkipTrain(Γtrain, Γsync). Every other combination is a
+// user error and is rejected — in particular a -gs given without -gt,
+// which earlier versions silently ignored, and negative values, which
+// earlier versions accepted.
+func ScheduleFromGammaFlags(gammaTrain, gammaSync int) (Schedule, error) {
+	switch {
+	case gammaTrain < 0 || gammaSync < 0:
+		return nil, fmt.Errorf("core: negative gamma flags train=%d sync=%d", gammaTrain, gammaSync)
+	case gammaTrain == 0 && gammaSync == 0:
+		return AllTrain{}, nil
+	case gammaTrain == 0:
+		return nil, fmt.Errorf("core: gamma sync=%d given without train (-gs needs -gt > 0)", gammaSync)
+	}
+	g, err := NewGamma(gammaTrain, gammaSync)
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
 // Kind implements the Algorithm 2 round test.
 func (g Gamma) Kind(t int) RoundKind {
 	if t%(g.GammaTrain+g.GammaSync) < g.GammaTrain {

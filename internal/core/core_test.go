@@ -255,3 +255,31 @@ func TestRoundKindString(t *testing.T) {
 		t.Fatal("RoundKind strings wrong")
 	}
 }
+
+func TestScheduleFromGammaFlags(t *testing.T) {
+	s, err := ScheduleFromGammaFlags(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.(AllTrain); !ok {
+		t.Fatalf("(0,0) gave %T, want AllTrain", s)
+	}
+	s, err = ScheduleFromGammaFlags(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g, ok := s.(Gamma); !ok || g.GammaTrain != 4 || g.GammaSync != 2 {
+		t.Fatalf("(4,2) gave %#v", s)
+	}
+	// The bugs the validation exists for: -gs without -gt was silently
+	// ignored, and negative values were accepted.
+	if _, err := ScheduleFromGammaFlags(0, 3); err == nil {
+		t.Fatal("sync without train must error")
+	}
+	if _, err := ScheduleFromGammaFlags(-1, 2); err == nil {
+		t.Fatal("negative train must error")
+	}
+	if _, err := ScheduleFromGammaFlags(2, -1); err == nil {
+		t.Fatal("negative sync must error")
+	}
+}

@@ -562,6 +562,44 @@ func TestTableHarvestFairnessColumns(t *testing.T) {
 	}
 }
 
+// TestTableHarvestConstantTraceFairnessDegeneracy pins the table-level
+// behavior of the fairness metrics on degenerate inputs: the constant-trace
+// regimes (dark fleet: all-zero harvest; trickle charger: identical harvest
+// on every node) must report 0 — not NaN — in both fairness columns, and
+// the rendered table must contain no NaN cell anywhere.
+func TestTableHarvestConstantTraceFairnessDegeneracy(t *testing.T) {
+	var sb strings.Builder
+	o := tiny()
+	o.Rounds = 24
+	o.Out = &sb
+	rows, err := TableHarvest(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if math.IsNaN(r.TrainGini) || math.IsNaN(r.HarvestAccCorr) {
+			t.Fatalf("%s fairness columns NaN: %+v", r.Scenario, r)
+		}
+	}
+	byName := map[string]HarvestRow{}
+	for _, r := range rows {
+		byName[r.Scenario] = r
+	}
+	// The dark fleet is the fully degenerate case: the all-zero stored-
+	// harvest series and the identical per-node budgets must both collapse
+	// to exactly 0 (variance-zero Pearson, zero-total Gini), not NaN. The
+	// trickle charger's *stored* harvest can legitimately vary per node
+	// (full batteries waste different amounts), so it is only pinned
+	// finite above.
+	dark := byName["dark (no recharge)"]
+	if dark.HarvestAccCorr != 0 || dark.TrainGini != 0 {
+		t.Fatalf("dark regime fairness columns not exactly 0: %+v", dark)
+	}
+	if strings.Contains(sb.String(), "NaN") {
+		t.Fatalf("rendered table leaks NaN:\n%s", sb.String())
+	}
+}
+
 func TestTableRejoinStructure(t *testing.T) {
 	var sb strings.Builder
 	o := tiny()

@@ -164,43 +164,41 @@ func Figure3(o Options, degrees []int) (*Figure3Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		grid := make([][]Figure3Cell, 4)
-		var best Figure3Cell
-		for gs := 1; gs <= 4; gs++ {
-			grid[gs-1] = make([]Figure3Cell, 4)
-			for gt := 1; gt <= 4; gt++ {
-				gamma, err := core.NewGamma(gt, gs)
-				if err != nil {
-					return nil, err
-				}
-				cfg := sim.Config{
-					Graph: g, Weights: w,
-					Algo:         core.SkipTrain(gamma),
-					Rounds:       o.Rounds,
-					ModelFactory: modelFactory(32, 10),
-					LR:           o.LR, BatchSize: o.BatchSize, LocalSteps: o.LocalSteps,
-					Partition: part, Test: val, // tuned on the validation split
-					EvalEvery: 0, EvalSubsample: o.EvalSubsample,
-					Seed: o.Seed,
-				}
-				r, err := sim.Run(cfg)
-				if err != nil {
-					return nil, err
-				}
-				cell := Figure3Cell{
-					GammaTrain: gt, GammaSync: gs,
-					ValAcc:        r.FinalMeanAcc * 100,
-					PaperEnergyWh: paperEnergyWh(core.CountTrainRounds(gamma, PaperRoundsCIFAR), energy.CIFAR10Workload()),
-				}
-				grid[gs-1][gt-1] = cell
-				if cell.ValAcc > best.ValAcc ||
-					(cell.ValAcc == best.ValAcc && cell.PaperEnergyWh < best.PaperEnergyWh) {
-					best = cell
-				}
+		// Cells run on the shared grid runner (gammagrid.go): fanned out
+		// across workers into preallocated slots, bit-identical to the
+		// serial loop, with the best cell seeded from a real cell.
+		grid, err := forEachGammaCell(func(gt, gs int) (Figure3Cell, error) {
+			gamma, err := core.NewGamma(gt, gs)
+			if err != nil {
+				return Figure3Cell{}, err
 			}
+			cfg := sim.Config{
+				Graph: g, Weights: w,
+				Algo:         core.SkipTrain(gamma),
+				Rounds:       o.Rounds,
+				ModelFactory: modelFactory(32, 10),
+				LR:           o.LR, BatchSize: o.BatchSize, LocalSteps: o.LocalSteps,
+				Partition: part, Test: val, // tuned on the validation split
+				EvalEvery: 0, EvalSubsample: o.EvalSubsample,
+				Seed: o.Seed,
+			}
+			r, err := sim.Run(cfg)
+			if err != nil {
+				return Figure3Cell{}, err
+			}
+			return Figure3Cell{
+				GammaTrain: gt, GammaSync: gs,
+				ValAcc:        r.FinalMeanAcc * 100,
+				PaperEnergyWh: paperEnergyWh(core.CountTrainRounds(gamma, PaperRoundsCIFAR), energy.CIFAR10Workload()),
+			}, nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		res.Grid = append(res.Grid, grid)
-		res.Best = append(res.Best, best)
+		res.Best = append(res.Best, bestGammaCell(grid,
+			func(c Figure3Cell) float64 { return c.ValAcc },
+			func(c Figure3Cell) float64 { return c.PaperEnergyWh }))
 	}
 	res.render(o)
 	return res, nil
@@ -222,6 +220,7 @@ func (r *Figure3Result) render(o Options) {
 				h.Cells[gs][gt] = r.Grid[di][gs][gt].ValAcc
 			}
 		}
+		h.SetMark(r.Best[di].GammaSync-1, r.Best[di].GammaTrain-1)
 		h.Render(o.Out)
 		fmt.Fprintf(o.Out, "best: Γtrain=%d Γsync=%d (%.1f%%, %.0f Wh at paper scale)\n\n",
 			r.Best[di].GammaTrain, r.Best[di].GammaSync, r.Best[di].ValAcc, r.Best[di].PaperEnergyWh)

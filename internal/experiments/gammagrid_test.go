@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"math"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestTableGammaHarvestStructure(t *testing.T) {
+	var sb strings.Builder
+	o := tiny()
+	o.Rounds = 16
+	o.Out = &sb
+	rows, err := TableGammaHarvest(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regimes := GammaGridRegimes(o)
+	if len(rows) != len(regimes) {
+		t.Fatalf("%d rows, want %d regimes", len(rows), len(regimes))
+	}
+	for i, r := range rows {
+		if r.Regime != regimes[i].Name {
+			t.Fatalf("row %d regime %q, want %q", i, r.Regime, regimes[i].Name)
+		}
+		b := r.Best
+		if b.GammaTrain < 1 || b.GammaTrain > 4 || b.GammaSync < 1 || b.GammaSync > 4 {
+			t.Fatalf("%s best cell outside the grid: %+v", r.Regime, b)
+		}
+		if b.Participation < 0 || b.Participation > 100 {
+			t.Fatalf("%s participation %.1f%% out of range", r.Regime, b.Participation)
+		}
+		if b.WastedFrac < 0 || b.WastedFrac > 1 || math.IsNaN(b.WastedFrac) {
+			t.Fatalf("%s wasted fraction %v out of range", r.Regime, b.WastedFrac)
+		}
+		if b.ConsumedWh <= 0 {
+			t.Fatalf("%s consumed nothing", r.Regime)
+		}
+	}
+	// The fixed-budget baseline is the zero-harvest special case: nothing
+	// arrives, so nothing is stored or wasted — and the wasted fraction is
+	// 0, not NaN (the 0/0 degeneracy the renderer must not leak).
+	fixed := rows[0]
+	if fixed.Regime != "fixed-budget" {
+		t.Fatalf("first regime %q, want fixed-budget", fixed.Regime)
+	}
+	if fixed.Best.HarvestedWh != 0 || fixed.Best.WastedWh != 0 || fixed.Best.WastedFrac != 0 {
+		t.Fatalf("fixed-budget regime harvested/wasted energy: %+v", fixed.Best)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Harvest-aware Γ-schedule search") {
+		t.Fatalf("summary table not rendered:\n%s", out)
+	}
+	if strings.Contains(out, "NaN") {
+		t.Fatalf("rendered output leaks NaN:\n%s", out)
+	}
+	// One starred heatmap per regime.
+	if n := strings.Count(out, "(* marks the selected cell)"); n != len(regimes) {
+		t.Fatalf("%d marked heatmaps rendered, want %d:\n%s", n, len(regimes), out)
+	}
+}
+
+func TestRunGammaGridSingleRegime(t *testing.T) {
+	o := tiny()
+	o.Rounds = 12
+	res, err := RunGammaGrid(o, GammaRegime{
+		Name:  "custom",
+		Trace: GammaGridRegimes(o)[2].Trace,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Grid) != 4 || len(res.Grid[0]) != 4 {
+		t.Fatal("grid shape wrong")
+	}
+	for gs := 0; gs < 4; gs++ {
+		for gt := 0; gt < 4; gt++ {
+			c := res.Grid[gs][gt]
+			if c.GammaTrain != gt+1 || c.GammaSync != gs+1 {
+				t.Fatalf("cell (%d,%d) carries Γ=(%d,%d); slot mixed up",
+					gt+1, gs+1, c.GammaTrain, c.GammaSync)
+			}
+			if c.HarvestedWh <= 0 {
+				t.Fatalf("diurnal cell Γt=%d Γs=%d harvested nothing", gt+1, gs+1)
+			}
+		}
+	}
+	if res.Trace == "" || !strings.Contains(res.Trace, "diurnal") {
+		t.Fatalf("trace name %q", res.Trace)
+	}
+}
+
+// TestBestGammaCellSeedsFromFirstCell is the regression test for the
+// Figure3 best-cell bug: on an all-zero-accuracy grid (tiny horizons) the
+// old code kept the zero-value seed and reported Γtrain=0, Γsync=0 at
+// 0 Wh as "best". Seeded from the first cell, the tie-break toward lower
+// energy must pick the cheapest real cell.
+func TestBestGammaCellSeedsFromFirstCell(t *testing.T) {
+	grid, err := forEachGammaCell(func(gt, gs int) (Figure3Cell, error) {
+		return Figure3Cell{
+			GammaTrain: gt, GammaSync: gs,
+			ValAcc:        0, // every cell ties at zero accuracy
+			PaperEnergyWh: float64(100*gt + gs),
+		}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := bestGammaCell(grid,
+		func(c Figure3Cell) float64 { return c.ValAcc },
+		func(c Figure3Cell) float64 { return c.PaperEnergyWh })
+	if best.GammaTrain == 0 || best.GammaSync == 0 {
+		t.Fatalf("best is the impossible zero-value cell: %+v", best)
+	}
+	// Lowest energy among the ties is Γt=1, Γs=1 (energy 101).
+	if best.GammaTrain != 1 || best.GammaSync != 1 {
+		t.Fatalf("tie-break picked %+v, want the cheapest cell (1,1)", best)
+	}
+	// With distinct accuracies the maximum wins regardless of energy.
+	grid2, err := forEachGammaCell(func(gt, gs int) (Figure3Cell, error) {
+		return Figure3Cell{GammaTrain: gt, GammaSync: gs,
+			ValAcc: float64(10*gt + gs), PaperEnergyWh: 1}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best2 := bestGammaCell(grid2,
+		func(c Figure3Cell) float64 { return c.ValAcc },
+		func(c Figure3Cell) float64 { return c.PaperEnergyWh })
+	if best2.GammaTrain != 4 || best2.GammaSync != 4 {
+		t.Fatalf("max accuracy not selected: %+v", best2)
+	}
+}
+
+func TestForEachGammaCellSurfacesLowestCellError(t *testing.T) {
+	_, err := forEachGammaCell(func(gt, gs int) (Figure3Cell, error) {
+		if gs >= 3 {
+			return Figure3Cell{}, &cellErr{gt, gs}
+		}
+		return Figure3Cell{GammaTrain: gt, GammaSync: gs}, nil
+	})
+	if err == nil {
+		t.Fatal("cell error not surfaced")
+	}
+	if err.Error() != "cell error Γt=1 Γs=3" {
+		t.Fatalf("got %v, want the lowest-indexed cell's error", err)
+	}
+}
+
+type cellErr struct{ gt, gs int }
+
+func (e *cellErr) Error() string { return "cell error Γt=" + itoa(e.gt) + " Γs=" + itoa(e.gs) }
+
+func itoa(n int) string { return string(rune('0' + n)) }
+
+// TestTableGammaHarvestReproducibleAcrossGOMAXPROCS pins the acceptance
+// criterion: rows — and the full grids behind them — are bit-identical
+// between GOMAXPROCS=1 (the serial path) and GOMAXPROCS=8.
+func TestTableGammaHarvestReproducibleAcrossGOMAXPROCS(t *testing.T) {
+	run := func(procs int) []GammaHarvestRow {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		o := tiny()
+		o.Rounds = 16
+		rows, err := TableGammaHarvest(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	serial := run(1)
+	wide := run(8)
+	for i := range serial {
+		if serial[i] != wide[i] {
+			t.Fatalf("row %d differs across GOMAXPROCS:\n%+v\n%+v", i, serial[i], wide[i])
+		}
+	}
+	// And a full single-regime grid, cell by cell.
+	o := tiny()
+	o.Rounds = 16
+	gridAt := func(procs int) *GammaGridResult {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		res, err := RunGammaGrid(o, GammaGridRegimes(o)[3])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := gridAt(1), gridAt(8)
+	for gs := range a.Grid {
+		for gt := range a.Grid[gs] {
+			if a.Grid[gs][gt] != b.Grid[gs][gt] {
+				t.Fatalf("cell Γt=%d Γs=%d differs across GOMAXPROCS:\n%+v\n%+v",
+					gt+1, gs+1, a.Grid[gs][gt], b.Grid[gs][gt])
+			}
+		}
+	}
+}
+
+// TestTableGammaHarvestScheduleMovesWithRegime is the headline acceptance
+// pin: at default scale the selected (Γtrain, Γsync) differs across at
+// least two harvest regimes — the schedule is a function of the arrival
+// process, which is the reason the harvest-aware search exists.
+func TestTableGammaHarvestScheduleMovesWithRegime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("default-scale grid search (80 simulations) skipped in -short mode")
+	}
+	rows, err := TableGammaHarvest(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := map[[2]int]bool{}
+	for _, r := range rows {
+		distinct[[2]int{r.Best.GammaTrain, r.Best.GammaSync}] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatalf("every regime selected the same schedule %v; rows: %+v", distinct, rows)
+	}
+}

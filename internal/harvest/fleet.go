@@ -68,6 +68,7 @@ func (o Options) defaults() Options {
 // path because no cross-node state exists.
 type Fleet struct {
 	batteries []Battery
+	initialWh []float64 // construction-time charge, for Reset
 	trainWh   []float64 // per-round training cost of node i's device
 	commWh    []float64 // per-round sharing cost of node i's device
 	idleWh    float64
@@ -77,6 +78,12 @@ type Fleet struct {
 	consumed     []float64 // cumulative train+idle+comm drain per node
 	wasted       []float64 // per-node harvest that arrived with the battery full
 	roundHarvest []float64 // scratch: last EndRound's per-node stored harvest
+
+	// roundsClosed counts EndRound calls since construction or Reset. A
+	// fleet with closed rounds has drained batteries, advanced any stateful
+	// trace, and accumulated ledgers; sim.Run refuses such a fleet so state
+	// can never leak silently between runs (Consumed/Reset).
+	roundsClosed int
 }
 
 // NewFleet builds a fleet of len(devices) nodes. Each node's training cost
@@ -110,6 +117,7 @@ func NewFleet(devices []energy.Device, w energy.Workload, trace Trace, opt Optio
 	}
 	f := &Fleet{
 		batteries:    make([]Battery, len(devices)),
+		initialWh:    make([]float64, len(devices)),
 		trainWh:      make([]float64, len(devices)),
 		commWh:       make([]float64, len(devices)),
 		idleWh:       opt.IdleWh,
@@ -138,8 +146,51 @@ func NewFleet(devices []energy.Device, w energy.Workload, trace Trace, opt Optio
 			return nil, fmt.Errorf("harvest: node %d (%s): %w", i, d.Name, err)
 		}
 		f.batteries[i] = b
+		f.initialWh[i] = b.ChargeWh() // post-clamp, so Reset restores exactly
 	}
 	return f, nil
+}
+
+// Consumed reports whether the fleet carries history a new run would
+// silently inherit: a closed round (drained batteries, advanced trace
+// state, idle/comm ledgers) or any training drain — TryTrain spends
+// battery charge even when no round was ever closed. sim.Run rejects a
+// consumed fleet; call Reset (or build a fresh fleet) between runs. Like
+// the other whole-fleet statistics it must not race with per-node calls.
+func (f *Fleet) Consumed() bool { return f.roundsClosed > 0 || sum(f.consumed) > 0 }
+
+// Reset rewinds the fleet to its construction state: every battery back to
+// its initial charge, all harvest/consumption/waste ledgers zeroed, and the
+// trace rewound when it is stateful (TraceResetter). After Reset the fleet
+// reproduces its first run bit-for-bit — the cheap fresh-state path for
+// grid searches that sweep many runs over one fleet shape.
+//
+// Reset covers fleet state only. A stateful policy bound to the fleet
+// (SoCHysteresis keeps per-node dormancy) must be rebuilt or Reset
+// alongside, or the second run starts with the first run's dormancy.
+//
+// Reset fails on a stateful trace that does not implement TraceResetter:
+// rewinding the batteries but not the chain state would silently splice two
+// trajectories together. MarkovOnOff implements it; Constant, Diurnal, and
+// Replay are stateless (pure functions of node and round) and need no
+// rewind.
+func (f *Fleet) Reset() error {
+	switch tr := f.trace.(type) {
+	case TraceResetter:
+		tr.ResetTrace()
+	case Constant, *Diurnal, *Replay: // stateless: nothing to rewind
+	default:
+		return fmt.Errorf("harvest: trace %s is not resettable (implement TraceResetter); build a fresh fleet instead", f.trace.Name())
+	}
+	for i := range f.batteries {
+		f.batteries[i].chargeWh = f.initialWh[i]
+		f.harvested[i] = 0
+		f.consumed[i] = 0
+		f.wasted[i] = 0
+		f.roundHarvest[i] = 0
+	}
+	f.roundsClosed = 0
+	return nil
 }
 
 // Nodes returns the fleet size.
@@ -216,6 +267,9 @@ func (f *Fleet) endRound(t int, live []bool) []float64 {
 		f.wasted[i] += arrived - stored
 		f.roundHarvest[i] = stored
 	})
+	// Written outside the parallel region: endRound itself is whole-fleet
+	// and documented not to race with per-node calls.
+	f.roundsClosed++
 	return f.roundHarvest
 }
 

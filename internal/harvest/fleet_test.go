@@ -341,3 +341,171 @@ func TestEndRoundLiveSkipsCommDrawForDead(t *testing.T) {
 		}
 	}
 }
+
+// driveFleet steps the fleet through rounds of greedy training and returns
+// the per-round (trained count, mean SoC) trajectory — a fingerprint fine
+// enough that any leaked battery or chain state shows up.
+func driveFleet(f *Fleet, rounds int) (trained []int, meanSoC []float64) {
+	for t := 0; t < rounds; t++ {
+		n := 0
+		for i := 0; i < f.Nodes(); i++ {
+			if f.TryTrain(i) {
+				n++
+			}
+		}
+		f.EndRound(t)
+		trained = append(trained, n)
+		meanSoC = append(meanSoC, f.MeanSoC())
+	}
+	return trained, meanSoC
+}
+
+// TestFleetReuseDiverges demonstrates the bug Reset exists to fix: driving
+// the same fleet through two "identical" runs silently carries drained
+// batteries, ledgers, and Markov chain state into the second, so the second
+// trajectory diverges from the first.
+func TestFleetReuseDiverges(t *testing.T) {
+	trace, err := NewMarkovOnOff(8, 0.004, 0.3, 0.3, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := testFleet(t, trace, Options{CapacityRounds: 6, InitialSoC: 0.5})
+	first, _ := driveFleet(f, 12)
+	if !f.Consumed() {
+		t.Fatal("fleet not marked consumed after a run")
+	}
+	second, _ := driveFleet(f, 12)
+	same := true
+	for i := range first {
+		if first[i] != second[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatalf("naive reuse did not diverge; the leak this test pins is gone: %v vs %v", first, second)
+	}
+	if f.ConsumedWh() <= 0 {
+		t.Fatal("consumption ledger empty after two runs")
+	}
+}
+
+// TestFleetResetReplaysBitIdentical is the fix: after Reset the fleet —
+// batteries, ledgers, and re-seeded Markov chains — reproduces its first
+// trajectory bit-for-bit.
+func TestFleetResetReplaysBitIdentical(t *testing.T) {
+	trace, err := NewMarkovOnOff(8, 0.004, 0.3, 0.3, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := testFleet(t, trace, Options{CapacityRounds: 6, InitialSoC: 0.5})
+	soc0 := f.SoCs()
+	trained1, soc1 := driveFleet(f, 12)
+	if err := f.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if f.Consumed() {
+		t.Fatal("fleet still consumed after Reset")
+	}
+	if f.HarvestedWh() != 0 || f.ConsumedWh() != 0 || f.WastedWh() != 0 {
+		t.Fatalf("ledgers not zeroed: harvested %v consumed %v wasted %v",
+			f.HarvestedWh(), f.ConsumedWh(), f.WastedWh())
+	}
+	for i, s := range f.SoCs() {
+		if s != soc0[i] {
+			t.Fatalf("node %d SoC %v after Reset, want initial %v", i, s, soc0[i])
+		}
+	}
+	trained2, soc2 := driveFleet(f, 12)
+	for i := range trained1 {
+		if trained1[i] != trained2[i] || soc1[i] != soc2[i] {
+			t.Fatalf("round %d differs after Reset: (%d, %v) vs (%d, %v)",
+				i, trained1[i], soc1[i], trained2[i], soc2[i])
+		}
+	}
+}
+
+// statefulTrace is a deliberately non-resettable stateful trace.
+type statefulTrace struct{ calls int }
+
+func (s *statefulTrace) HarvestWh(int, int) float64 { s.calls++; return 0 }
+func (s *statefulTrace) Name() string               { return "stateful" }
+
+func TestFleetResetTraceHandling(t *testing.T) {
+	// Stateless traces reset fine.
+	for _, trace := range []Trace{Constant{0.001}, mustDiurnal(t), mustReplay(t)} {
+		f := testFleet(t, trace, Options{CapacityRounds: 6, InitialSoC: 0.5})
+		f.EndRound(0)
+		if err := f.Reset(); err != nil {
+			t.Fatalf("%s: %v", trace.Name(), err)
+		}
+	}
+	// A stateful trace without TraceResetter must refuse: rewinding the
+	// batteries but not the chain would splice two trajectories.
+	f := testFleet(t, &statefulTrace{}, Options{CapacityRounds: 6, InitialSoC: 0.5})
+	f.EndRound(0)
+	if err := f.Reset(); err == nil {
+		t.Fatal("Reset accepted a stateful, non-resettable trace")
+	}
+}
+
+func mustDiurnal(t *testing.T) Trace {
+	t.Helper()
+	d, err := NewDiurnal(0.004, 12, LongitudePhase(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func mustReplay(t *testing.T) Trace {
+	t.Helper()
+	row := make([]float64, 8)
+	for i := range row {
+		row[i] = 0.001
+	}
+	r, err := NewReplay([][]float64{row})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestFleetResetRestoresClampedInitialCharge pins that Reset restores the
+// post-clamp construction charge, not the raw option value.
+func TestFleetResetRestoresClampedInitialCharge(t *testing.T) {
+	// InitialRounds beyond capacity clamps to full at construction.
+	f := testFleet(t, Constant{0}, Options{CapacityRounds: 4, InitialRounds: 100})
+	if f.SoC(0) != 1 {
+		t.Fatalf("construction SoC %v, want clamped full", f.SoC(0))
+	}
+	f.TryTrain(0)
+	f.EndRound(0)
+	if err := f.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if f.SoC(0) != 1 {
+		t.Fatalf("Reset SoC %v, want clamped full", f.SoC(0))
+	}
+}
+
+// TestFleetConsumedByTryTrainOnly: training drain alone (no EndRound ever
+// closed) must already mark the fleet consumed — probing TryTrain before a
+// run drains real charge, and sim.Run must refuse to build on it.
+func TestFleetConsumedByTryTrainOnly(t *testing.T) {
+	f := testFleet(t, Constant{0}, Options{CapacityRounds: 6, InitialSoC: 0.5})
+	if f.Consumed() {
+		t.Fatal("fresh fleet reports consumed")
+	}
+	if !f.TryTrain(0) {
+		t.Fatal("affordable round refused")
+	}
+	if !f.Consumed() {
+		t.Fatal("TryTrain drain not reflected in Consumed")
+	}
+	if err := f.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if f.Consumed() {
+		t.Fatal("fleet still consumed after Reset")
+	}
+}

@@ -88,6 +88,17 @@ func (*SoCHysteresis) Name() string { return "soc-hysteresis" }
 // Dormant reports whether node is currently in the dormant phase.
 func (p *SoCHysteresis) Dormant(node int) bool { return p.dormant[node] }
 
+// Reset wakes every node: the policy's dormancy is run state, not
+// configuration, so a fleet rewound with Fleet.Reset needs its hysteresis
+// policy Reset too (or rebuilt) for the next run to replay the first
+// bit-for-bit. The threshold and proportional policies are stateless and
+// need no counterpart.
+func (p *SoCHysteresis) Reset() {
+	for i := range p.dormant {
+		p.dormant[i] = false
+	}
+}
+
 // SoCProportional trains with probability p_i^t = SoC_i^t raised to
 // Exponent: the charge-aware generalization of Eq. 5, spreading expected
 // consumption in proportion to available charge instead of a static budget

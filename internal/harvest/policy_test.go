@@ -168,3 +168,62 @@ func TestSoCProportionalConsumesOnlyWhenTraining(t *testing.T) {
 		t.Fatal("nil fleet should error")
 	}
 }
+
+// TestSoCHysteresisResetReplays pins the policy-side half of fleet reuse:
+// dormancy is run state, so Fleet.Reset alone leaves a hysteresis fleet
+// diverging on its second run, while Fleet.Reset + policy Reset replays
+// the first run bit-for-bit.
+func TestSoCHysteresisResetReplays(t *testing.T) {
+	mk := func() (*Fleet, *SoCHysteresis) {
+		devices := energy.AssignDevices(4, energy.Devices())
+		f, err := NewFleet(devices, energy.CIFAR10Workload(), Constant{0},
+			Options{CapacityRounds: 4, InitialSoC: 0.6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := NewSoCHysteresis(f, 0.3, 0.8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f, p
+	}
+	drive := func(f *Fleet, p *SoCHysteresis, rounds int) []int {
+		var trained []int
+		for tt := 0; tt < rounds; tt++ {
+			n := 0
+			for i := 0; i < f.Nodes(); i++ {
+				if p.Participate(i, tt, nil) {
+					n++
+				}
+			}
+			f.EndRound(tt)
+			trained = append(trained, n)
+		}
+		return trained
+	}
+	f, p := mk()
+	first := drive(f, p, 4) // every node trains twice, then goes dormant
+	if first[0] == 0 || first[3] != 0 {
+		t.Fatalf("scenario does not exercise dormancy: %v", first)
+	}
+	// Fleet reset alone: dormancy leaks, the replay diverges (nodes start
+	// dormant below the resume threshold and never train).
+	if err := f.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	leaked := drive(f, p, 4)
+	if leaked[0] != 0 {
+		t.Fatalf("dormancy did not leak; the hazard this test pins is gone: %v", leaked)
+	}
+	// Fleet reset + policy reset: bit-identical replay.
+	if err := f.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	p.Reset()
+	replay := drive(f, p, 4)
+	for i := range first {
+		if replay[i] != first[i] {
+			t.Fatalf("round %d: replay %v, first run %v", i, replay, first)
+		}
+	}
+}

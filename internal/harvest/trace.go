@@ -20,6 +20,17 @@ type Trace interface {
 	Name() string
 }
 
+// TraceResetter is implemented by stateful traces that can rewind to their
+// initial state — re-deriving any per-node RNG streams from the original
+// seed, so the replayed trajectory is bit-identical to the first one.
+// Fleet.Reset calls it when present; stateless traces (Constant, Diurnal,
+// Replay are pure functions of (node, t)) need no reset. Custom stateful
+// Trace implementations must implement it for their fleets to be reusable
+// across runs.
+type TraceResetter interface {
+	ResetTrace()
+}
+
 // Constant harvests the same amount every round on every node. Wh = 0 models
 // the paper's no-recharge setting where batteries only drain.
 type Constant struct{ Wh float64 }
@@ -85,6 +96,7 @@ func LongitudePhase(n int) func(node int) float64 {
 type MarkovOnOff struct {
 	onWh           float64
 	pOnOff, pOffOn float64
+	seed           uint64
 	on             []bool
 	rngs           []*rng.RNG
 }
@@ -102,13 +114,20 @@ func NewMarkovOnOff(n int, onWh, pOnOff, pOffOn float64, seed uint64) (*MarkovOn
 	case pOnOff < 0 || pOnOff > 1 || pOffOn < 0 || pOffOn > 1:
 		return nil, fmt.Errorf("harvest: markov probabilities (%v, %v) outside [0,1]", pOnOff, pOffOn)
 	}
-	m := &MarkovOnOff{onWh: onWh, pOnOff: pOnOff, pOffOn: pOffOn,
+	m := &MarkovOnOff{onWh: onWh, pOnOff: pOnOff, pOffOn: pOffOn, seed: seed,
 		on: make([]bool, n), rngs: make([]*rng.RNG, n)}
+	m.ResetTrace()
+	return m, nil
+}
+
+// ResetTrace rewinds every chain to the on state and re-derives the
+// per-node RNG streams from the original seed, so the next trajectory is
+// bit-identical to a freshly constructed trace (TraceResetter).
+func (m *MarkovOnOff) ResetTrace() {
 	for i := range m.on {
 		m.on[i] = true
-		m.rngs[i] = rng.Derive(seed, uint64(i), markovStreamTag)
+		m.rngs[i] = rng.Derive(m.seed, uint64(i), markovStreamTag)
 	}
-	return m, nil
 }
 
 // HarvestWh advances node's chain one step and returns its harvest. It must

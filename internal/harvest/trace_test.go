@@ -197,3 +197,36 @@ func TestReadReplayRejectsBadInput(t *testing.T) {
 		}
 	}
 }
+
+func TestMarkovResetTraceReplaysBitIdentical(t *testing.T) {
+	m, err := NewMarkovOnOff(4, 0.01, 0.3, 0.4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 200
+	first := make([][]float64, 4)
+	for node := range first {
+		first[node] = make([]float64, rounds)
+	}
+	for tt := 0; tt < rounds; tt++ {
+		for node := 0; node < 4; node++ {
+			first[node][tt] = m.HarvestWh(node, tt)
+		}
+	}
+	m.ResetTrace()
+	fresh, err := NewMarkovOnOff(4, 0.01, 0.3, 0.4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := 0; tt < rounds; tt++ {
+		for node := 0; node < 4; node++ {
+			replayed := m.HarvestWh(node, tt)
+			if replayed != first[node][tt] {
+				t.Fatalf("node %d round %d: replay %v, first run %v", node, tt, replayed, first[node][tt])
+			}
+			if got := fresh.HarvestWh(node, tt); got != replayed {
+				t.Fatalf("node %d round %d: reset trace %v, fresh trace %v", node, tt, replayed, got)
+			}
+		}
+	}
+}

@@ -129,3 +129,48 @@ func TestFairnessReportValidation(t *testing.T) {
 		t.Fatal("mismatched inputs should error")
 	}
 }
+
+// The degenerate inputs below are exactly what TableHarvest feeds the
+// fairness metrics in its constant-trace regimes: a dark fleet harvests
+// nothing (all-zero series) and a trickle charger feeds every node the
+// same amount (constant series). Both must yield 0 — never NaN — so the
+// fairness columns render as numbers.
+
+func TestPearsonAllZeroSeries(t *testing.T) {
+	r, err := Pearson([]float64{0, 0, 0, 0}, []float64{0.4, 0.5, 0.6, 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 0 || math.IsNaN(r) {
+		t.Fatalf("all-zero harvest series correlation = %v, want 0", r)
+	}
+	// Both sides degenerate at once.
+	r, err = Pearson([]float64{0, 0, 0}, []float64{0, 0, 0})
+	if err != nil || r != 0 {
+		t.Fatalf("doubly constant correlation = %v (%v), want 0", r, err)
+	}
+}
+
+func TestGiniDegenerateSeries(t *testing.T) {
+	// All-zero trained counts (a fleet that never trained): equal shares.
+	g, err := Gini([]float64{0, 0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != 0 || math.IsNaN(g) {
+		t.Fatalf("all-zero Gini = %v, want 0", g)
+	}
+	// Identical positive counts: perfectly equal.
+	g, err = Gini([]float64{7, 7, 7, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g) > 1e-15 {
+		t.Fatalf("constant-series Gini = %v, want 0", g)
+	}
+	// A single node is trivially equal.
+	g, err = Gini([]float64{3})
+	if err != nil || g != 0 {
+		t.Fatalf("singleton Gini = %v (%v), want 0", g, err)
+	}
+}

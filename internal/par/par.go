@@ -15,6 +15,29 @@ import (
 // fan-out only pays for itself above a caller-known size (use 0 to always
 // fan out).
 func For(n, minSerial int, fn func(i int)) {
+	forIndices(n, minSerial, fn)
+}
+
+// ForErr is For with a fallible body: every fn(i) runs to completion (no
+// early cancellation, so side effects into preallocated index-i slots stay
+// deterministic) and the lowest-index error is returned. Errors land in
+// per-index slots, which keeps the result independent of worker count and
+// scheduling — the property the experiment grids pin with their
+// GOMAXPROCS tests.
+func ForErr(n, minSerial int, fn func(i int) error) error {
+	errs := make([]error, n)
+	forIndices(n, minSerial, func(i int) {
+		errs[i] = fn(i)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func forIndices(n, minSerial int, fn func(i int)) {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n

@@ -1,6 +1,8 @@
 package par
 
 import (
+	"errors"
+	"fmt"
 	"sync/atomic"
 	"testing"
 )
@@ -16,4 +18,33 @@ func TestForCoversEveryIndexOnce(t *testing.T) {
 		}
 	}
 	For(0, 0, func(int) { t.Fatal("must not call fn for n=0") })
+}
+
+func TestForErrReturnsLowestIndexError(t *testing.T) {
+	for _, minSerial := range []int{0, 1000} { // parallel and serial paths
+		var calls int64
+		err := ForErr(64, minSerial, func(i int) error {
+			atomic.AddInt64(&calls, 1)
+			if i == 7 || i == 41 {
+				return fmt.Errorf("cell %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "cell 7 failed" {
+			t.Fatalf("minSerial=%d: err = %v, want the lowest-index error", minSerial, err)
+		}
+		// No early cancellation: every index still ran.
+		if calls != 64 {
+			t.Fatalf("minSerial=%d: %d calls, want 64", minSerial, calls)
+		}
+	}
+}
+
+func TestForErrNilOnSuccess(t *testing.T) {
+	if err := ForErr(16, 0, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := ForErr(0, 0, func(int) error { return errors.New("no") }); err != nil {
+		t.Fatal("n=0 must not call fn")
+	}
 }

@@ -93,7 +93,14 @@ type Heatmap struct {
 	Cells          [][]float64 // [row][col]
 	Format         string      // cell format, default "%.1f"
 	HigherIsBetter bool
+	// Mark optionally stars one cell — the selected optimum of a grid
+	// search. nil means no mark; otherwise Mark is {row, col} into Cells
+	// and the starred cell shows "*" in place of its shade glyph.
+	Mark *[2]int
 }
+
+// SetMark stars the given cell (chainable-free convenience over Mark).
+func (h *Heatmap) SetMark(row, col int) { h.Mark = &[2]int{row, col} }
 
 // shades from lightest to darkest.
 var shades = []string{" ", "░", "▒", "▓", "█"}
@@ -133,10 +140,17 @@ func (h *Heatmap) Render(w io.Writer) {
 			name = h.RowNames[r]
 		}
 		fmt.Fprintf(w, "%-*s", rowW+2, name)
-		for _, v := range row {
-			fmt.Fprintf(w, "%*s", cellW, fmt.Sprintf(format, v)+h.shade(v, lo, hi))
+		for c, v := range row {
+			suffix := h.shade(v, lo, hi)
+			if h.Mark != nil && h.Mark[0] == r && h.Mark[1] == c {
+				suffix = "*"
+			}
+			fmt.Fprintf(w, "%*s", cellW, fmt.Sprintf(format, v)+suffix)
 		}
 		fmt.Fprintln(w)
+	}
+	if h.Mark != nil {
+		fmt.Fprintln(w, "(* marks the selected cell)")
 	}
 }
 

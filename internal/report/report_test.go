@@ -69,6 +69,31 @@ func TestHeatmapLowerIsBetter(t *testing.T) {
 	}
 }
 
+func TestHeatmapMarksSelectedCell(t *testing.T) {
+	h := &Heatmap{
+		RowNames: []string{"1", "2"}, ColNames: []string{"1", "2"},
+		Cells:          [][]float64{{59.7, 61.4}, {60.6, 64.1}},
+		HigherIsBetter: true,
+	}
+	h.SetMark(1, 0)
+	out := h.String()
+	if !strings.Contains(out, "60.6*") {
+		t.Fatalf("marked cell not starred:\n%s", out)
+	}
+	if !strings.Contains(out, "selected cell") {
+		t.Fatalf("mark legend missing:\n%s", out)
+	}
+	// The other cells keep their shades.
+	if !strings.Contains(out, "64.1█") {
+		t.Fatalf("unmarked best cell lost its shade:\n%s", out)
+	}
+	// No mark, no legend.
+	h.Mark = nil
+	if strings.Contains(h.String(), "selected cell") {
+		t.Fatal("legend rendered without a mark")
+	}
+}
+
 func TestHeatmapUniform(t *testing.T) {
 	h := &Heatmap{RowNames: []string{"1"}, ColNames: []string{"1"}, Cells: [][]float64{{5}}}
 	if out := h.String(); !strings.Contains(out, "5.0") {

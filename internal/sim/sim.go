@@ -169,8 +169,17 @@ func (c *Config) validate() error {
 			return err
 		}
 	}
-	if c.Harvest != nil && c.Harvest.Nodes() != c.Graph.N {
-		return fmt.Errorf("sim: harvest fleet covers %d nodes, graph has %d", c.Harvest.Nodes(), c.Graph.N)
+	if c.Harvest != nil {
+		if c.Harvest.Nodes() != c.Graph.N {
+			return fmt.Errorf("sim: harvest fleet covers %d nodes, graph has %d", c.Harvest.Nodes(), c.Graph.N)
+		}
+		// A fleet that already closed rounds carries drained batteries,
+		// harvest/consumption ledgers, and possibly advanced Markov chain
+		// state; running on it would silently splice that history into this
+		// run (the multi-cell grid-search footgun).
+		if c.Harvest.Consumed() {
+			return fmt.Errorf("sim: harvest fleet already consumed by a prior run; call Fleet.Reset or build a fresh fleet")
+		}
 	}
 	if c.TrackSoC && c.Harvest == nil {
 		return fmt.Errorf("sim: TrackSoC requires a harvest fleet")
@@ -217,6 +226,7 @@ type RoundMetrics struct {
 	MinSoC       float64   // lowest state of charge in the fleet
 	Depleted     int       // nodes at or below their brown-out cutoff
 	CumHarvestWh float64   // cumulative stored ambient energy
+	CumWastedWh  float64   // cumulative harvest that arrived on full batteries
 	SoCs         []float64 // per-node SoC snapshot (Config.TrackSoC only)
 
 	// Live-topology state, recorded whenever a live-set source exists (a
@@ -251,8 +261,11 @@ type Result struct {
 	// Energy totals.
 	TotalTrainWh, TotalCommWh float64
 	// Harvest totals and final per-node state of charge (Config.Harvest
-	// runs only; FinalSoC is nil otherwise).
+	// runs only; FinalSoC is nil otherwise). TotalWastedWh is ambient
+	// energy that arrived while batteries were full — the quantity a
+	// harvest-aware Γ schedule exists to shrink.
 	TotalHarvestWh float64
+	TotalWastedWh  float64
 	FinalSoC       []float64
 	// TrainedRounds counts how many rounds each node actually trained.
 	TrainedRounds []int
@@ -634,6 +647,7 @@ func Run(cfg Config) (*Result, error) {
 			m.MinSoC = cfg.Harvest.MinSoC()
 			m.Depleted = cfg.Harvest.DepletedCount()
 			m.CumHarvestWh = cumHarvestWh
+			m.CumWastedWh = cfg.Harvest.WastedWh()
 			if cfg.TrackSoC {
 				m.SoCs = cfg.Harvest.SoCs()
 			}
@@ -654,6 +668,7 @@ func Run(cfg Config) (*Result, error) {
 	result.TotalCommWh = acct.TotalCommunicationWh()
 	if cfg.Harvest != nil {
 		result.TotalHarvestWh = cumHarvestWh
+		result.TotalWastedWh = cfg.Harvest.WastedWh()
 		result.FinalSoC = cfg.Harvest.SoCs()
 	}
 	if evaluator.globalVec != nil {

@@ -3,6 +3,7 @@ package sim
 import (
 	"math"
 	"runtime"
+	"strings"
 	"testing"
 
 	"repro/internal/checkpoint"
@@ -613,6 +614,83 @@ func TestHarvestConfigValidation(t *testing.T) {
 	cfg2.TrackSoC = true
 	if _, err := Run(cfg2); err == nil {
 		t.Fatal("TrackSoC without fleet should error")
+	}
+}
+
+// TestHarvestFleetReuseRejected pins the fleet-reuse guard: a second Run on
+// the same fleet must fail loudly instead of silently inheriting drained
+// batteries and ledger state, and Fleet.Reset reopens the fleet for a run
+// that reproduces the first bit-for-bit.
+func TestHarvestFleetReuseRejected(t *testing.T) {
+	cfg := harvestConfig(t, 11)
+	cfg.Rounds = 12
+	first, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("Run accepted a fleet consumed by a prior run")
+	} else if !strings.Contains(err.Error(), "consumed") {
+		t.Fatalf("unhelpful reuse error: %v", err)
+	}
+	if err := cfg.Harvest.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	again, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.FinalMeanAcc != first.FinalMeanAcc || again.TotalHarvestWh != first.TotalHarvestWh {
+		t.Fatalf("post-Reset run differs: acc %v vs %v, harvest %v vs %v",
+			again.FinalMeanAcc, first.FinalMeanAcc, again.TotalHarvestWh, first.TotalHarvestWh)
+	}
+	for i := range first.FinalSoC {
+		if first.FinalSoC[i] != again.FinalSoC[i] {
+			t.Fatalf("post-Reset SoC differs at node %d: %v vs %v", i, first.FinalSoC[i], again.FinalSoC[i])
+		}
+	}
+}
+
+// TestHarvestWastedPlumbing checks the wasted-harvest ledger surfaces in
+// the round metrics and result totals: an oversized trickle onto nearly
+// full supercaps must waste energy, monotonically, and match the fleet's
+// own ledger.
+func TestHarvestWastedPlumbing(t *testing.T) {
+	cfg := harvestConfig(t, 12)
+	cfg.Rounds = 10
+	devices := energy.AssignDevices(cfg.Graph.N, energy.Devices())
+	w := energy.CIFAR10Workload()
+	meanTrainWh := energy.NetworkRoundWh(cfg.Graph.N, energy.Devices(), w) / float64(cfg.Graph.N)
+	fleet, err := harvest.NewFleet(devices, w, harvest.Constant{Wh: 3 * meanTrainWh},
+		harvest.Options{CapacityRounds: 2, InitialSoC: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy, err := harvest.NewSoCThreshold(fleet, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Harvest = fleet
+	cfg.Algo = core.Algorithm{Label: "waste", Schedule: core.AllTrain{}, Policy: policy}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalWastedWh <= 0 {
+		t.Fatal("oversized trickle onto full batteries wasted nothing")
+	}
+	if res.TotalWastedWh != fleet.WastedWh() {
+		t.Fatalf("result wasted %v, fleet ledger %v", res.TotalWastedWh, fleet.WastedWh())
+	}
+	last := 0.0
+	for _, m := range res.History {
+		if m.CumWastedWh < last {
+			t.Fatalf("cumulative waste decreased at round %d", m.Round)
+		}
+		last = m.CumWastedWh
+	}
+	if last != res.TotalWastedWh {
+		t.Fatalf("final CumWastedWh %v != TotalWastedWh %v", last, res.TotalWastedWh)
 	}
 }
 

@@ -636,6 +636,62 @@ func BenchmarkHarvestFleetRound(b *testing.B) {
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*nodes*rounds), "ns/node-round")
 }
 
+// BenchmarkHorizonPlan measures the MPC planning hot path at fleet scale:
+// 1k nodes each solving the greedy knapsack over a 96-round forecast
+// window (an oracle window fill plus the survival-checked forward plan)
+// per iteration — the per-round planning cost a forecast-aware deployment
+// adds on top of the battery update. Plan is read-only on the battery, so
+// every iteration solves the identical problem.
+func BenchmarkHorizonPlan(b *testing.B) {
+	const (
+		nodes  = 1000
+		window = 96
+	)
+	devices := energy.AssignDevices(nodes, energy.Devices())
+	w := energy.CIFAR10Workload()
+	mean := energy.NetworkRoundWh(nodes, energy.Devices(), w) / float64(nodes)
+	trace, err := harvest.NewDiurnal(1.2*mean, 24, harvest.LongitudePhase(nodes))
+	if err != nil {
+		b.Fatal(err)
+	}
+	fleet, err := harvest.NewFleet(devices, w, trace, harvest.Options{
+		CapacityRounds: 12, InitialSoC: 0.6, CutoffSoC: 0.2, IdleWh: 0.1 * mean,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	oracle, err := harvest.NewOracle(trace)
+	if err != nil {
+		b.Fatal(err)
+	}
+	policy, err := harvest.NewHorizonPlan(0.05)
+	if err != nil {
+		b.Fatal(err)
+	}
+	forecast := make([]float64, window)
+	planned := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for node := 0; node < nodes; node++ {
+			oracle.Forecast(node, 0, forecast)
+			ctx := fleet.Context(0)
+			ctx.Forecast = forecast
+			plan := policy.Plan(node, ctx)
+			for _, train := range plan {
+				if train {
+					planned++
+				}
+			}
+		}
+	}
+	b.StopTimer()
+	if planned == 0 {
+		b.Fatal("planner never scheduled a training round")
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*nodes), "ns/plan")
+}
+
 // BenchmarkHarvestFleetRoundParallel measures the same hot path with the
 // policy loop fanned out across GOMAXPROCS workers (the engine's phase
 // pattern) and EndRound sharding internally — the million-node

@@ -10,6 +10,7 @@
 //	harvestsim -trace markov -policy hysteresis  # bursty RF-powered fleet
 //	harvestsim -trace constant -peak 0           # no recharge (paper setting)
 //	harvestsim -trace csv -tracefile solar.csv   # replay a recorded trace
+//	harvestsim -policy mpc -fhorizon 24          # forecast-aware MPC planner
 //	harvestsim -dropdead -cutoff 0.25 -idle 0.2  # brown-outs silence radios
 //	harvestsim -dropdead -cutoff 0.3 -idle 0.25 -rejoin catchup
 //	                                             # checkpoint/restore on rejoin
@@ -44,6 +45,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"repro/internal/checkpoint"
@@ -68,7 +70,9 @@ func main() {
 		peak     = flag.Float64("peak", 1.5, "trace magnitude as a multiple of the mean per-round training cost")
 		traceKin = flag.String("trace", "diurnal", "diurnal | constant | markov | csv")
 		traceCSV = flag.String("tracefile", "", "replay CSV for -trace csv (round,node,harvest_wh)")
-		policyK  = flag.String("policy", "proportional", "proportional | threshold | hysteresis")
+		policyK  = flag.String("policy", "proportional", "proportional | threshold | hysteresis | mpc | mpc-persist")
+		fhorizon = flag.Int("fhorizon", 0, "mpc policies: forecast window in rounds (0 = one -period day)")
+		fnoise   = flag.Float64("fnoise", 0, "-policy mpc: multiplicative forecast noise sigma (0 = exact oracle)")
 		capacity = flag.Float64("capacity", 12, "battery capacity in training-rounds of energy")
 		initSoC  = flag.Float64("initsoc", 0.5, "initial state of charge [0,1]; 0 starts batteries empty")
 		minSoC   = flag.Float64("minsoc", 0.2, "threshold policy: minimum SoC to train")
@@ -109,6 +113,7 @@ func main() {
 			"minsoc": true, "low": true, "high": true, "exponent": true,
 			"cutoff": true, "idle": true, "dropdead": true, "rejoin": true,
 			"ckptdir": true, "gt": true, "gs": true, "eval": true,
+			"fhorizon": true, "fnoise": true,
 		}
 		var ignored []string
 		flag.Visit(func(f *flag.Flag) {
@@ -125,6 +130,7 @@ func main() {
 	if err := run(runConfig{
 		nodes: *nodes, degree: *degree, rounds: *rounds, period: *period,
 		peak: *peak, traceKind: *traceKin, traceCSV: *traceCSV, policyKind: *policyK,
+		fhorizon: *fhorizon, fnoise: *fnoise,
 		capacity: *capacity, initSoC: *initSoC,
 		minSoC: *minSoC, lowSoC: *lowSoC, highSoC: *highSoC, exponent: *exponent,
 		cutoff: *cutoff, idle: *idle, dropDead: *dropDead,
@@ -153,6 +159,8 @@ type runConfig struct {
 	nodes, degree, rounds, period   int
 	peak                            float64
 	traceKind, traceCSV, policyKind string
+	fhorizon                        int
+	fnoise                          float64
 	capacity, initSoC               float64
 	minSoC, lowSoC, highSoC         float64
 	exponent, cutoff, idle          float64
@@ -163,6 +171,44 @@ type runConfig struct {
 	lr                              float64
 	batch, steps, evalInt           int
 	seed                            uint64
+}
+
+// mpcReserveSoC is the HorizonPlan safety margin: the planned trajectory
+// keeps this much capacity above the brown-out cutoff.
+const mpcReserveSoC = 0.05
+
+// policySpec is one -policy registry entry: a summary line for the usage
+// text, whether the policy consumes the forecast knobs, and its builder.
+type policySpec struct {
+	summary string
+	mpc     bool
+	build   func(c runConfig) (core.Policy, error)
+}
+
+// policyRegistry maps -policy names to their builders. Policies read
+// battery state through the engine's round context, so builders need only
+// flag values — never the fleet.
+var policyRegistry = map[string]policySpec{
+	"proportional": {summary: "train with probability SoC^-exponent (charge-aware Eq. 5)",
+		build: func(c runConfig) (core.Policy, error) { return harvest.NewSoCProportional(c.exponent) }},
+	"threshold": {summary: "train whenever SoC >= -minsoc",
+		build: func(c runConfig) (core.Policy, error) { return harvest.NewSoCThreshold(c.minSoC) }},
+	"hysteresis": {summary: "go dormant below -low, resume above -high",
+		build: func(c runConfig) (core.Policy, error) { return harvest.NewSoCHysteresis(c.nodes, c.lowSoC, c.highSoC) }},
+	"mpc": {summary: "plan over an oracle forecast of the trace (-fhorizon, -fnoise)", mpc: true,
+		build: func(runConfig) (core.Policy, error) { return harvest.NewHorizonPlan(mpcReserveSoC) }},
+	"mpc-persist": {summary: "plan over a learned tomorrow-like-today forecast (-fhorizon)", mpc: true,
+		build: func(runConfig) (core.Policy, error) { return harvest.NewHorizonPlan(mpcReserveSoC) }},
+}
+
+// policyNames returns the registry's keys in stable order for error text.
+func policyNames() string {
+	names := make([]string, 0, len(policyRegistry))
+	for name := range policyRegistry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
 }
 
 // usage prints the flag defaults plus the scenario list: which trace and
@@ -191,6 +237,12 @@ Policies (-policy):
   proportional  train with probability SoC^-exponent (charge-aware Eq. 5)
   threshold     train whenever SoC >= -minsoc
   hysteresis    go dormant below -low, resume above -high
+  mpc           forecast-aware MPC: plan a greedy training knapsack over an
+                oracle forecast of the trace (-fhorizon rounds, default one
+                -period day; -fnoise corrupts the oracle), execute the first
+                decision, replan next round
+  mpc-persist   the same planner over a learned forecast: tomorrow looks
+                like today (per-node persistence of observed arrivals)
 
 Rejoin rules (-rejoin, with -dropdead):
   stale    resume from parameters frozen at death (baseline)
@@ -208,6 +260,10 @@ Scenarios:
   harvestsim -dropdead -cutoff 0.25 -idle 0.2  # brown-outs silence radios
   harvestsim -dropdead -cutoff 0.3 -idle 0.25 -rejoin catchup
                                                # checkpoint/restore on rejoin
+  harvestsim -policy mpc -cutoff 0.25 -idle 0.2 -dropdead
+                                               # plan against the sun: MPC
+  harvestsim -policy mpc -fnoise 0.3           # ... with a noisy forecast
+  harvestsim -policy mpc-persist               # ... with a learned forecast
   harvestsim -grid -trace diurnal              # Γ-schedule search (4x4 grid)
   harvestsim -grid -trace constant -peak 0     # ... under a fixed budget
 
@@ -221,11 +277,12 @@ func run(c runConfig) error {
 	if c.grid {
 		return runGrid(c)
 	}
-	// Unpack by name; the body reads like the flag list.
+	// Unpack by name; the body reads like the flag list. The per-policy
+	// knobs (minsoc, low/high, exponent) stay on c — the registry builders
+	// read them there.
 	nodes, degree, rounds, period := c.nodes, c.degree, c.rounds, c.period
 	peak, traceKind, traceCSV, policyKind := c.peak, c.traceKind, c.traceCSV, c.policyKind
 	capacity, initSoC := c.capacity, c.initSoC
-	minSoC, lowSoC, highSoC, exponent := c.minSoC, c.lowSoC, c.highSoC, c.exponent
 	cutoff, idle, dropDead := c.cutoff, c.idle, c.dropDead
 	rejoin, ckptDir := c.rejoin, c.ckptDir
 	gt, gs, lr := c.gt, c.gs, c.lr
@@ -295,19 +352,45 @@ func run(c runConfig) error {
 		return err
 	}
 
-	var policy core.Policy
-	switch policyKind {
-	case "proportional":
-		policy, err = harvest.NewSoCProportional(fleet, exponent)
-	case "threshold":
-		policy, err = harvest.NewSoCThreshold(fleet, minSoC)
-	case "hysteresis":
-		policy, err = harvest.NewSoCHysteresis(fleet, lowSoC, highSoC)
-	default:
-		return fmt.Errorf("unknown policy %q", policyKind)
+	spec, ok := policyRegistry[policyKind]
+	if !ok {
+		return fmt.Errorf("unknown policy %q (want %s)", policyKind, policyNames())
 	}
+	if !spec.mpc && (c.fhorizon != 0 || c.fnoise != 0) {
+		return fmt.Errorf("-fhorizon/-fnoise only apply to the mpc policies, not -policy %s", policyKind)
+	}
+	policy, err := spec.build(c)
 	if err != nil {
 		return err
+	}
+	// The mpc policies plan over a forecast of the run's own trace: exact
+	// (oracle), corrupted (-fnoise), or learned (persistence). The window
+	// defaults to one simulated day.
+	var forecaster harvest.Forecaster
+	fhorizon := c.fhorizon
+	if spec.mpc {
+		if fhorizon < 0 {
+			return fmt.Errorf("negative forecast window %d", fhorizon)
+		}
+		if fhorizon == 0 {
+			fhorizon = period
+		}
+		switch {
+		case policyKind == "mpc-persist":
+			if c.fnoise != 0 {
+				return fmt.Errorf("-fnoise corrupts the oracle of -policy mpc; mpc-persist forecasts from observations")
+			}
+			forecaster, err = harvest.NewPersistence(nodes, period)
+		case c.fnoise > 0:
+			forecaster, err = harvest.NewNoisyOracle(trace, c.fnoise, seed)
+		case c.fnoise < 0:
+			return fmt.Errorf("negative forecast noise %g", c.fnoise)
+		default:
+			forecaster, err = harvest.NewOracle(trace)
+		}
+		if err != nil {
+			return err
+		}
 	}
 
 	// The checkpoint/rejoin subsystem only makes sense when dead nodes
@@ -352,6 +435,7 @@ func run(c runConfig) error {
 		EvalEvery: evalInt, EvalSubsample: 320,
 		Devices: devices, Workload: workload,
 		Harvest: fleet, TrackSoC: true,
+		Forecast: forecaster, ForecastHorizon: fhorizon,
 		DropDeadNodes: dropDead,
 		Checkpoint:    mgr,
 		Seed:          seed,
@@ -371,8 +455,12 @@ func run(c runConfig) error {
 			rejoinModel += " (snapshots in " + ckptDir + ")"
 		}
 	}
+	policyModel := policy.Name()
+	if forecaster != nil {
+		policyModel += fmt.Sprintf(" [%s, window %d]", forecaster.Name(), fhorizon)
+	}
 	fmt.Printf("harvest fleet: %d nodes, %d-regular, %d rounds | trace %s | policy %s | capacity %g rounds | dead nodes: %s | rejoin: %s\n",
-		nodes, degree, rounds, fleet.TraceName(), policy.Name(), capacity, commModel, rejoinModel)
+		nodes, degree, rounds, fleet.TraceName(), policyModel, capacity, commModel, rejoinModel)
 
 	// The wave: per-round participation, fleet charge, and liveness over
 	// time.

@@ -70,7 +70,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		policy, err := harvest.NewSoCProportional(fleet, 1)
+		policy, err := harvest.NewSoCProportional(1)
 		if err != nil {
 			log.Fatal(err)
 		}

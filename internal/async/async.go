@@ -89,6 +89,15 @@ func (c *Config) validate() error {
 	case c.Algo.Schedule == nil || c.Algo.Policy == nil:
 		return fmt.Errorf("async: incomplete algorithm")
 	}
+	// The async engine carries no battery or forecast state, so a policy
+	// that decides from either would silently never train: reject it up
+	// front, mirroring sim.Run's checks.
+	if _, ok := c.Algo.Policy.(core.BatteryDependent); ok {
+		return fmt.Errorf("async: policy %s decides from battery state, which the async engine does not model", c.Algo.Policy.Name())
+	}
+	if _, ok := c.Algo.Policy.(core.ForecastDependent); ok {
+		return fmt.Errorf("async: policy %s plans over a forecast window, which the async engine does not model", c.Algo.Policy.Name())
+	}
 	return c.Workload.Validate()
 }
 
@@ -243,8 +252,10 @@ func Run(cfg Config) (*Result, error) {
 
 		// 2. Decide the step kind from the node's own step counter: the
 		//    same Γ pattern and budget policy as the synchronous variant.
+		// The async engine is open-ended (no fixed horizon) and carries no
+		// battery or forecast state, so the context is schedule-only.
 		trainingStep := cfg.Algo.Schedule.Kind(nd.steps) == core.RoundTrain &&
-			cfg.Algo.Policy.Participate(nd.id, nd.steps, nd.policy)
+			cfg.Algo.Policy.Participate(nd.id, core.ContextAt(cfg.Algo.Schedule, nd.steps, 0), nd.policy)
 		dur := cfg.Devices[nd.id].TrainRoundSeconds(cfg.Workload)
 		if trainingStep {
 			for e := 0; e < cfg.LocalSteps; e++ {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/energy"
 	"repro/internal/graph"
+	"repro/internal/harvest"
 	"repro/internal/nn"
 	"repro/internal/rng"
 )
@@ -211,6 +212,22 @@ func TestAsyncValidation(t *testing.T) {
 		"devices":    func(c *Config) { c.Devices = c.Devices[:3] },
 		"partition":  func(c *Config) { c.Partition = c.Partition[:3] },
 		"nil policy": func(c *Config) { c.Algo.Policy = nil },
+		// The async engine models no batteries or forecasts: a policy that
+		// needs either would silently never train, so it is rejected.
+		"battery policy": func(c *Config) {
+			p, err := harvest.NewSoCThreshold(0.2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.Algo.Policy = p
+		},
+		"forecast policy": func(c *Config) {
+			p, err := harvest.NewHorizonPlan(0.05)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.Algo.Policy = p
+		},
 	}
 	for name, mutate := range mutations {
 		cfg := testConfig(t, 8)

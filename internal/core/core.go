@@ -11,6 +11,12 @@
 //     the energy budget τ_i runs out, or probabilistically with
 //     p_i = min(τ_i / T_train, 1) (SkipTrain-constrained, Section 3.2).
 //
+// A policy decides from the engine's per-node RoundContext — round index,
+// horizon, coordinated schedule, live battery state (BatteryView), and an
+// optional harvest forecast window — so charge- and forecast-aware
+// policies (internal/harvest) plug into the same contract as the paper's
+// static rules without smuggling engine state through their own fields.
+//
 // Every stochastic choice flows through a per-node RNG stream, so runs are
 // reproducible bit-for-bit.
 package core
@@ -141,22 +147,127 @@ func TrainingProbability(tau int, tTrain float64) float64 {
 	return p
 }
 
+// BatteryView is the per-node battery state a charge-aware policy may
+// consult — and drain — while deciding. harvest.Fleet implements it; the
+// engine threads it through RoundContext so policies no longer hold fleet
+// pointers of their own. All methods are safe for concurrent use across
+// distinct nodes.
+type BatteryView interface {
+	// SoC returns node's state of charge in [0, 1].
+	SoC(node int) float64
+	// ChargeWh returns node's charge level in Wh.
+	ChargeWh(node int) float64
+	// CapacityWh returns node's battery capacity in Wh.
+	CapacityWh(node int) float64
+	// CutoffWh returns node's brown-out level in Wh: at or below it the
+	// node cannot operate.
+	CutoffWh(node int) float64
+	// TrainCostWh returns the per-round training cost of node's device.
+	TrainCostWh(node int) float64
+	// OverheadWh returns the per-round non-training draw (idle +
+	// communication) node pays regardless of participation.
+	OverheadWh(node int) float64
+	// TryTrain atomically spends node's training-round energy, reporting
+	// whether the battery could afford it. It is the only training drain
+	// path; policies call it after deciding to train.
+	TryTrain(node int) bool
+}
+
+// RoundContext is everything the engine knows that a node may consult when
+// deciding whether to train this round. It is built fresh per node per
+// round from start-of-round state, so decisions are independent of phase
+// interleaving and runs stay bit-reproducible at any GOMAXPROCS. Optional
+// fields are nil when the run has no corresponding subsystem attached.
+type RoundContext struct {
+	// Round is t, 0-based.
+	Round int
+	// Horizon is the total round count T; 0 when open-ended (async runs).
+	Horizon int
+	// Kind is the coordinated kind of this round.
+	Kind RoundKind
+	// Schedule is the coordinated schedule, letting planning policies see
+	// the kinds of future rounds. Nil means every round trains.
+	Schedule Schedule
+	// Battery is the live battery state of a harvest-coupled run; nil when
+	// no fleet is attached.
+	Battery BatteryView
+	// Forecast holds the predicted energy (Wh) the node will harvest
+	// during rounds Round, Round+1, ..., Round+len(Forecast)-1; nil when
+	// no forecaster is attached. The slice is scratch owned by the engine,
+	// valid only for the duration of the Participate call.
+	Forecast []float64
+}
+
+// ContextAt returns the schedule-only context for round t of a horizon-T
+// run: the minimal RoundContext built by engines and direct policy drivers
+// that have no battery or forecast state to attach.
+func ContextAt(s Schedule, t, horizon int) RoundContext {
+	ctx := RoundContext{Round: t, Horizon: horizon, Schedule: s, Kind: RoundTrain}
+	if s != nil {
+		ctx.Kind = s.Kind(t)
+	}
+	return ctx
+}
+
 // Policy decides whether a node participates in a coordinated training
-// round. Implementations must be safe for concurrent use by distinct nodes;
-// the per-node RNG is owned by the calling node.
+// round, from whatever slice of the round context it cares about.
+// Implementations must be safe for concurrent use by distinct nodes; the
+// per-node RNG is owned by the calling node.
 type Policy interface {
-	// Participate reports whether node trains in round t. It may consume
-	// from the node's energy budget.
-	Participate(node, t int, r *rng.RNG) bool
+	// Participate reports whether node trains in round ctx.Round. It may
+	// consume from the node's energy budget or battery.
+	Participate(node int, ctx RoundContext, r *rng.RNG) bool
 	// Name identifies the policy in reports.
 	Name() string
 }
+
+// LegacyPolicy is the pre-RoundContext participation contract: policies
+// that decide from the round index alone. Wrap one with AdaptLegacy to use
+// it anywhere a Policy is expected.
+type LegacyPolicy interface {
+	Participate(node, t int, r *rng.RNG) bool
+	Name() string
+}
+
+// AdaptLegacy lifts a LegacyPolicy into the context-passing contract by
+// forwarding ctx.Round as the round index.
+func AdaptLegacy(p LegacyPolicy) Policy { return legacyPolicy{p} }
+
+type legacyPolicy struct{ p LegacyPolicy }
+
+func (l legacyPolicy) Participate(node int, ctx RoundContext, r *rng.RNG) bool {
+	return l.p.Participate(node, ctx.Round, r)
+}
+
+func (l legacyPolicy) Name() string { return l.p.Name() }
+
+// ResettablePolicy is implemented by policies that carry run state — spent
+// budgets, dormancy flags — which a second run would silently inherit.
+// sim.Run rejects a consumed policy the same way it rejects a consumed
+// harvest fleet; Reset rewinds the policy so the next run replays the
+// first bit-for-bit.
+type ResettablePolicy interface {
+	Policy
+	// Reset rewinds the policy to its construction state.
+	Reset()
+	// Consumed reports whether the policy carries state from a prior run.
+	Consumed() bool
+}
+
+// BatteryDependent marks policies that can only decide from live battery
+// state: sim.Run rejects them when no harvest fleet is attached, instead
+// of letting them silently never train.
+type BatteryDependent interface{ RequiresBattery() }
+
+// ForecastDependent marks policies that can only decide from a harvest
+// forecast window: sim.Run rejects them when no forecaster is attached.
+type ForecastDependent interface{ RequiresForecast() }
 
 // AlwaysTrain participates in every training round (unconstrained setting).
 type AlwaysTrain struct{}
 
 // Participate always returns true.
-func (AlwaysTrain) Participate(int, int, *rng.RNG) bool { return true }
+func (AlwaysTrain) Participate(int, RoundContext, *rng.RNG) bool { return true }
 
 // Name returns "always".
 func (AlwaysTrain) Name() string { return "always" }
@@ -168,12 +279,18 @@ type GreedyPolicy struct {
 }
 
 // Participate consumes one budget unit when available.
-func (p GreedyPolicy) Participate(node, _ int, _ *rng.RNG) bool {
+func (p GreedyPolicy) Participate(node int, _ RoundContext, _ *rng.RNG) bool {
 	return p.Budget.Consume(node)
 }
 
 // Name returns "greedy".
 func (GreedyPolicy) Name() string { return "greedy" }
+
+// Reset restores the backing budget (ResettablePolicy).
+func (p GreedyPolicy) Reset() { p.Budget.Reset() }
+
+// Consumed reports whether any budget was spent (ResettablePolicy).
+func (p GreedyPolicy) Consumed() bool { return p.Budget.Used() > 0 }
 
 // ProbabilisticPolicy is the SkipTrain-constrained participation rule
 // (Algorithm 2, lines 5-7): in a coordinated training round a node with
@@ -200,7 +317,7 @@ func (p *ProbabilisticPolicy) Probability(node int) float64 { return p.probs[nod
 
 // Participate implements Algorithm 2 lines 5-11: check budget, flip the
 // coin, and consume budget only when actually training.
-func (p *ProbabilisticPolicy) Participate(node, _ int, r *rng.RNG) bool {
+func (p *ProbabilisticPolicy) Participate(node int, _ RoundContext, r *rng.RNG) bool {
 	if p.Budget.Remaining(node) <= 0 {
 		return false
 	}
@@ -212,6 +329,13 @@ func (p *ProbabilisticPolicy) Participate(node, _ int, r *rng.RNG) bool {
 
 // Name returns "probabilistic".
 func (*ProbabilisticPolicy) Name() string { return "probabilistic" }
+
+// Reset restores the backing budget (ResettablePolicy). The derived
+// probabilities are construction-time configuration and never drift.
+func (p *ProbabilisticPolicy) Reset() { p.Budget.Reset() }
+
+// Consumed reports whether any budget was spent (ResettablePolicy).
+func (p *ProbabilisticPolicy) Consumed() bool { return p.Budget.Used() > 0 }
 
 // Aggregation selects how models are combined after sharing.
 type Aggregation int

@@ -136,13 +136,29 @@ func TestPaperTrainingProbabilities(t *testing.T) {
 	}
 }
 
+// at is the direct-drive context for round t: policies that only read the
+// round index need nothing else.
+func at(t int) RoundContext { return ContextAt(nil, t, 0) }
+
 func TestAlwaysTrainPolicy(t *testing.T) {
 	p := AlwaysTrain{}
 	r := rng.New(1)
 	for i := 0; i < 100; i++ {
-		if !p.Participate(0, i, r) {
+		if !p.Participate(0, at(i), r) {
 			t.Fatal("AlwaysTrain refused")
 		}
+	}
+}
+
+func TestContextAt(t *testing.T) {
+	g, _ := NewGamma(2, 1)
+	ctx := ContextAt(g, 2, 30)
+	if ctx.Round != 2 || ctx.Horizon != 30 || ctx.Kind != RoundSync || ctx.Schedule != Schedule(g) {
+		t.Fatalf("ContextAt built %+v", ctx)
+	}
+	// A nil schedule means every round trains.
+	if ctx := ContextAt(nil, 5, 0); ctx.Kind != RoundTrain || ctx.Schedule != nil {
+		t.Fatalf("nil-schedule context %+v", ctx)
 	}
 }
 
@@ -152,21 +168,91 @@ func TestGreedyPolicyExhaustsBudget(t *testing.T) {
 	r := rng.New(2)
 	got := 0
 	for i := 0; i < 10; i++ {
-		if p.Participate(0, i, r) {
+		if p.Participate(0, at(i), r) {
 			got++
 		}
 	}
 	if got != 3 {
 		t.Fatalf("greedy trained %d rounds, want 3", got)
 	}
-	if p.Participate(1, 0, r) {
+	if p.Participate(1, at(0), r) {
 		t.Fatal("greedy with zero budget trained")
 	}
 	// Greedy trains its first 3 opportunities consecutively.
 	b2 := energy.NewBudget([]int{2})
 	p2 := GreedyPolicy{Budget: b2}
-	if !p2.Participate(0, 0, r) || !p2.Participate(0, 1, r) || p2.Participate(0, 2, r) {
+	if !p2.Participate(0, at(0), r) || !p2.Participate(0, at(1), r) || p2.Participate(0, at(2), r) {
 		t.Fatal("greedy must train consecutively from the start")
+	}
+}
+
+// TestLegacyPolicyAdapter pins the migration path for old-contract
+// policies: wrapped, they see ctx.Round as their round index and keep
+// their name.
+func TestLegacyPolicyAdapter(t *testing.T) {
+	legacy := evenRounds{}
+	p := AdaptLegacy(legacy)
+	if p.Name() != "even-rounds" {
+		t.Fatalf("adapter name %q", p.Name())
+	}
+	r := rng.New(3)
+	for i := 0; i < 6; i++ {
+		if got := p.Participate(0, at(i), r); got != (i%2 == 0) {
+			t.Fatalf("round %d: adapter gave %v", i, got)
+		}
+	}
+}
+
+type evenRounds struct{}
+
+func (evenRounds) Participate(_, t int, _ *rng.RNG) bool { return t%2 == 0 }
+func (evenRounds) Name() string                          { return "even-rounds" }
+
+// TestBudgetPoliciesResettable pins the ResettablePolicy contract on the
+// budget-backed policies: consumed after any training, rewound by Reset,
+// and replaying the first run exactly.
+func TestBudgetPoliciesResettable(t *testing.T) {
+	var _ ResettablePolicy = GreedyPolicy{}
+	var _ ResettablePolicy = (*ProbabilisticPolicy)(nil)
+
+	b := energy.NewBudget([]int{2, 5})
+	p := GreedyPolicy{Budget: b}
+	if p.Consumed() {
+		t.Fatal("fresh policy reports consumed")
+	}
+	r := rng.New(4)
+	p.Participate(0, at(0), r)
+	if !p.Consumed() {
+		t.Fatal("spent budget not reported as consumed")
+	}
+	p.Reset()
+	if p.Consumed() || b.Remaining(0) != 2 || b.Remaining(1) != 5 {
+		t.Fatalf("Reset did not restore budgets: %d/%d", b.Remaining(0), b.Remaining(1))
+	}
+
+	g, _ := NewGamma(1, 1)
+	pb := NewProbabilisticPolicy(g, 100, energy.NewBudget([]int{20}), 1)
+	run := func() []bool {
+		out := make([]bool, 40)
+		rr := rng.Derive(11, 0)
+		for i := range out {
+			out[i] = pb.Participate(0, at(i), rr)
+		}
+		return out
+	}
+	first := run()
+	if !pb.Consumed() {
+		t.Fatal("probabilistic policy spent budget but reports fresh")
+	}
+	pb.Reset()
+	if pb.Consumed() {
+		t.Fatal("Reset left the policy consumed")
+	}
+	replay := run()
+	for i := range first {
+		if first[i] != replay[i] {
+			t.Fatalf("round %d: replay diverged after Reset", i)
+		}
 	}
 }
 
@@ -183,7 +269,7 @@ func TestProbabilisticPolicyBudget(t *testing.T) {
 	r := rng.New(3)
 	trained := 0
 	for i := 0; i < 1000; i++ {
-		if p.Participate(0, i, r) {
+		if p.Participate(0, at(i), r) {
 			trained++
 		}
 	}
@@ -200,7 +286,7 @@ func TestProbabilisticPolicyRate(t *testing.T) {
 	r := rng.New(4)
 	trained := 0
 	for i := 0; i < 2000; i++ {
-		if p.Participate(0, i, r) {
+		if p.Participate(0, at(i), r) {
 			trained++
 		}
 	}
@@ -218,7 +304,7 @@ func TestProbabilisticDeterministicPerSeed(t *testing.T) {
 		r := rng.Derive(9, 0)
 		out := make([]bool, 100)
 		for i := range out {
-			out[i] = p.Participate(0, i, r)
+			out[i] = p.Participate(0, at(i), r)
 		}
 		return out
 	}

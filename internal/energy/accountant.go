@@ -188,6 +188,27 @@ func (b *Budget) TotalInitial() int {
 	return t
 }
 
+// Used returns the total training rounds consumed so far across all nodes —
+// the budget-side counterpart of harvest.Fleet.Consumed, letting the
+// budget-backed policies report whether they carry run state.
+func (b *Budget) Used() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	used := 0
+	for i := range b.remaining {
+		used += b.initial[i] - b.remaining[i]
+	}
+	return used
+}
+
+// Reset restores every node's remaining budget to its initial τ_i, so the
+// next run draws down the same budgets the first one did.
+func (b *Budget) Reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	copy(b.remaining, b.initial)
+}
+
 // String summarizes the budget state.
 func (b *Budget) String() string {
 	b.mu.Lock()

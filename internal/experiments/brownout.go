@@ -106,7 +106,7 @@ func TableBrownout(o Options) ([]BrownoutRow, error) {
 			if err != nil {
 				return nil, fmt.Errorf("experiments: brownout %s: %w", regime.name, err)
 			}
-			policy, err := harvest.NewSoCThreshold(fleet, 0.35)
+			policy, err := harvest.NewSoCThreshold(0.35)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: brownout %s: %w", regime.name, err)
 			}

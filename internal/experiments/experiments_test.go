@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"math"
 	"runtime"
 	"strings"
@@ -609,8 +610,10 @@ func TestTableRejoinStructure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 6 {
-		t.Fatalf("%d rows, want 6 (2 regimes x 3 rules)", len(rows))
+	wantRows := 2 * (2 + len(CatchUpHalfLives))
+	if len(rows) != wantRows {
+		t.Fatalf("%d rows, want %d (2 regimes x (2 + %d swept half-lives))",
+			len(rows), wantRows, len(CatchUpHalfLives))
 	}
 	byKey := map[string]RejoinRow{}
 	for _, r := range rows {
@@ -627,19 +630,21 @@ func TestTableRejoinStructure(t *testing.T) {
 	}
 	for _, regime := range []string{"diurnal", "markov"} {
 		stale := byKey[regime+"/resume-stale"]
-		restore := byKey[regime+"/restore-checkpoint"]
-		catchup := byKey[regime+"/catch-up(h=2)"]
+		restoring := []RejoinRow{byKey[regime+"/restore-checkpoint"]}
+		for _, h := range CatchUpHalfLives {
+			restoring = append(restoring, byKey[fmt.Sprintf("%s/catch-up(h=%g)", regime, h)])
+		}
 		// The baseline never replaces state; the restoring rules do.
 		if stale.Restores != 0 {
 			t.Fatalf("%s resume-stale restored %d times", regime, stale.Restores)
 		}
-		if restore.Restores == 0 || catchup.Restores == 0 {
-			t.Fatalf("%s restoring rules never restored: %+v / %+v", regime, restore, catchup)
-		}
 		// Rejoin rules only touch parameters, never batteries: the energy
 		// trajectory — participation, revivals, staleness — is identical
 		// across rules within a regime.
-		for _, r := range []RejoinRow{restore, catchup} {
+		for _, r := range restoring {
+			if r.Restores == 0 {
+				t.Fatalf("%s restoring rule %s never restored: %+v", regime, r.Rule, r)
+			}
 			if r.Participation != stale.Participation || r.Revivals != stale.Revivals ||
 				r.MeanStaleness != stale.MeanStaleness || r.DeadShare != stale.DeadShare {
 				t.Fatalf("%s: energy trajectory differs across rejoin rules:\n%+v\n%+v", regime, stale, r)
@@ -695,6 +700,124 @@ func TestTableRejoinReproducibleAcrossGOMAXPROCS(t *testing.T) {
 		if serial[i] != wide[i] {
 			t.Fatalf("row %d differs across GOMAXPROCS:\n%+v\n%+v", i, serial[i], wide[i])
 		}
+	}
+}
+
+func TestTableForecastStructure(t *testing.T) {
+	var sb strings.Builder
+	o := tiny()
+	o.Rounds = 24
+	o.Out = &sb
+	rows, err := TableForecast(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arms := forecastArms()
+	if len(rows) != 2*len(arms) {
+		t.Fatalf("%d rows, want %d (2 regimes x %d arms)", len(rows), 2*len(arms), len(arms))
+	}
+	for _, regime := range []string{"diurnal", "markov"} {
+		for _, arm := range arms {
+			r, ok := ForecastRowFor(rows, regime, arm.name)
+			if !ok {
+				t.Fatalf("row %s/%s missing", regime, arm.name)
+			}
+			if r.Participation < 0 || r.Participation > 100 {
+				t.Fatalf("%s/%s participation %.1f%% out of range", regime, arm.name, r.Participation)
+			}
+			if arm.forecaster == nil {
+				if r.Forecaster != "-" || r.Horizon != 0 {
+					t.Fatalf("reactive arm carries forecast fields: %+v", r)
+				}
+			} else if r.Forecaster == "-" || r.Horizon < 1 {
+				t.Fatalf("MPC arm missing forecast fields: %+v", r)
+			}
+		}
+		// The offline-optimal window is the whole horizon; the day-window
+		// arms see one simulated day.
+		full, _ := ForecastRowFor(rows, regime, "offline-optimal")
+		day, _ := ForecastRowFor(rows, regime, "oracle-mpc")
+		if full.Horizon != o.Rounds || day.Horizon != diurnalPeriod(o.Rounds) {
+			t.Fatalf("%s windows: offline %d (want %d), oracle %d (want %d)",
+				regime, full.Horizon, o.Rounds, day.Horizon, diurnalPeriod(o.Rounds))
+		}
+	}
+	if !strings.Contains(sb.String(), "Forecast-aware participation") {
+		t.Fatalf("table not rendered:\n%s", sb.String())
+	}
+}
+
+// TestTableForecastOrderingAtScale is the acceptance pin for the forecast
+// table: at default scale in the diurnal regime, more forecast knowledge
+// is never worse — the oracle-fed planner at least matches the learned
+// persistence forecast, which at least matches the best reactive SoC rule
+// it generalizes (soc-proportional).
+func TestTableForecastOrderingAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("default-scale forecast table (10 simulations) skipped in -short mode")
+	}
+	rows, err := TableForecast(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, ok1 := ForecastRowFor(rows, "diurnal", "oracle-mpc")
+	persist, ok2 := ForecastRowFor(rows, "diurnal", "persistence-mpc")
+	prop, ok3 := ForecastRowFor(rows, "diurnal", "soc-proportional")
+	if !ok1 || !ok2 || !ok3 {
+		t.Fatalf("diurnal rows missing: %+v", rows)
+	}
+	if oracle.FinalAcc < persist.FinalAcc {
+		t.Fatalf("oracle-MPC %.2f%% below persistence-MPC %.2f%%", oracle.FinalAcc, persist.FinalAcc)
+	}
+	if persist.FinalAcc < prop.FinalAcc {
+		t.Fatalf("persistence-MPC %.2f%% below soc-proportional %.2f%%", persist.FinalAcc, prop.FinalAcc)
+	}
+}
+
+// TestTableForecastReproducibleAcrossGOMAXPROCS pins bit-identity for the
+// forecast table — including the persistence arms, whose Observe feedback
+// runs serially after each round's battery update.
+func TestTableForecastReproducibleAcrossGOMAXPROCS(t *testing.T) {
+	run := func(procs int) []ForecastRow {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		o := tiny()
+		o.Rounds = 16
+		rows, err := TableForecast(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	serial := run(1)
+	wide := run(8)
+	for i := range serial {
+		if serial[i] != wide[i] {
+			t.Fatalf("row %d differs across GOMAXPROCS:\n%+v\n%+v", i, serial[i], wide[i])
+		}
+	}
+}
+
+// TestTableRejoinCatchUpHalfLifeMovesWithRegime is the half-life sweep's
+// acceptance pin: at default scale the accuracy-best CatchUp half-life
+// differs between the diurnal and Markov regimes — outage-length
+// distributions, not a global constant, set how fast a revived node should
+// abandon its own snapshot.
+func TestTableRejoinCatchUpHalfLifeMovesWithRegime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("default-scale rejoin sweep (10 simulations) skipped in -short mode")
+	}
+	rows, err := TableRejoin(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diurnal := BestCatchUpHalfLife(rows, "diurnal")
+	markov := BestCatchUpHalfLife(rows, "markov")
+	if diurnal == 0 || markov == 0 {
+		t.Fatalf("sweep missing catch-up rows: best h diurnal=%g markov=%g", diurnal, markov)
+	}
+	if diurnal == markov {
+		t.Fatalf("best half-life identical (%g) across regimes; rows: %+v", diurnal, rows)
 	}
 }
 

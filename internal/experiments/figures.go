@@ -121,7 +121,7 @@ func Figure2(o Options) error {
 		if gamma.Kind(t) == core.RoundSync {
 			return "sync"
 		}
-		if policy.Participate(nd, t, rngs[nd]) {
+		if policy.Participate(nd, core.ContextAt(gamma, t, horizon), rngs[nd]) {
 			return "train"
 		}
 		return "sync"

@@ -250,7 +250,7 @@ func (w *gammaWorld) runCell(regime GammaRegime, gt, gs int) (GammaHarvestCell, 
 	if err != nil {
 		return fail(err)
 	}
-	policy, err := harvest.NewSoCThreshold(fleet, gammaGridMinSoC)
+	policy, err := harvest.NewSoCThreshold(gammaGridMinSoC)
 	if err != nil {
 		return fail(err)
 	}

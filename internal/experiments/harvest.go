@@ -39,11 +39,13 @@ type HarvestRow struct {
 	HarvestAccCorr float64 // Pearson corr. of a node's stored harvest vs its final accuracy
 }
 
-// harvestScenario bundles one (trace, policy) configuration.
+// harvestScenario bundles one (trace, policy) configuration. Policies are
+// fleet-free — they read battery state through the round context — so the
+// constructor needs only the fleet size.
 type harvestScenario struct {
 	name   string
 	trace  func(o Options, meanTrainWh float64) (harvest.Trace, error)
-	policy func(f *harvest.Fleet) (core.Policy, error)
+	policy func(nodes int) (core.Policy, error)
 }
 
 // harvestFleetCapacityRounds puts batteries on a supercap scale where state
@@ -73,8 +75,8 @@ func TableHarvest(o Options) ([]HarvestRow, error) {
 			trace: func(Options, float64) (harvest.Trace, error) {
 				return harvest.Constant{Wh: 0}, nil
 			},
-			policy: func(f *harvest.Fleet) (core.Policy, error) {
-				return harvest.NewSoCThreshold(f, 0)
+			policy: func(int) (core.Policy, error) {
+				return harvest.NewSoCThreshold(0)
 			},
 		},
 		{
@@ -84,8 +86,8 @@ func TableHarvest(o Options) ([]HarvestRow, error) {
 				// participation settles near the replenishment rate.
 				return harvest.Constant{Wh: 0.6 * mean}, nil
 			},
-			policy: func(f *harvest.Fleet) (core.Policy, error) {
-				return harvest.NewSoCThreshold(f, 0.2)
+			policy: func(int) (core.Policy, error) {
+				return harvest.NewSoCThreshold(0.2)
 			},
 		},
 		{
@@ -93,8 +95,8 @@ func TableHarvest(o Options) ([]HarvestRow, error) {
 			trace: func(o Options, mean float64) (harvest.Trace, error) {
 				return harvest.NewDiurnal(1.5*mean, diurnalPeriod(o.Rounds), harvest.LongitudePhase(o.Nodes))
 			},
-			policy: func(f *harvest.Fleet) (core.Policy, error) {
-				return harvest.NewSoCProportional(f, 1)
+			policy: func(int) (core.Policy, error) {
+				return harvest.NewSoCProportional(1)
 			},
 		},
 		{
@@ -102,8 +104,8 @@ func TableHarvest(o Options) ([]HarvestRow, error) {
 			trace: func(o Options, mean float64) (harvest.Trace, error) {
 				return harvest.NewMarkovOnOff(o.Nodes, 1.2*mean, 0.25, 0.35, o.Seed)
 			},
-			policy: func(f *harvest.Fleet) (core.Policy, error) {
-				return harvest.NewSoCHysteresis(f, 0.15, 0.4)
+			policy: func(nodes int) (core.Policy, error) {
+				return harvest.NewSoCHysteresis(nodes, 0.15, 0.4)
 			},
 		},
 	}
@@ -123,7 +125,7 @@ func TableHarvest(o Options) ([]HarvestRow, error) {
 		if err != nil {
 			return nil, fmt.Errorf("experiments: scenario %q: %w", sc.name, err)
 		}
-		policy, err := sc.policy(fleet)
+		policy, err := sc.policy(o.Nodes)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: scenario %q: %w", sc.name, err)
 		}

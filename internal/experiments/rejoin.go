@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/checkpoint"
 	"repro/internal/core"
@@ -51,23 +52,51 @@ func rejoinFleetOptions(meanTrainWh float64) harvest.Options {
 	return o
 }
 
-// rejoinRules returns the three strategies under comparison, rebuilt per
-// run so no state leaks between cells.
+// CatchUpHalfLives is the swept half-life grid of the rejoin table: how
+// many rounds of staleness it takes for CatchUp to trust its own snapshot
+// and its neighborhood equally. The grid brackets the former fixed default
+// (h = 2) so the sweep shows which way each regime's outage-length
+// distribution pulls the blend.
+var CatchUpHalfLives = []float64{1, 2, 4}
+
+// rejoinRules returns the strategies under comparison — the stale baseline,
+// the neighborhood restore, and CatchUp at every swept half-life — rebuilt
+// per run so no state leaks between cells.
 func rejoinRules() ([]checkpoint.RejoinRule, error) {
-	catchUp, err := checkpoint.NewCatchUp(checkpoint.DefaultHalfLife)
-	if err != nil {
-		return nil, err
-	}
-	return []checkpoint.RejoinRule{
+	rules := []checkpoint.RejoinRule{
 		checkpoint.ResumeStale{},
 		checkpoint.RestoreCheckpoint{},
-		catchUp,
-	}, nil
+	}
+	for _, h := range CatchUpHalfLives {
+		catchUp, err := checkpoint.NewCatchUp(h)
+		if err != nil {
+			return nil, err
+		}
+		rules = append(rules, catchUp)
+	}
+	return rules, nil
 }
 
-// TableRejoin runs the 2x3 rejoin comparison (harvest regime x rejoin rule)
-// and renders the table. Every cell is bit-reproducible at any GOMAXPROCS:
-// rejoins are computed from the frozen start-of-round state in node order.
+// BestCatchUpHalfLife returns the accuracy-maximal CatchUp half-life among
+// a regime's rows (ties keep the smaller h), or 0 when the regime has no
+// catch-up rows — the per-regime tuning answer the sweep exists to give.
+func BestCatchUpHalfLife(rows []RejoinRow, regime string) float64 {
+	best, bestAcc := 0.0, math.Inf(-1)
+	for _, h := range CatchUpHalfLives {
+		name := fmt.Sprintf("catch-up(h=%g)", h)
+		for _, r := range rows {
+			if r.Regime == regime && r.Rule == name && r.FinalAcc > bestAcc {
+				best, bestAcc = h, r.FinalAcc
+			}
+		}
+	}
+	return best
+}
+
+// TableRejoin runs the rejoin comparison (harvest regime x rejoin rule,
+// with CatchUp swept over CatchUpHalfLives) and renders the table. Every
+// cell is bit-reproducible at any GOMAXPROCS: rejoins are computed from
+// the frozen start-of-round state in node order.
 func TableRejoin(o Options) ([]RejoinRow, error) {
 	o = o.Defaults()
 	g, weights, err := topologyFor(o.Nodes, 6, o.Seed)
@@ -99,7 +128,7 @@ func TableRejoin(o Options) ([]RejoinRow, error) {
 			if err != nil {
 				return nil, fmt.Errorf("experiments: rejoin %s: %w", regime.name, err)
 			}
-			policy, err := harvest.NewSoCThreshold(fleet, 0.45)
+			policy, err := harvest.NewSoCThreshold(0.45)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: rejoin %s: %w", regime.name, err)
 			}

@@ -24,8 +24,17 @@
 //     their radio never powered up.
 //   - The policies in policy.go implement core.Policy from live
 //     state-of-charge, generalizing Eq. 5's static p_i to p_i^t =
-//     f(SoC_i^t): threshold, hysteresis (dormant until recharged), and
-//     charge-proportional.
+//     f(SoC_i^t): threshold, hysteresis (dormant until recharged),
+//     charge-proportional, and the forecast-aware HorizonPlan (MPC:
+//     plan a greedy training knapsack over the forecast window, execute
+//     the first decision, replan next round). Policies read the battery
+//     through the engine's round context (core.RoundContext.Battery),
+//     never through fleet pointers of their own.
+//   - The forecasters in forecast.go predict per-node arrivals for the
+//     round context's forecast window: Oracle reads the trace generator
+//     itself (traces expose their future via Lookahead without advancing
+//     state), NoisyOracle corrupts it reproducibly, and Persistence
+//     learns "tomorrow looks like today" from realized arrivals.
 //
 // # Liveness
 //

@@ -3,6 +3,7 @@ package harvest
 import (
 	"fmt"
 
+	"repro/internal/core"
 	"repro/internal/energy"
 )
 
@@ -78,6 +79,7 @@ type Fleet struct {
 	consumed     []float64 // cumulative train+idle+comm drain per node
 	wasted       []float64 // per-node harvest that arrived with the battery full
 	roundHarvest []float64 // scratch: last EndRound's per-node stored harvest
+	roundArrived []float64 // scratch: last EndRound's per-node arrived harvest
 
 	// roundsClosed counts EndRound calls since construction or Reset. A
 	// fleet with closed rounds has drained batteries, advanced any stateful
@@ -126,6 +128,7 @@ func NewFleet(devices []energy.Device, w energy.Workload, trace Trace, opt Optio
 		consumed:     make([]float64, len(devices)),
 		wasted:       make([]float64, len(devices)),
 		roundHarvest: make([]float64, len(devices)),
+		roundArrived: make([]float64, len(devices)),
 	}
 	for i, d := range devices {
 		f.trainWh[i] = d.TrainRoundWh(w)
@@ -188,6 +191,7 @@ func (f *Fleet) Reset() error {
 		f.consumed[i] = 0
 		f.wasted[i] = 0
 		f.roundHarvest[i] = 0
+		f.roundArrived[i] = 0
 	}
 	f.roundsClosed = 0
 	return nil
@@ -223,6 +227,28 @@ func (f *Fleet) LiveCount() int { return len(f.batteries) - f.DepletedCount() }
 
 // TrainCostWh returns the per-round training cost of node i's device.
 func (f *Fleet) TrainCostWh(i int) float64 { return f.trainWh[i] }
+
+// CapacityWh returns node i's battery capacity in Wh.
+func (f *Fleet) CapacityWh(i int) float64 { return f.batteries[i].CapacityWh }
+
+// CutoffWh returns node i's brown-out level in Wh.
+func (f *Fleet) CutoffWh(i int) float64 { return f.batteries[i].CutoffWh }
+
+// OverheadWh returns the per-round non-training draw node i pays regardless
+// of participation: the always-on idle draw plus its sharing cost.
+func (f *Fleet) OverheadWh(i int) float64 { return f.idleWh + f.commWh[i] }
+
+// A Fleet is the battery state charge-aware policies see through the round
+// context.
+var _ core.BatteryView = (*Fleet)(nil)
+
+// Context returns the direct-drive round context for round t: an all-train
+// round backed by this fleet, with no schedule or forecast attached. The
+// sim engine builds richer contexts itself; this is for tests and tools
+// that exercise policies against a fleet directly.
+func (f *Fleet) Context(t int) core.RoundContext {
+	return core.RoundContext{Round: t, Kind: core.RoundTrain, Battery: f}
+}
 
 // TryTrain atomically spends node i's training-round energy, reporting
 // whether the battery could afford it. Policies call this after deciding to
@@ -266,12 +292,20 @@ func (f *Fleet) endRound(t int, live []bool) []float64 {
 		f.harvested[i] += stored
 		f.wasted[i] += arrived - stored
 		f.roundHarvest[i] = stored
+		f.roundArrived[i] = arrived
 	})
 	// Written outside the parallel region: endRound itself is whole-fleet
 	// and documented not to race with per-node calls.
 	f.roundsClosed++
 	return f.roundHarvest
 }
+
+// RoundArrivedWh returns the per-node energy that arrived during the last
+// closed round — stored plus wasted, before the battery's capacity clamp.
+// This is what forecasters observe (ForecastObserver): a prediction targets
+// what the source delivers, not what the battery happened to have room for.
+// The slice is reused by the next EndRound call.
+func (f *Fleet) RoundArrivedWh() []float64 { return f.roundArrived }
 
 // SoCs returns a snapshot of every node's state of charge.
 func (f *Fleet) SoCs() []float64 {

@@ -4,72 +4,80 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/core"
 	"repro/internal/rng"
 )
 
 // The policies below implement core.Policy from live battery state,
 // generalizing the paper's static SkipTrain-constrained rule
 // p_i = min(τ_i / T_train, 1) (Eq. 5) to charge-aware rules
-// p_i^t = f(SoC_i^t). They are declared against the same
-// Participate(node, t, rng) contract, so they drop into core.Algorithm and
-// the sim engine unchanged; each consults — and on success drains — the
-// shared Fleet, which is safe for concurrent use across distinct nodes.
+// p_i^t = f(SoC_i^t). They read the battery through the round context
+// (core.RoundContext.Battery) rather than holding a fleet pointer of their
+// own, so one policy value works against any fleet the engine attaches;
+// all of them are marked core.BatteryDependent, and sim.Run rejects a run
+// that pairs one with no fleet. HorizonPlan additionally consumes the
+// context's harvest forecast window — the MPC-style planner the forecaster
+// layer (forecast.go) exists to feed.
 
 // SoCThreshold trains whenever the node's state of charge is at least
 // MinSoC and the battery can afford a full round: the simplest
 // duty-cycling rule of intermittent computing.
 type SoCThreshold struct {
-	Fleet  *Fleet
 	MinSoC float64
 }
 
 // NewSoCThreshold validates and returns a threshold policy.
-func NewSoCThreshold(f *Fleet, minSoC float64) (*SoCThreshold, error) {
-	if f == nil {
-		return nil, fmt.Errorf("harvest: nil fleet")
-	}
+func NewSoCThreshold(minSoC float64) (*SoCThreshold, error) {
 	if minSoC < 0 || minSoC > 1 {
 		return nil, fmt.Errorf("harvest: threshold SoC %v outside [0, 1]", minSoC)
 	}
-	return &SoCThreshold{Fleet: f, MinSoC: minSoC}, nil
+	return &SoCThreshold{MinSoC: minSoC}, nil
 }
 
 // Participate trains iff SoC ≥ MinSoC and the round is affordable.
-func (p *SoCThreshold) Participate(node, _ int, _ *rng.RNG) bool {
-	if p.Fleet.SoC(node) < p.MinSoC {
+func (p *SoCThreshold) Participate(node int, ctx core.RoundContext, _ *rng.RNG) bool {
+	b := ctx.Battery
+	if b == nil || b.SoC(node) < p.MinSoC {
 		return false
 	}
-	return p.Fleet.TryTrain(node)
+	return b.TryTrain(node)
 }
 
 // Name returns "soc-threshold".
 func (*SoCThreshold) Name() string { return "soc-threshold" }
+
+// RequiresBattery marks the policy core.BatteryDependent.
+func (*SoCThreshold) RequiresBattery() {}
 
 // SoCHysteresis duty-cycles with two thresholds to avoid oscillating at a
 // single cutoff: a node that falls below Low goes dormant and only resumes
 // training after recharging above High — the checkpoint/restore pattern of
 // intermittently-powered devices.
 type SoCHysteresis struct {
-	fleet     *Fleet
 	low, high float64
 	dormant   []bool
 }
 
-// NewSoCHysteresis validates 0 ≤ low < high ≤ 1 and returns the policy.
-func NewSoCHysteresis(f *Fleet, low, high float64) (*SoCHysteresis, error) {
-	if f == nil {
-		return nil, fmt.Errorf("harvest: nil fleet")
+// NewSoCHysteresis validates 0 ≤ low < high ≤ 1 and returns the policy for
+// a fleet of the given size.
+func NewSoCHysteresis(nodes int, low, high float64) (*SoCHysteresis, error) {
+	if nodes < 1 {
+		return nil, fmt.Errorf("harvest: hysteresis policy for %d nodes", nodes)
 	}
 	if low < 0 || high > 1 || low >= high {
 		return nil, fmt.Errorf("harvest: hysteresis band [%v, %v] invalid", low, high)
 	}
-	return &SoCHysteresis{fleet: f, low: low, high: high, dormant: make([]bool, f.Nodes())}, nil
+	return &SoCHysteresis{low: low, high: high, dormant: make([]bool, nodes)}, nil
 }
 
 // Participate applies the two-threshold rule. Dormancy state is strictly
 // per-node, so concurrent calls for distinct nodes are race-free.
-func (p *SoCHysteresis) Participate(node, _ int, _ *rng.RNG) bool {
-	soc := p.fleet.SoC(node)
+func (p *SoCHysteresis) Participate(node int, ctx core.RoundContext, _ *rng.RNG) bool {
+	b := ctx.Battery
+	if b == nil {
+		return false
+	}
+	soc := b.SoC(node)
 	if p.dormant[node] {
 		if soc < p.high {
 			return false
@@ -79,24 +87,39 @@ func (p *SoCHysteresis) Participate(node, _ int, _ *rng.RNG) bool {
 		p.dormant[node] = true
 		return false
 	}
-	return p.fleet.TryTrain(node)
+	return b.TryTrain(node)
 }
 
 // Name returns "soc-hysteresis".
 func (*SoCHysteresis) Name() string { return "soc-hysteresis" }
 
+// RequiresBattery marks the policy core.BatteryDependent.
+func (*SoCHysteresis) RequiresBattery() {}
+
 // Dormant reports whether node is currently in the dormant phase.
 func (p *SoCHysteresis) Dormant(node int) bool { return p.dormant[node] }
 
-// Reset wakes every node: the policy's dormancy is run state, not
-// configuration, so a fleet rewound with Fleet.Reset needs its hysteresis
-// policy Reset too (or rebuilt) for the next run to replay the first
-// bit-for-bit. The threshold and proportional policies are stateless and
-// need no counterpart.
+// Reset wakes every node (core.ResettablePolicy): dormancy is run state,
+// not configuration, so a fleet rewound with Fleet.Reset needs its
+// hysteresis policy Reset too (or rebuilt) for the next run to replay the
+// first bit-for-bit. The threshold, proportional, and horizon-plan
+// policies are stateless and need no counterpart.
 func (p *SoCHysteresis) Reset() {
 	for i := range p.dormant {
 		p.dormant[i] = false
 	}
+}
+
+// Consumed reports whether any node is dormant (core.ResettablePolicy):
+// the only run state the policy carries, and exactly what a second run
+// would silently inherit. sim.Run rejects a consumed policy.
+func (p *SoCHysteresis) Consumed() bool {
+	for _, d := range p.dormant {
+		if d {
+			return true
+		}
+	}
+	return false
 }
 
 // SoCProportional trains with probability p_i^t = SoC_i^t raised to
@@ -105,34 +128,163 @@ func (p *SoCHysteresis) Reset() {
 // ratio. Exponent 1 is linear; larger exponents hoard charge (train only
 // when nearly full), smaller ones spend it eagerly.
 type SoCProportional struct {
-	Fleet    *Fleet
 	Exponent float64
 }
 
 // NewSoCProportional validates and returns a proportional policy.
-func NewSoCProportional(f *Fleet, exponent float64) (*SoCProportional, error) {
-	if f == nil {
-		return nil, fmt.Errorf("harvest: nil fleet")
-	}
+func NewSoCProportional(exponent float64) (*SoCProportional, error) {
 	if exponent <= 0 {
 		return nil, fmt.Errorf("harvest: non-positive exponent %v", exponent)
 	}
-	return &SoCProportional{Fleet: f, Exponent: exponent}, nil
+	return &SoCProportional{Exponent: exponent}, nil
 }
 
-// Probability returns the node's current training probability f(SoC).
-func (p *SoCProportional) Probability(node int) float64 {
-	return math.Pow(p.Fleet.SoC(node), p.Exponent)
+// Probability returns the training probability f(soc) = soc^Exponent.
+func (p *SoCProportional) Probability(soc float64) float64 {
+	return math.Pow(soc, p.Exponent)
 }
 
 // Participate flips the charge-proportional coin and consumes battery only
 // when actually training (mirroring Algorithm 2 lines 5-11).
-func (p *SoCProportional) Participate(node, _ int, r *rng.RNG) bool {
-	if r.Float64() <= p.Probability(node) {
-		return p.Fleet.TryTrain(node)
+func (p *SoCProportional) Participate(node int, ctx core.RoundContext, r *rng.RNG) bool {
+	b := ctx.Battery
+	if b == nil {
+		return false
+	}
+	if r.Float64() <= p.Probability(b.SoC(node)) {
+		return b.TryTrain(node)
 	}
 	return false
 }
 
 // Name returns "soc-proportional".
 func (*SoCProportional) Name() string { return "soc-proportional" }
+
+// RequiresBattery marks the policy core.BatteryDependent.
+func (*SoCProportional) RequiresBattery() {}
+
+// HorizonPlan is the MPC-style forecast-aware policy: each round it solves
+// a greedy knapsack over the node's forecast window — train in the rounds
+// whose projected charge clears the training cost, subject to the
+// coordinated Γ schedule and to never letting the projected trajectory dip
+// below the brown-out cutoff plus a reserve margin — then executes only
+// the window's first decision and replans next round. The lookahead is
+// what the SoC rules above cannot have: a node facing a long forecast
+// trough conserves charge to survive it, while a node about to waste
+// arrivals on a full battery spends them on training instead.
+type HorizonPlan struct {
+	// ReserveSoC is the safety margin, as a fraction of capacity, kept
+	// above the brown-out cutoff throughout the planned trajectory.
+	ReserveSoC float64
+}
+
+// NewHorizonPlan validates the reserve margin and returns the policy.
+func NewHorizonPlan(reserveSoC float64) (*HorizonPlan, error) {
+	if reserveSoC < 0 || reserveSoC >= 1 {
+		return nil, fmt.Errorf("harvest: horizon-plan reserve SoC %v outside [0, 1)", reserveSoC)
+	}
+	return &HorizonPlan{ReserveSoC: reserveSoC}, nil
+}
+
+// Name returns "horizon-plan".
+func (*HorizonPlan) Name() string { return "horizon-plan" }
+
+// RequiresBattery marks the policy core.BatteryDependent.
+func (*HorizonPlan) RequiresBattery() {}
+
+// RequiresForecast marks the policy core.ForecastDependent: with an empty
+// window there is nothing to plan over, and the policy refuses to train
+// rather than degrade into a silent threshold rule.
+func (*HorizonPlan) RequiresForecast() {}
+
+// planState captures the per-node constants of one planning problem.
+type planState struct {
+	cost, overhead, capacity, reserve float64
+}
+
+func (p *HorizonPlan) state(node int, b core.BatteryView) planState {
+	capacity := b.CapacityWh(node)
+	return planState{
+		cost:     b.TrainCostWh(node),
+		overhead: b.OverheadWh(node),
+		capacity: capacity,
+		reserve:  b.CutoffWh(node) + p.ReserveSoC*capacity,
+	}
+}
+
+// survives reports whether a trajectory starting at charge just after the
+// round-k training decision stays at or above the reserve through the rest
+// of the window with no further training: each remaining round pays
+// overhead (the low point, checked against the reserve), then harvests the
+// forecast arrival, clamped at capacity — the same order the fleet's
+// battery update applies.
+func survives(charge float64, k int, forecast []float64, s planState) bool {
+	for j := k; j < len(forecast); j++ {
+		charge -= s.overhead
+		if charge < s.reserve {
+			return false
+		}
+		charge += forecast[j]
+		if charge > s.capacity {
+			charge = s.capacity
+		}
+	}
+	return true
+}
+
+// trainSlot reports whether round ctx.Round+k is a coordinated training
+// round; a nil schedule means every round trains.
+func trainSlot(ctx core.RoundContext, k int) bool {
+	return ctx.Schedule == nil || ctx.Schedule.Kind(ctx.Round+k) == core.RoundTrain
+}
+
+// Plan solves the window's greedy knapsack and returns the per-round
+// training decisions: walking the window forward, each coordinated
+// training slot trains when the debited trajectory still survives to the
+// window's end with room for the reserve. Only plan[0] is ever executed
+// (Participate); the rest is the policy's forward view, exposed for tests
+// and introspection. Plan is read-only on the battery.
+func (p *HorizonPlan) Plan(node int, ctx core.RoundContext) []bool {
+	plan := make([]bool, len(ctx.Forecast))
+	b := ctx.Battery
+	if b == nil || len(ctx.Forecast) == 0 {
+		return plan
+	}
+	s := p.state(node, b)
+	charge := b.ChargeWh(node)
+	for k := range plan {
+		if trainSlot(ctx, k) && charge-s.cost >= s.reserve && survives(charge-s.cost, k, ctx.Forecast, s) {
+			plan[k] = true
+			charge -= s.cost
+		}
+		charge -= s.overhead
+		if charge < 0 {
+			charge = 0
+		}
+		charge += ctx.Forecast[k]
+		if charge > s.capacity {
+			charge = s.capacity
+		}
+	}
+	return plan
+}
+
+// Participate executes the plan's first decision: train now iff the round
+// is affordable above the reserve and the debited trajectory survives the
+// forecast window. Equivalent to Plan(node, ctx)[0] without materializing
+// the rest of the window.
+func (p *HorizonPlan) Participate(node int, ctx core.RoundContext, _ *rng.RNG) bool {
+	b := ctx.Battery
+	if b == nil || len(ctx.Forecast) == 0 {
+		return false
+	}
+	if !trainSlot(ctx, 0) {
+		return false
+	}
+	s := p.state(node, b)
+	charge := b.ChargeWh(node)
+	if charge-s.cost < s.reserve || !survives(charge-s.cost, 0, ctx.Forecast, s) {
+		return false
+	}
+	return b.TryTrain(node)
+}

@@ -38,6 +38,13 @@ type Constant struct{ Wh float64 }
 // HarvestWh returns the constant amount.
 func (c Constant) HarvestWh(int, int) float64 { return c.Wh }
 
+// ForecastWh fills out with the constant amount (Lookahead).
+func (c Constant) ForecastWh(_, _ int, out []float64) {
+	for k := range out {
+		out[k] = c.Wh
+	}
+}
+
 // Name returns e.g. "constant(0.005)".
 func (c Constant) Name() string { return fmt.Sprintf("constant(%g)", c.Wh) }
 
@@ -76,6 +83,14 @@ func (d *Diurnal) HarvestWh(node, t int) float64 {
 		return d.peakWh * s
 	}
 	return 0
+}
+
+// ForecastWh fills out[k] with the exact sinusoid value of round t+k
+// (Lookahead): the sun's future is a pure function of time.
+func (d *Diurnal) ForecastWh(node, t int, out []float64) {
+	for k := range out {
+		out[k] = d.HarvestWh(node, t+k)
+	}
 }
 
 // Name returns e.g. "diurnal(peak=0.01,period=24)".
@@ -147,6 +162,34 @@ func (m *MarkovOnOff) HarvestWh(node, _ int) float64 {
 	return 0
 }
 
+// ForecastWh forks node's chain — a copy of its on/off state and a Clone
+// of its RNG stream — and replays it len(out) steps into the future
+// (Lookahead). The live chain is never touched, so forecasting any number
+// of times leaves the subsequently realized trajectory bit-identical, and
+// the forecast itself is exactly what HarvestWh will return for those
+// rounds. The round parameter is ignored: a chain can only be forked from
+// its live state, so the forecast starts at the generator's present (the
+// round the next HarvestWh call realizes — see Lookahead). Safe for
+// concurrent use across distinct nodes.
+func (m *MarkovOnOff) ForecastWh(node, _ int, out []float64) {
+	r := m.rngs[node].Clone()
+	on := m.on[node]
+	for k := range out {
+		if on {
+			if r.Bernoulli(m.pOnOff) {
+				on = false
+			}
+		} else if r.Bernoulli(m.pOffOn) {
+			on = true
+		}
+		if on {
+			out[k] = m.onWh
+		} else {
+			out[k] = 0
+		}
+	}
+}
+
 // Name returns e.g. "markov(on=0.01,p10=0.2,p01=0.3)".
 func (m *MarkovOnOff) Name() string {
 	return fmt.Sprintf("markov(on=%g,p10=%g,p01=%g)", m.onWh, m.pOnOff, m.pOffOn)
@@ -188,6 +231,22 @@ func (p *Replay) Nodes() int { return len(p.wh[0]) }
 // HarvestWh returns the recorded value, wrapping the recording cyclically.
 func (p *Replay) HarvestWh(node, t int) float64 {
 	return p.wh[t%len(p.wh)][node]
+}
+
+// ForecastWh reveals the remaining recorded rows (Lookahead): out[k] is the
+// row for round t+k, and rounds past the final row clamp to zero harvest.
+// A recording is evidence only up to its last row — the cyclic wrap of
+// HarvestWh is a simulation convenience, not a prediction — and the naive
+// wh[t+k] indexing a forecaster would otherwise reach for panics out of
+// range there.
+func (p *Replay) ForecastWh(node, t int, out []float64) {
+	for k := range out {
+		if t+k < len(p.wh) {
+			out[k] = p.wh[t+k][node]
+		} else {
+			out[k] = 0
+		}
+	}
 }
 
 // Name returns e.g. "replay(96x24)".

@@ -92,6 +92,17 @@ type Config struct {
 	Harvest  *harvest.Fleet
 	TrackSoC bool
 
+	// Forecast attaches a harvest forecaster (internal/harvest): on every
+	// coordinated training round the engine fills the deciding node's
+	// RoundContext.Forecast with ForecastHorizon predicted per-round
+	// arrivals (rounds t..t+H-1), which planning policies such as
+	// harvest.HorizonPlan consume. After every battery update the engine
+	// feeds realized arrivals back to forecasters that learn from them
+	// (harvest.ForecastObserver). Requires a Harvest fleet and a positive
+	// ForecastHorizon.
+	Forecast        harvest.Forecaster
+	ForecastHorizon int
+
 	// DropDeadNodes makes node liveness a first-class, per-round property
 	// of the topology: at the start of every round the engine snapshots the
 	// live set (nodes above their brown-out cutoff), silences every edge
@@ -183,6 +194,34 @@ func (c *Config) validate() error {
 	}
 	if c.TrackSoC && c.Harvest == nil {
 		return fmt.Errorf("sim: TrackSoC requires a harvest fleet")
+	}
+	// The policy's declared needs must be wired, and a policy carrying a
+	// prior run's state is rejected exactly like a consumed fleet — state
+	// can never leak silently between runs.
+	if _, ok := c.Algo.Policy.(core.BatteryDependent); ok && c.Harvest == nil {
+		return fmt.Errorf("sim: policy %s decides from battery state and needs a harvest fleet", c.Algo.Policy.Name())
+	}
+	if _, ok := c.Algo.Policy.(core.ForecastDependent); ok && c.Forecast == nil {
+		return fmt.Errorf("sim: policy %s plans over a forecast window and needs Config.Forecast", c.Algo.Policy.Name())
+	}
+	if rp, ok := c.Algo.Policy.(core.ResettablePolicy); ok && rp.Consumed() {
+		return fmt.Errorf("sim: policy %s already consumed by a prior run; call Reset or build a fresh policy", c.Algo.Policy.Name())
+	}
+	if c.Forecast != nil {
+		if c.Harvest == nil {
+			return fmt.Errorf("sim: Forecast requires a harvest fleet to forecast")
+		}
+		if c.ForecastHorizon < 1 {
+			return fmt.Errorf("sim: Forecast needs ForecastHorizon >= 1, got %d", c.ForecastHorizon)
+		}
+		// Learning forecasters (Persistence) carry observation history; a
+		// second run on one would silently forecast from the first run's
+		// day — the same leak the fleet and policy guards close.
+		if fc, ok := c.Forecast.(interface{ Consumed() bool }); ok && fc.Consumed() {
+			return fmt.Errorf("sim: forecaster %s already consumed by a prior run; call Reset or build a fresh forecaster", c.Forecast.Name())
+		}
+	} else if c.ForecastHorizon != 0 {
+		return fmt.Errorf("sim: ForecastHorizon %d given without a Forecast", c.ForecastHorizon)
 	}
 	if c.DropDeadNodes {
 		if c.Harvest == nil && c.Liveness == nil {
@@ -377,6 +416,17 @@ func Run(cfg Config) (*Result, error) {
 	result := &Result{TrainedRounds: make([]int, n)}
 	cumHarvestWh := 0.0
 
+	// Per-node forecast scratch: one window per node, reused every round,
+	// so the training fan-out allocates nothing. Each slice is written and
+	// read only by its own node's goroutine within a phase.
+	var forecastScratch [][]float64
+	if cfg.Forecast != nil {
+		forecastScratch = make([][]float64, n)
+		for i := range forecastScratch {
+			forecastScratch[i] = make([]float64, cfg.ForecastHorizon)
+		}
+	}
+
 	// Scratch for the checkpoint/rejoin phase: one snapshot buffer and the
 	// this-round revival mask. Per-revival vectors are allocated on demand —
 	// revivals are rare events.
@@ -500,7 +550,14 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 
-		// Phase 1: local training.
+		// Phase 1: local training. Every participating node decides from
+		// its own RoundContext: the shared start-of-round view (round,
+		// horizon, schedule, battery) plus its private forecast window, so
+		// decisions are independent of worker interleaving.
+		roundCtx := core.RoundContext{Round: t, Horizon: cfg.Rounds, Kind: kind, Schedule: cfg.Algo.Schedule}
+		if cfg.Harvest != nil {
+			roundCtx.Battery = cfg.Harvest
+		}
 		parallelFor(n, func(i int) {
 			nd := nodes[i]
 			if dropRound && !live[i] {
@@ -510,14 +567,21 @@ func Run(cfg Config) (*Result, error) {
 				nd.net.CopyParamsTo(nd.half)
 				return
 			}
-			if kind == core.RoundTrain && cfg.Algo.Policy.Participate(i, t, nd.policy) {
-				for e := 0; e < cfg.LocalSteps; e++ {
-					xs, ys := nd.batcher.Next(cfg.BatchSize)
-					nd.net.TrainBatch(xs, ys, cfg.LR)
+			if kind == core.RoundTrain {
+				ctx := roundCtx
+				if forecastScratch != nil {
+					cfg.Forecast.Forecast(i, t, forecastScratch[i])
+					ctx.Forecast = forecastScratch[i]
 				}
-				nd.trained++
-				if cfg.Devices != nil {
-					acct.AddTraining(i, t, cfg.Devices[i].TrainRoundWh(cfg.Workload))
+				if cfg.Algo.Policy.Participate(i, ctx, nd.policy) {
+					for e := 0; e < cfg.LocalSteps; e++ {
+						xs, ys := nd.batcher.Next(cfg.BatchSize)
+						nd.net.TrainBatch(xs, ys, cfg.LR)
+					}
+					nd.trained++
+					if cfg.Devices != nil {
+						acct.AddTraining(i, t, cfg.Devices[i].TrainRoundWh(cfg.Workload))
+					}
 				}
 			}
 			nd.net.CopyParamsTo(nd.half)
@@ -642,6 +706,11 @@ func Run(cfg Config) (*Result, error) {
 			for i, wh := range roundHarvest {
 				acct.AddHarvest(i, wh)
 				cumHarvestWh += wh
+			}
+			// Learning forecasters observe what the source delivered this
+			// round (stored + wasted), serially, after the battery update.
+			if obs, ok := cfg.Forecast.(harvest.ForecastObserver); ok {
+				obs.Observe(t, cfg.Harvest.RoundArrivedWh())
 			}
 			m.MeanSoC = cfg.Harvest.MeanSoC()
 			m.MinSoC = cfg.Harvest.MinSoC()

@@ -516,7 +516,7 @@ func harvestConfig(t *testing.T, seed uint64) Config {
 	if err != nil {
 		t.Fatal(err)
 	}
-	policy, err := harvest.NewSoCProportional(fleet, 1)
+	policy, err := harvest.NewSoCProportional(1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -666,7 +666,7 @@ func TestHarvestWastedPlumbing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	policy, err := harvest.NewSoCThreshold(fleet, 0.9)
+	policy, err := harvest.NewSoCThreshold(0.9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -707,7 +707,7 @@ func TestHarvestBatteriesBindParticipation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	policy, err := harvest.NewSoCThreshold(fleet, 0)
+	policy, err := harvest.NewSoCThreshold(0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -750,7 +750,7 @@ func brownoutConfig(t *testing.T, seed uint64) Config {
 	if err != nil {
 		t.Fatal(err)
 	}
-	policy, err := harvest.NewSoCThreshold(fleet, 0.35)
+	policy, err := harvest.NewSoCThreshold(0.35)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -1151,6 +1151,209 @@ func TestCheckpointDeterministicAcrossGOMAXPROCS(t *testing.T) {
 	}
 	if serial.TotalRestores != wide.TotalRestores {
 		t.Fatalf("restores differ: %d vs %d", serial.TotalRestores, wide.TotalRestores)
+	}
+}
+
+// mpcConfig is the brown-out world driven by the forecast-aware MPC
+// policy: an oracle forecaster over the run's own diurnal trace, one
+// 8-round day of lookahead.
+func mpcConfig(t *testing.T, seed uint64) Config {
+	t.Helper()
+	cfg := brownoutConfig(t, seed)
+	policy, err := harvest.NewHorizonPlan(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Algo = core.Algorithm{Label: "mpc", Schedule: core.AllTrain{}, Policy: policy}
+	oracle, err := harvest.NewOracle(traceOf(t, cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Forecast = oracle
+	cfg.ForecastHorizon = 8
+	return cfg
+}
+
+// traceOf rebuilds the diurnal trace brownoutConfig attached to its fleet,
+// phase-for-phase, so the oracle forecasts the same sun.
+func traceOf(t *testing.T, cfg Config) harvest.Trace {
+	t.Helper()
+	n := cfg.Graph.N
+	w := energy.CIFAR10Workload()
+	meanTrainWh := energy.NetworkRoundWh(n, energy.Devices(), w) / float64(n)
+	trace, err := harvest.NewDiurnal(1.0*meanTrainWh, 8, harvest.LongitudePhase(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trace
+}
+
+func TestForecastConfigValidation(t *testing.T) {
+	oracle := func() harvest.Forecaster {
+		o, err := harvest.NewOracle(harvest.Constant{Wh: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return o
+	}
+	// A forecaster needs a fleet and a positive window; a window needs a
+	// forecaster.
+	cfg := testConfig(t, 50)
+	cfg.Forecast = oracle()
+	cfg.ForecastHorizon = 4
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("Forecast without a fleet should error")
+	}
+	cfg2 := harvestConfig(t, 50)
+	cfg2.Forecast = oracle()
+	if _, err := Run(cfg2); err == nil {
+		t.Fatal("Forecast without ForecastHorizon should error")
+	}
+	cfg3 := harvestConfig(t, 50)
+	cfg3.ForecastHorizon = 4
+	if _, err := Run(cfg3); err == nil {
+		t.Fatal("ForecastHorizon without Forecast should error")
+	}
+	// Declared policy needs are checked up front.
+	cfg4 := testConfig(t, 50)
+	threshold, err := harvest.NewSoCThreshold(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg4.Algo = core.Algorithm{Label: "no-fleet", Schedule: core.AllTrain{}, Policy: threshold}
+	if _, err := Run(cfg4); err == nil {
+		t.Fatal("battery-dependent policy without a fleet should error")
+	}
+	cfg5 := harvestConfig(t, 50)
+	mpc, err := harvest.NewHorizonPlan(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg5.Algo = core.Algorithm{Label: "no-forecast", Schedule: core.AllTrain{}, Policy: mpc}
+	if _, err := Run(cfg5); err == nil {
+		t.Fatal("forecast-dependent policy without a forecaster should error")
+	}
+}
+
+// TestConsumedPolicyRejected pins the policy half of the state-leak guard:
+// a policy carrying a prior run's state is rejected exactly like a
+// consumed fleet, and Reset reopens it for a bit-identical replay.
+func TestConsumedPolicyRejected(t *testing.T) {
+	cfg := testConfig(t, 51)
+	cfg.Rounds = 6
+	budget := energy.NewBudget([]int{3, 3, 3, 3, 3, 3, 3, 3})
+	cfg.Algo = core.Greedy(budget)
+	first, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := testConfig(t, 51)
+	cfg2.Rounds = 6
+	cfg2.Algo = core.Greedy(budget) // same spent budget
+	if _, err := Run(cfg2); err == nil {
+		t.Fatal("Run accepted a policy consumed by a prior run")
+	} else if !strings.Contains(err.Error(), "consumed") {
+		t.Fatalf("unhelpful reuse error: %v", err)
+	}
+	budget.Reset()
+	again, err := Run(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.FinalMeanAcc != again.FinalMeanAcc {
+		t.Fatalf("post-Reset run differs: %v vs %v", first.FinalMeanAcc, again.FinalMeanAcc)
+	}
+}
+
+// TestConsumedForecasterRejected closes the third leg of the state-leak
+// guard: a persistence forecaster carrying a prior run's observations is
+// rejected like a consumed fleet, and Reset reopens it for a replay that
+// matches the first run bit-for-bit.
+func TestConsumedForecasterRejected(t *testing.T) {
+	mkCfg := func(persist *harvest.Persistence) Config {
+		cfg := brownoutConfig(t, 54)
+		policy, err := harvest.NewHorizonPlan(0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Algo = core.Algorithm{Label: "mpc-persist", Schedule: core.AllTrain{}, Policy: policy}
+		cfg.Forecast = persist
+		cfg.ForecastHorizon = 8
+		return cfg
+	}
+	persist, err := harvest.NewPersistence(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := Run(mkCfg(persist))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(mkCfg(persist)); err == nil {
+		t.Fatal("Run accepted a forecaster consumed by a prior run")
+	} else if !strings.Contains(err.Error(), "consumed") {
+		t.Fatalf("unhelpful reuse error: %v", err)
+	}
+	persist.Reset()
+	again, err := Run(mkCfg(persist))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.FinalMeanAcc != again.FinalMeanAcc {
+		t.Fatalf("post-Reset run differs: %v vs %v", first.FinalMeanAcc, again.FinalMeanAcc)
+	}
+}
+
+func TestHorizonPlanEndToEnd(t *testing.T) {
+	res, err := Run(mpcConfig(t, 52))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trained := 0
+	for _, tr := range res.TrainedRounds {
+		trained += tr
+	}
+	if trained == 0 {
+		t.Fatal("MPC fleet never trained")
+	}
+	if res.TotalHarvestWh <= 0 {
+		t.Fatal("diurnal fleet harvested nothing")
+	}
+}
+
+// TestForecastDeterministicAcrossGOMAXPROCS extends the bit-identity pin
+// to the forecast path, with the learning forecaster (persistence) so the
+// Observe feedback loop is exercised too.
+func TestForecastDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	run := func(procs int) *Result {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		cfg := brownoutConfig(t, 53)
+		policy, err := harvest.NewHorizonPlan(0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Algo = core.Algorithm{Label: "mpc-persist", Schedule: core.AllTrain{}, Policy: policy}
+		persist, err := harvest.NewPersistence(cfg.Graph.N, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Forecast = persist
+		cfg.ForecastHorizon = 8
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1)
+	wide := run(8)
+	for r := range serial.History {
+		a, b := serial.History[r], wide.History[r]
+		if a.MeanAcc != b.MeanAcc || a.MeanSoC != b.MeanSoC || a.TrainedCount != b.TrainedCount ||
+			a.LiveCount != b.LiveCount {
+			t.Fatalf("round %d differs across GOMAXPROCS: %+v vs %+v", r, a, b)
+		}
 	}
 }
 

@@ -15,6 +15,17 @@
 //	harvestsim -dropdead -cutoff 0.3 -idle 0.25 -rejoin catchup
 //	                                             # checkpoint/restore on rejoin
 //	harvestsim -grid -trace diurnal              # Γ-schedule search per regime
+//	harvestsim -telemetry -events run.jsonl      # live progress + JSONL events
+//	harvestsim -telemetry -pprof localhost:6060  # ... with pprof/expvar served
+//
+// With -telemetry, the run streams structured telemetry (internal/obs): a
+// live progress line on stderr with per-round participation and streamed
+// SoC percentiles, and — with -events — a JSONL event stream (run manifest,
+// round boundaries, per-phase wall-clock timings, brown-outs, revivals,
+// dropped sends, evaluations) for offline analysis. Telemetry never
+// perturbs the simulation: the model output is bit-identical with it on or
+// off. -pprof serves the standard pprof and expvar handlers for the run's
+// duration.
 //
 // With -grid, instead of a single run the command evaluates the full 4x4
 // Γtrain x Γsync grid under the harvest regime selected by -trace (each
@@ -42,8 +53,12 @@
 package main
 
 import (
+	_ "expvar" // registers /debug/vars on the -pprof server
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the -pprof server
 	"os"
 	"sort"
 	"strings"
@@ -56,6 +71,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/harvest"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/rng"
 	"repro/internal/sim"
@@ -92,6 +108,10 @@ func main() {
 		steps    = flag.Int("steps", 8, "local steps E")
 		evalInt  = flag.Int("eval", 12, "evaluate every N rounds (and always after the last)")
 		seed     = flag.Uint64("seed", 42, "experiment seed")
+
+		telemetry = flag.Bool("telemetry", false, "stream telemetry: a live progress line on stderr (internal/obs; see -events)")
+		events    = flag.String("events", "", "with -telemetry: write the JSONL event stream to this file")
+		pprofAddr = flag.String("pprof", "", "serve pprof and expvar on this address (e.g. localhost:6060) for the run's duration")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -102,6 +122,40 @@ func main() {
 	if _, err := core.ScheduleFromGammaFlags(*gt, *gs); err != nil {
 		usageError(err.Error())
 	}
+	// -events without -telemetry would silently record nothing — the same
+	// silent-ignore hazard the Γ pair check closes.
+	if *events != "" && !*telemetry {
+		usageError("-events records the telemetry event stream and needs -telemetry")
+	}
+	// Bind the pprof listener up front so a bad address is a usage error,
+	// not a mid-run surprise. The DefaultServeMux carries the pprof and
+	// expvar handlers via their side-effect imports.
+	if *pprofAddr != "" {
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			usageError(fmt.Sprintf("-pprof: cannot listen on %q: %v", *pprofAddr, err))
+		}
+		fmt.Fprintf(os.Stderr, "pprof/expvar on http://%s/debug/pprof/\n", ln.Addr())
+		go http.Serve(ln, nil)
+	}
+
+	// The telemetry sink chain: a live progress line on stderr, plus the
+	// JSONL event stream when -events is set. A nil sink yields a nil
+	// (disabled) probe, so the engines pay only nil checks.
+	var sink obs.Sink
+	if *telemetry {
+		sinks := []obs.Sink{obs.NewProgress(os.Stderr)}
+		if *events != "" {
+			fh, err := os.Create(*events)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+			sinks = append(sinks, obs.NewJSONL(fh))
+		}
+		sink = obs.Multi(sinks...)
+	}
+	probe := obs.NewProbe(sink)
 	// -grid runs the experiment package's standard grid world (6-regular
 	// topology, shared fleet shape and SoC-threshold policy) and searches
 	// the schedule itself, so the single-run fleet/policy/schedule flags
@@ -127,7 +181,7 @@ func main() {
 		}
 	}
 
-	if err := run(runConfig{
+	runErr := run(runConfig{
 		nodes: *nodes, degree: *degree, rounds: *rounds, period: *period,
 		peak: *peak, traceKind: *traceKin, traceCSV: *traceCSV, policyKind: *policyK,
 		fhorizon: *fhorizon, fnoise: *fnoise,
@@ -138,8 +192,15 @@ func main() {
 		grid: *grid,
 		gt:   *gt, gs: *gs, lr: *lr, batch: *batch, steps: *steps,
 		evalInt: *evalInt, seed: *seed,
-	}); err != nil {
-		fmt.Fprintln(os.Stderr, "error:", err)
+		probe: probe,
+	})
+	if sink != nil {
+		if err := sink.Close(); err != nil && runErr == nil {
+			runErr = fmt.Errorf("closing telemetry sink: %w", err)
+		}
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "error:", runErr)
 		os.Exit(1)
 	}
 }
@@ -171,6 +232,7 @@ type runConfig struct {
 	lr                              float64
 	batch, steps, evalInt           int
 	seed                            uint64
+	probe                           *obs.Probe
 }
 
 // mpcReserveSoC is the HorizonPlan safety margin: the planned trajectory
@@ -266,6 +328,8 @@ Scenarios:
   harvestsim -policy mpc-persist               # ... with a learned forecast
   harvestsim -grid -trace diurnal              # Γ-schedule search (4x4 grid)
   harvestsim -grid -trace constant -peak 0     # ... under a fixed budget
+  harvestsim -telemetry -events run.jsonl      # live progress + JSONL events
+  harvestsim -telemetry -pprof localhost:6060  # ... with pprof/expvar served
 
 Flags:
 
@@ -434,10 +498,14 @@ func run(c runConfig) error {
 		Partition: part, Test: test,
 		EvalEvery: evalInt, EvalSubsample: 320,
 		Devices: devices, Workload: workload,
-		Harvest: fleet, TrackSoC: true,
+		// The CLI reads only the streamed per-round SoC statistics and the
+		// final snapshot, so TrackSoC (an O(nodes) allocation per round)
+		// stays off.
+		Harvest:  fleet,
 		Forecast: forecaster, ForecastHorizon: fhorizon,
 		DropDeadNodes: dropDead,
 		Checkpoint:    mgr,
+		Probe:         c.probe,
 		Seed:          seed,
 	})
 	if err != nil {
@@ -534,6 +602,7 @@ func runGrid(c runConfig) error {
 	res, err := experiments.RunGammaGrid(experiments.Options{
 		Nodes: c.nodes, Rounds: c.rounds, Seed: c.seed,
 		LR: c.lr, BatchSize: c.batch, LocalSteps: c.steps,
+		Probe: c.probe,
 	}, regime)
 	if err != nil {
 		return err

@@ -1,0 +1,135 @@
+// Command obstool is the offline side of the observability layer
+// (internal/obs): it turns `go test -bench` output into the committed
+// BENCH_*.json perf-trajectory snapshots and validates JSONL telemetry
+// event streams.
+//
+//	go test -run '^$' -bench 'HarvestFleetRound|HorizonPlan' . | obstool bench -o BENCH_6.json -label "PR 6"
+//	obstool events run.jsonl        # validate a harvestsim -events stream
+//
+// Both subcommands exit 0 on success, 1 on malformed input, and 2 on a
+// usage error — matching the other cmd/ binaries.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usageError("need a subcommand: bench | events")
+	}
+	var err error
+	switch os.Args[1] {
+	case "bench":
+		err = runBench(os.Args[2:])
+	case "events":
+		err = runEvents(os.Args[2:])
+	case "-h", "-help", "--help":
+		usage(os.Stderr)
+		return
+	default:
+		usageError(fmt.Sprintf("unknown subcommand %q (want bench or events)", os.Args[1]))
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+// usageError reports a flag-validation failure and exits with the
+// conventional usage status.
+func usageError(msg string) {
+	fmt.Fprintln(os.Stderr, "error:", msg)
+	fmt.Fprintln(os.Stderr, "run with -h for usage")
+	os.Exit(2)
+}
+
+func usage(out io.Writer) {
+	fmt.Fprint(out, `obstool processes the simulator's telemetry artifacts (internal/obs).
+
+Usage:
+
+  go test -run '^$' -bench ... . | obstool bench [-o file.json] [-label text]
+      Parse benchmark output from stdin and write the BENCH_*.json
+      perf-trajectory snapshot (name-sorted results, Go version, git
+      revision). -o defaults to stdout.
+
+  obstool events file.jsonl
+      Validate a JSONL telemetry event stream (harvestsim -events): every
+      line a well-formed event of a known kind, opening with a run_start
+      that carries a manifest config hash, closing with a run_end. Prints
+      a per-kind summary. "-" reads stdin.
+`)
+}
+
+// runBench parses `go test -bench` output on stdin into the committed
+// BENCH_*.json format.
+func runBench(args []string) error {
+	fs := flag.NewFlagSet("obstool bench", flag.ExitOnError)
+	out := fs.String("o", "", "output file (default stdout)")
+	label := fs.String("label", "", "snapshot label recorded in the file (e.g. \"PR 6\")")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		usageError("bench reads stdin and takes no positional arguments")
+	}
+	results, err := obs.ParseBench(os.Stdin)
+	if err != nil {
+		return err
+	}
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		fh, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer fh.Close()
+		w = fh
+	}
+	if err := obs.WriteBenchJSON(w, *label, results); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "parsed %d benchmark results\n", len(results))
+	return nil
+}
+
+// runEvents validates a JSONL event stream and prints its summary.
+func runEvents(args []string) error {
+	fs := flag.NewFlagSet("obstool events", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		usageError("events takes exactly one file argument (\"-\" for stdin)")
+	}
+	r := io.Reader(os.Stdin)
+	if path := fs.Arg(0); path != "-" {
+		fh, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer fh.Close()
+		r = fh
+	}
+	stats, err := obs.ValidateEvents(r)
+	if err != nil {
+		return err
+	}
+	kinds := make([]string, 0, len(stats.Kinds))
+	for k := range stats.Kinds {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	fmt.Printf("valid: %d events, %d rounds\n", stats.Events, stats.Rounds)
+	for _, k := range kinds {
+		fmt.Printf("  %-13s %d\n", k, stats.Kinds[k])
+	}
+	return nil
+}

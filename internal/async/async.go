@@ -30,6 +30,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/metrics"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/tensor"
 )
@@ -66,6 +67,12 @@ type Config struct {
 	// (0 = final only). EvalSubsample bounds test samples per evaluation.
 	EvalEverySeconds float64
 	EvalSubsample    int
+
+	// Probe optionally attaches the observability layer (internal/obs):
+	// the engine emits the run manifest, per-evaluation accuracy events
+	// stamped with virtual time, and a run_end with total step/gossip
+	// counts. Nil is the off state. Telemetry is read-only and RNG-silent.
+	Probe *obs.Probe
 
 	Seed uint64
 }
@@ -113,6 +120,8 @@ type Snapshot struct {
 
 // Result is the outcome of an asynchronous run.
 type Result struct {
+	// Manifest is the run's content-addressable identity (internal/obs).
+	Manifest     obs.RunManifest
 	History      []Snapshot
 	FinalMeanAcc float64
 	FinalStdAcc  float64
@@ -190,6 +199,9 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	res := &Result{StepsPerNode: make([]int, n), TrainedSteps: make([]int, n)}
+	res.Manifest = buildManifest(&cfg, paramCount)
+	probe := cfg.Probe
+	probe.RunStart(&res.Manifest)
 	queue := &eventQueue{}
 	heap.Init(queue)
 	seq := 0
@@ -223,6 +235,10 @@ func Run(cfg Config) (*Result, error) {
 			StepsTotal: steps, TrainWh: trainWh,
 		})
 		res.FinalMeanAcc, res.FinalStdAcc = mean, std
+		probe.Emit(obs.Event{
+			Kind: obs.KindEval, Round: len(res.History) - 1, Node: -1,
+			VTime: t, MeanAcc: mean, StdAcc: std, Steps: steps,
+		})
 	}
 
 	for queue.Len() > 0 {
@@ -288,7 +304,41 @@ func Run(cfg Config) (*Result, error) {
 	}
 	evaluate(cfg.Horizon)
 	res.TotalTrainWh = trainWh
+	if probe.Enabled() {
+		steps, trained := 0, 0
+		for i := range res.StepsPerNode {
+			steps += res.StepsPerNode[i]
+			trained += res.TrainedSteps[i]
+		}
+		probe.Emit(obs.Event{
+			Kind: obs.KindRunEnd, Round: -1, Node: -1,
+			VTime: cfg.Horizon, Steps: steps, Trained: trained,
+			Gossips: res.GossipsSent,
+		})
+	}
 	return res, nil
+}
+
+// buildManifest derives the async run's content-addressable identity from
+// the experiment-defining config fields (GOMAXPROCS and telemetry excluded:
+// the event loop is serial and bit-reproducible regardless).
+func buildManifest(cfg *Config, paramCount int) obs.RunManifest {
+	b := obs.NewManifest("async", cfg.Algo.Label, cfg.Seed).
+		Scale(cfg.Graph.N, 0).
+		Set("schedule", cfg.Algo.Schedule.Name()).
+		Set("policy", cfg.Algo.Policy.Name()).
+		Setf("graph", "%016x", cfg.Graph.Fingerprint()).
+		Setf("horizon_s", "%g", cfg.Horizon).
+		Setf("steps_per_node", "%d", cfg.StepsPerNode).
+		Setf("lr", "%g", cfg.LR).
+		Setf("batch", "%d", cfg.BatchSize).
+		Setf("local_steps", "%d", cfg.LocalSteps).
+		Setf("params", "%d", paramCount).
+		Setf("sync_speedup", "%g", cfg.SyncSpeedup).
+		Setf("eval_every_s", "%g", cfg.EvalEverySeconds).
+		Setf("eval_subsample", "%d", cfg.EvalSubsample).
+		Setf("devices", "%d", len(cfg.Devices))
+	return b.Build()
 }
 
 func evalSubset(cfg Config, r *rng.RNG) ([]tensor.Vector, []int) {

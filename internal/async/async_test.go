@@ -10,6 +10,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/harvest"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -263,5 +264,41 @@ func TestEventQueueOrdering(t *testing.T) {
 	}
 	if !(*q).Less(1, 2) {
 		t.Fatal("equal times must order by sequence")
+	}
+}
+
+// Telemetry must be invisible to the async engine too: identical results
+// with a probe attached, plus a stamped manifest and a closed event stream.
+func TestAsyncTelemetry(t *testing.T) {
+	plain, err := Run(testConfig(t, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(t, 5)
+	mem := obs.NewMemory()
+	cfg.Probe = obs.NewProbe(mem)
+	probed, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.FinalMeanAcc != probed.FinalMeanAcc || plain.GossipsSent != probed.GossipsSent {
+		t.Fatal("telemetry changed the async run")
+	}
+	if probed.Manifest.Engine != "async" || probed.Manifest.ConfigHash == "" {
+		t.Fatalf("bad manifest: %+v", probed.Manifest)
+	}
+	if plain.Manifest.ConfigHash != probed.Manifest.ConfigHash {
+		t.Fatal("identical configs hashed differently")
+	}
+	if mem.Count(obs.KindRunStart) != 1 || mem.Count(obs.KindRunEnd) != 1 {
+		t.Fatalf("run events: %d start, %d end", mem.Count(obs.KindRunStart), mem.Count(obs.KindRunEnd))
+	}
+	if got, want := mem.Count(obs.KindEval), len(probed.History); got != want {
+		t.Fatalf("eval events = %d, want %d (one per snapshot)", got, want)
+	}
+	for _, ev := range mem.Events() {
+		if ev.Kind == obs.KindEval && ev.VTime <= 0 {
+			t.Fatalf("eval event missing virtual time: %+v", ev)
+		}
 	}
 }

@@ -3,12 +3,14 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/energy"
 	"repro/internal/graph"
 	"repro/internal/harvest"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/report"
 	"repro/internal/sim"
@@ -211,21 +213,50 @@ func newGammaWorld(o Options) (*gammaWorld, error) {
 }
 
 func (w *gammaWorld) runRegime(regime GammaRegime) (*GammaGridResult, error) {
-	// Probe the trace once for its report name; the probe is discarded and
+	// Sample the trace once for its report name; the sample is discarded and
 	// every cell builds its own.
-	probe, err := regime.Trace(w.o, w.meanTrainWh)
+	sample, err := regime.Trace(w.o, w.meanTrainWh)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: gamma grid %s: %w", regime.Name, err)
 	}
+	// One run_start/run_end pair per regime; each completed cell emits one
+	// cell event. Cells fan out across workers, so cell events arrive in
+	// wall-clock order — the probe's sinks are concurrency-safe, and the
+	// grid itself stays bit-identical (preallocated slots, no probe inside
+	// the per-cell sims).
+	p := w.o.Probe
+	if p.Enabled() {
+		manifest := obs.NewManifest("gammagrid", regime.Name, w.o.Seed).
+			Scale(w.o.Nodes, w.o.Rounds).
+			Set("trace", sample.Name()).
+			Setf("grid", "%dx%d", gammaGridMax, gammaGridMax).
+			Setf("graph", "%016x", w.graph.Fingerprint()).
+			Setf("lr", "%g", w.o.LR).
+			Setf("batch", "%d", w.o.BatchSize).
+			Setf("local_steps", "%d", w.o.LocalSteps).
+			Build()
+		p.RunStart(&manifest)
+	}
 	grid, err := forEachGammaCell(func(gt, gs int) (GammaHarvestCell, error) {
-		return w.runCell(regime, gt, gs)
+		start := time.Now()
+		cell, err := w.runCell(regime, gt, gs)
+		if err == nil && p.Enabled() {
+			p.Emit(obs.Event{
+				Kind: obs.KindCell, Round: -1, Node: -1,
+				Label:  fmt.Sprintf("%s Γt=%d Γs=%d", regime.Name, gt, gs),
+				WallNs: time.Since(start).Nanoseconds(),
+				Value:  cell.FinalAcc,
+			})
+		}
+		return cell, err
 	})
 	if err != nil {
 		return nil, err
 	}
+	p.RunEnd(gammaGridMax*gammaGridMax, 0)
 	return &GammaGridResult{
 		Regime: regime.Name,
-		Trace:  probe.Name(),
+		Trace:  sample.Name(),
 		Grid:   grid,
 		Best: bestGammaCell(grid,
 			func(c GammaHarvestCell) float64 { return c.FinalAcc },

@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"strings"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func TestTableGammaHarvestStructure(t *testing.T) {
@@ -217,5 +219,46 @@ func TestTableGammaHarvestScheduleMovesWithRegime(t *testing.T) {
 	}
 	if len(distinct) < 2 {
 		t.Fatalf("every regime selected the same schedule %v; rows: %+v", distinct, rows)
+	}
+}
+
+// With a probe attached, the grid runner emits one run_start/run_end pair
+// and exactly one cell event per grid cell — and the probe must not change
+// the computed grid.
+func TestGammaGridCellEvents(t *testing.T) {
+	o := tiny()
+	o.Rounds = 8
+	regime := GammaRegime{Name: "probed", Trace: GammaGridRegimes(o)[1].Trace}
+	plain, err := RunGammaGrid(o, regime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := obs.NewMemory()
+	o.Probe = obs.NewProbe(mem)
+	probed, err := RunGammaGrid(o, regime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for gs := 0; gs < gammaGridMax; gs++ {
+		for gt := 0; gt < gammaGridMax; gt++ {
+			if plain.Grid[gs][gt] != probed.Grid[gs][gt] {
+				t.Fatalf("cell (%d,%d) differs with probe attached", gt+1, gs+1)
+			}
+		}
+	}
+	if n := mem.Count(obs.KindCell); n != gammaGridMax*gammaGridMax {
+		t.Fatalf("cell events = %d, want %d", n, gammaGridMax*gammaGridMax)
+	}
+	if mem.Count(obs.KindRunStart) != 1 || mem.Count(obs.KindRunEnd) != 1 {
+		t.Fatalf("run events: %d start, %d end", mem.Count(obs.KindRunStart), mem.Count(obs.KindRunEnd))
+	}
+	first := mem.Events()[0]
+	if first.Kind != obs.KindRunStart || first.Manifest == nil || first.Manifest.Engine != "gammagrid" {
+		t.Fatalf("stream must open with the gammagrid manifest, got %+v", first)
+	}
+	for _, ev := range mem.Events() {
+		if ev.Kind == obs.KindCell && (ev.Label == "" || ev.WallNs <= 0) {
+			t.Fatalf("cell event missing label or wall clock: %+v", ev)
+		}
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/graph"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -50,6 +51,13 @@ type Options struct {
 	Noise         float64 // within-class noise (higher = harder task)
 	EvalEvery     int
 	EvalSubsample int
+
+	// Probe optionally attaches the observability layer (internal/obs):
+	// grid runners emit run boundaries and one cell event per completed
+	// grid cell (label, wall clock, headline accuracy). The probe is NOT
+	// passed into per-cell simulations — a 16-cell grid streaming
+	// per-round events would drown the signal. Nil is the off state.
+	Probe *obs.Probe
 }
 
 // Defaults fills unset fields with laptop-scale values.

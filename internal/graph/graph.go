@@ -2,6 +2,7 @@ package graph
 
 import (
 	"fmt"
+	"hash/fnv"
 
 	"repro/internal/rng"
 )
@@ -15,6 +16,28 @@ type Graph struct {
 
 // Degree returns the degree of node i.
 func (g *Graph) Degree(i int) int { return len(g.Adj[i]) }
+
+// Fingerprint hashes the topology — node count plus full adjacency — into
+// a stable 64-bit digest (FNV-1a). Runs on different graphs never share a
+// fingerprint, so it anchors the run manifests' config hashes.
+func (g *Graph) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := range buf {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	put(uint64(g.N))
+	for i, adj := range g.Adj {
+		put(uint64(i)<<32 | uint64(len(adj)))
+		for _, j := range adj {
+			put(uint64(j))
+		}
+	}
+	return h.Sum64()
+}
 
 // HasEdge reports whether (i, j) is an edge.
 func (g *Graph) HasEdge(i, j int) bool {

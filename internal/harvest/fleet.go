@@ -307,6 +307,33 @@ func (f *Fleet) endRound(t int, live []bool) []float64 {
 // The slice is reused by the next EndRound call.
 func (f *Fleet) RoundArrivedWh() []float64 { return f.roundArrived }
 
+// SoCStats computes the fleet's whole-population charge statistics in one
+// pass: mean and minimum state of charge plus the depleted count, visiting
+// nodes in index order so results are bit-identical to the separate
+// MeanSoC/MinSoC/DepletedCount sweeps. When observe is non-nil it receives
+// every node's SoC in the same pass — the hook the engine points at a
+// streaming quantile sketch (internal/obs) so SoC percentiles exist
+// without materializing a per-node slice. Like the other whole-fleet
+// statistics it must not race with per-node calls.
+func (f *Fleet) SoCStats(observe func(soc float64)) (mean, min float64, depleted int) {
+	sum := 0.0
+	min = f.batteries[0].SoC()
+	for i := range f.batteries {
+		s := f.batteries[i].SoC()
+		sum += s
+		if s < min {
+			min = s
+		}
+		if !f.batteries[i].Usable() {
+			depleted++
+		}
+		if observe != nil {
+			observe(s)
+		}
+	}
+	return sum / float64(len(f.batteries)), min, depleted
+}
+
 // SoCs returns a snapshot of every node's state of charge.
 func (f *Fleet) SoCs() []float64 {
 	out := make([]float64, len(f.batteries))

@@ -509,3 +509,38 @@ func TestFleetConsumedByTryTrainOnly(t *testing.T) {
 		t.Fatal("fleet still consumed after Reset")
 	}
 }
+
+// SoCStats must be bit-identical to the three single-statistic passes it
+// replaces, and feed every SoC to the observer in index order.
+func TestFleetSoCStats(t *testing.T) {
+	trace, err := NewDiurnal(0.01, 8, LongitudePhase(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := testFleet(t, trace, Options{CapacityRounds: 4, InitialSoC: 0.5, CutoffSoC: 0.2})
+	for r := 0; r < 6; r++ {
+		for i := 0; i < f.Nodes(); i++ {
+			f.TryTrain(i)
+		}
+		f.EndRound(r)
+		var observed []float64
+		mean, min, depleted := f.SoCStats(func(s float64) { observed = append(observed, s) })
+		if mean != f.MeanSoC() || min != f.MinSoC() || depleted != f.DepletedCount() {
+			t.Fatalf("round %d: SoCStats (%v, %v, %d) != (%v, %v, %d)",
+				r, mean, min, depleted, f.MeanSoC(), f.MinSoC(), f.DepletedCount())
+		}
+		socs := f.SoCs()
+		if len(observed) != len(socs) {
+			t.Fatalf("round %d: observer saw %d values, fleet has %d", r, len(observed), len(socs))
+		}
+		for i := range socs {
+			if observed[i] != socs[i] {
+				t.Fatalf("round %d node %d: observer saw %v, snapshot %v", r, i, observed[i], socs[i])
+			}
+		}
+	}
+	// A nil observer is the stats-only fast path.
+	if mean, _, _ := f.SoCStats(nil); mean != f.MeanSoC() {
+		t.Fatal("nil-observer SoCStats disagrees with MeanSoC")
+	}
+}

@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the perf-trajectory harness: it turns `go test -bench`
+// output into the committed BENCH_*.json files the ROADMAP asks for, and
+// validates JSONL event streams in CI. cmd/obstool is a thin wrapper.
+
+// BenchResult is one parsed benchmark line: the name (GOMAXPROCS suffix
+// split off), iteration count, and every reported metric — the standard
+// ns/op, B/op, allocs/op plus any custom b.ReportMetric units.
+type BenchResult struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// BenchFile is the persisted perf-trajectory snapshot (BENCH_<pr>.json):
+// the parsed results plus the code identity they were measured on.
+type BenchFile struct {
+	// Label identifies the snapshot in the trajectory (e.g. "PR 6").
+	Label       string        `json:"label,omitempty"`
+	GoVersion   string        `json:"go_version"`
+	GitRevision string        `json:"git_revision,omitempty"`
+	Results     []BenchResult `json:"results"`
+}
+
+// ParseBench parses `go test -bench` text output: every line of the form
+//
+//	BenchmarkName-8   	      21	  52031854 ns/op	 49.96 ns/node-round	 0 B/op	 3 allocs/op
+//
+// becomes one BenchResult; everything else (test chatter, PASS, ok) is
+// skipped. An input with no benchmark lines is an error — it usually means
+// the -bench pattern matched nothing.
+func ParseBench(r io.Reader) ([]BenchResult, error) {
+	var out []BenchResult
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// A result line is name, iterations, then (value, unit) pairs; a
+		// bare "BenchmarkFoo" line (verbose mode header) has no fields to
+		// parse.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := BenchResult{Iterations: iters, Metrics: map[string]float64{}}
+		res.Name, res.Procs = splitProcs(fields[0])
+		ok := true
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			res.Metrics[fields[i+1]] = v
+		}
+		if ok {
+			out = append(out, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("obs: no benchmark result lines found (did the -bench pattern match anything?)")
+	}
+	return out, nil
+}
+
+// splitProcs splits the trailing -N GOMAXPROCS suffix off a benchmark
+// name; names without one (GOMAXPROCS=1 runs omit it) return procs 1.
+func splitProcs(name string) (string, int) {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name, 1
+	}
+	procs, err := strconv.Atoi(name[i+1:])
+	if err != nil || procs < 1 {
+		return name, 1
+	}
+	return name[:i], procs
+}
+
+// WriteBenchJSON wraps results in a BenchFile stamped with the current
+// build identity and writes it as indented JSON — the committed
+// BENCH_*.json format. Results are sorted by name so the file is
+// diff-stable across runs.
+func WriteBenchJSON(w io.Writer, label string, results []BenchResult) error {
+	sorted := make([]BenchResult, len(results))
+	copy(sorted, results)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	f := BenchFile{
+		Label:       label,
+		GoVersion:   runtime.Version(),
+		GitRevision: gitRevision(),
+		Results:     sorted,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// EventStats summarizes a validated event stream.
+type EventStats struct {
+	Events int
+	Rounds int // distinct round_end events
+	Kinds  map[string]int
+}
+
+// ValidateEvents reads a JSONL event stream and checks its structure: every
+// line one JSON-decodable Event with a known kind, the first event a
+// run_start carrying a manifest with a config hash, and at least one
+// run_end. This is the CI smoke contract for `harvestsim -events`.
+func ValidateEvents(r io.Reader) (EventStats, error) {
+	stats := EventStats{Kinds: map[string]int{}}
+	known := map[string]bool{
+		KindRunStart: true, KindRunEnd: true, KindRoundStart: true,
+		KindRoundEnd: true, KindPhase: true, KindBrownout: true,
+		KindRevival: true, KindDropped: true, KindEval: true, KindCell: true,
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal([]byte(text), &ev); err != nil {
+			return stats, fmt.Errorf("obs: line %d: not a JSON event: %w", line, err)
+		}
+		if !known[ev.Kind] {
+			return stats, fmt.Errorf("obs: line %d: unknown event kind %q", line, ev.Kind)
+		}
+		if stats.Events == 0 {
+			if ev.Kind != KindRunStart {
+				return stats, fmt.Errorf("obs: line %d: stream must open with %s, got %s", line, KindRunStart, ev.Kind)
+			}
+			if ev.Manifest == nil || ev.Manifest.ConfigHash == "" {
+				return stats, fmt.Errorf("obs: line %d: run_start carries no manifest config hash", line)
+			}
+		}
+		stats.Events++
+		stats.Kinds[ev.Kind]++
+		if ev.Kind == KindRoundEnd {
+			stats.Rounds++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return stats, err
+	}
+	if stats.Events == 0 {
+		return stats, fmt.Errorf("obs: empty event stream")
+	}
+	if stats.Kinds[KindRunEnd] == 0 {
+		return stats, fmt.Errorf("obs: event stream has no %s (run did not close)", KindRunEnd)
+	}
+	return stats, nil
+}

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sort"
+)
+
+// RunManifest is a run's content-addressable identity: everything needed
+// to decide whether two runs computed the same thing. ConfigHash is a
+// stable digest of the configuration fields plus the seed — independent of
+// GOMAXPROCS, wall clock, and host — so (ConfigHash, GitRevision) is the
+// cache key of the memoized sweep service: same config, same seed, same
+// code ⇒ same bits, because every engine is pinned bit-reproducible.
+//
+// Engines stamp a manifest into every Result whether or not telemetry is
+// on; probes additionally emit it on the run_start event.
+type RunManifest struct {
+	// Engine names the producing engine: "sim", "async", "gammagrid".
+	Engine string `json:"engine"`
+	// Label is the run's human label (the algorithm or regime name).
+	Label string `json:"label,omitempty"`
+	// Seed is the experiment seed (hashed into ConfigHash).
+	Seed uint64 `json:"seed"`
+	// Nodes and Rounds echo the run scale for quick inspection; both are
+	// also config fields and hashed.
+	Nodes  int `json:"nodes,omitempty"`
+	Rounds int `json:"rounds,omitempty"`
+	// ConfigHash is the hex digest over Engine, Seed, and the sorted
+	// Config fields.
+	ConfigHash string `json:"config_hash"`
+	// Config lists the hashed fields as sorted "key=value" strings, so a
+	// hash mismatch is diffable by eye.
+	Config []string `json:"config"`
+	// GoVersion and GitRevision identify the code: the third component of
+	// the cache key. GitRevision is empty when the binary was built
+	// without VCS stamping (plain `go test` in a work tree).
+	GoVersion   string `json:"go_version"`
+	GitRevision string `json:"git_revision,omitempty"`
+	// GOMAXPROCS records the worker width of this run. It is NOT hashed:
+	// results are bit-identical at any width, so it must not split the
+	// cache.
+	GOMAXPROCS int `json:"gomaxprocs"`
+}
+
+// ManifestBuilder accumulates config fields and derives the stable hash.
+type ManifestBuilder struct {
+	engine, label string
+	seed          uint64
+	nodes, rounds int
+	fields        map[string]string
+}
+
+// NewManifest starts a manifest for one run of the named engine.
+func NewManifest(engine, label string, seed uint64) *ManifestBuilder {
+	return &ManifestBuilder{engine: engine, label: label, seed: seed, fields: map[string]string{}}
+}
+
+// Scale records the run's node count and horizon (also hashed as config
+// fields).
+func (b *ManifestBuilder) Scale(nodes, rounds int) *ManifestBuilder {
+	b.nodes, b.rounds = nodes, rounds
+	b.Set("nodes", fmt.Sprint(nodes))
+	b.Set("rounds", fmt.Sprint(rounds))
+	return b
+}
+
+// Set records one config field. Last write per key wins; keys are sorted
+// before hashing, so call order never matters.
+func (b *ManifestBuilder) Set(key, value string) *ManifestBuilder {
+	b.fields[key] = value
+	return b
+}
+
+// Setf records one config field with fmt formatting.
+func (b *ManifestBuilder) Setf(key, format string, args ...any) *ManifestBuilder {
+	return b.Set(key, fmt.Sprintf(format, args...))
+}
+
+// Build finalizes the manifest: sorts the fields, hashes them with the
+// engine name and seed, and stamps the build identity.
+func (b *ManifestBuilder) Build() RunManifest {
+	keys := make([]string, 0, len(b.fields))
+	for k := range b.fields {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	cfg := make([]string, len(keys))
+	h := sha256.New()
+	fmt.Fprintf(h, "engine=%s\nseed=%d\n", b.engine, b.seed)
+	for i, k := range keys {
+		cfg[i] = k + "=" + b.fields[k]
+		fmt.Fprintf(h, "%s\n", cfg[i])
+	}
+	sum := h.Sum(nil)
+	return RunManifest{
+		Engine:      b.engine,
+		Label:       b.label,
+		Seed:        b.seed,
+		Nodes:       b.nodes,
+		Rounds:      b.rounds,
+		ConfigHash:  hex.EncodeToString(sum[:16]),
+		Config:      cfg,
+		GoVersion:   runtime.Version(),
+		GitRevision: gitRevision(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+	}
+}
+
+// gitRevision reads the VCS revision the binary was built from, when the
+// toolchain stamped one.
+func gitRevision() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	rev, dirty := "", false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev != "" && dirty {
+		rev += "+dirty"
+	}
+	return rev
+}

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"runtime"
+	"testing"
+)
+
+func buildTestManifest(seed uint64) RunManifest {
+	return NewManifest("sim", "test", seed).
+		Scale(48, 64).
+		Set("lr", "0.2").
+		Set("policy", "threshold").
+		Build()
+}
+
+func TestManifestHashStable(t *testing.T) {
+	a, b := buildTestManifest(42), buildTestManifest(42)
+	if a.ConfigHash != b.ConfigHash {
+		t.Fatalf("same config hashed differently: %s vs %s", a.ConfigHash, b.ConfigHash)
+	}
+	if a.ConfigHash == "" {
+		t.Fatal("empty config hash")
+	}
+}
+
+func TestManifestHashOrderInsensitive(t *testing.T) {
+	a := NewManifest("sim", "", 1).Set("x", "1").Set("y", "2").Build()
+	b := NewManifest("sim", "", 1).Set("y", "2").Set("x", "1").Build()
+	if a.ConfigHash != b.ConfigHash {
+		t.Fatalf("field order changed the hash: %s vs %s", a.ConfigHash, b.ConfigHash)
+	}
+}
+
+func TestManifestHashSensitivity(t *testing.T) {
+	base := buildTestManifest(42)
+	if m := buildTestManifest(43); m.ConfigHash == base.ConfigHash {
+		t.Fatal("seed change did not change the hash")
+	}
+	changed := NewManifest("sim", "test", 42).
+		Scale(48, 64).
+		Set("lr", "0.3").
+		Set("policy", "threshold").
+		Build()
+	if changed.ConfigHash == base.ConfigHash {
+		t.Fatal("field change did not change the hash")
+	}
+	engine := NewManifest("async", "test", 42).
+		Scale(48, 64).
+		Set("lr", "0.2").
+		Set("policy", "threshold").
+		Build()
+	if engine.ConfigHash == base.ConfigHash {
+		t.Fatal("engine change did not change the hash")
+	}
+	// Label is presentation, not configuration.
+	labeled := NewManifest("sim", "other-label", 42).
+		Scale(48, 64).
+		Set("lr", "0.2").
+		Set("policy", "threshold").
+		Build()
+	if labeled.ConfigHash != base.ConfigHash {
+		t.Fatal("label change altered the hash")
+	}
+}
+
+// GOMAXPROCS is recorded but must never be hashed: results are
+// bit-identical at any width, so equal configs must share a cache key.
+func TestManifestHashIgnoresGOMAXPROCS(t *testing.T) {
+	a := buildTestManifest(42)
+	old := runtime.GOMAXPROCS(3)
+	defer runtime.GOMAXPROCS(old)
+	b := buildTestManifest(42)
+	if a.ConfigHash != b.ConfigHash {
+		t.Fatal("GOMAXPROCS leaked into the config hash")
+	}
+	if b.GOMAXPROCS != 3 {
+		t.Fatalf("GOMAXPROCS not recorded: %d", b.GOMAXPROCS)
+	}
+}

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// A nil probe is the disabled state: every method must be a safe no-op.
+func TestNilProbeIsSafe(t *testing.T) {
+	var p *Probe
+	if p.Enabled() {
+		t.Fatal("nil probe reports enabled")
+	}
+	m := NewManifest("sim", "", 1).Build()
+	p.RunStart(&m)
+	p.RoundStart(0, "train")
+	p.PhaseStart(PhaseTrain)
+	p.PhaseEnd(0, PhaseTrain)
+	p.Brownout(0, 1)
+	p.Revival(0, 1, 3)
+	p.DroppedSends(0, 5)
+	p.Eval(0, 0.5, 0.1)
+	p.RoundEnd(0, RoundStats{})
+	p.RunEnd(1, 1)
+	p.Emit(Event{Kind: KindRunStart})
+	if NewProbe(nil) != nil {
+		t.Fatal("NewProbe(nil) should return the disabled (nil) probe")
+	}
+}
+
+// The probe's event stream, run through the JSONL sink, must round-trip
+// through ValidateEvents — the contract of the CI telemetry smoke step.
+func TestJSONLStreamValidates(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONL(&buf)
+	p := NewProbe(sink)
+	m := NewManifest("sim", "run", 42).Scale(4, 2).Build()
+	p.RunStart(&m)
+	for round := 0; round < 2; round++ {
+		p.RoundStart(round, "train")
+		p.PhaseStart(PhaseTrain)
+		p.PhaseEnd(round, PhaseTrain)
+		p.Brownout(round, 3)
+		p.Revival(round, 2, 1)
+		p.DroppedSends(round, 4)
+		p.Eval(round, 0.7, 0.05)
+		p.RoundEnd(round, RoundStats{Trained: 3, Live: 4, HasSoC: true, MeanSoC: 0.5, SoCP50: 0.5, SoCP90: 0.8, SoCP99: 0.9})
+	}
+	p.RunEnd(2, 6)
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := ValidateEvents(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("stream does not validate: %v\n%s", err, buf.String())
+	}
+	if stats.Rounds != 2 {
+		t.Fatalf("rounds = %d, want 2", stats.Rounds)
+	}
+	for kind, want := range map[string]int{
+		KindRunStart: 1, KindRunEnd: 1, KindRoundStart: 2, KindRoundEnd: 2,
+		KindPhase: 2, KindBrownout: 2, KindRevival: 2, KindDropped: 2, KindEval: 2,
+	} {
+		if stats.Kinds[kind] != want {
+			t.Fatalf("%s count = %d, want %d", kind, stats.Kinds[kind], want)
+		}
+	}
+}
+
+func TestDroppedSendsSkipsZero(t *testing.T) {
+	mem := NewMemory()
+	p := NewProbe(mem)
+	p.DroppedSends(0, 0)
+	p.DroppedSends(0, 2)
+	if n := mem.Count(KindDropped); n != 1 {
+		t.Fatalf("dropped events = %d, want 1 (zero counts skipped)", n)
+	}
+}
+
+func TestValidateEventsRejectsBadStreams(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"not json":       "hello\n",
+		"unknown kind":   `{"kind":"nonsense","round":0,"node":0}` + "\n",
+		"no run_start":   `{"kind":"round_start","round":0,"node":-1}` + "\n",
+		"no manifest":    `{"kind":"run_start","round":-1,"node":-1}` + "\n",
+		"missing runend": `{"kind":"run_start","round":-1,"node":-1,"manifest":{"engine":"sim","seed":1,"config_hash":"ab","config":[],"go_version":"x","gomaxprocs":1}}` + "\n",
+	}
+	for name, stream := range cases {
+		if _, err := ValidateEvents(strings.NewReader(stream)); err == nil {
+			t.Errorf("%s: stream validated, want error", name)
+		}
+	}
+}
+
+func TestParseBench(t *testing.T) {
+	const out = `goos: linux
+goarch: amd64
+BenchmarkHarvestFleetRound-8   	      21	  52031854 ns/op	 49.96 ns/node-round	       0 B/op	       3 allocs/op
+BenchmarkHorizonPlan   	    1000	      1000 ns/op
+PASS
+ok  	repro	1.0s
+`
+	results, err := ParseBench(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("parsed %d results, want 2", len(results))
+	}
+	r := results[0]
+	if r.Name != "BenchmarkHarvestFleetRound" || r.Procs != 8 || r.Iterations != 21 {
+		t.Fatalf("bad first result: %+v", r)
+	}
+	if r.Metrics["ns/op"] != 52031854 || r.Metrics["ns/node-round"] != 49.96 || r.Metrics["allocs/op"] != 3 {
+		t.Fatalf("bad metrics: %+v", r.Metrics)
+	}
+	if results[1].Procs != 1 {
+		t.Fatalf("suffix-less benchmark should report procs 1, got %d", results[1].Procs)
+	}
+	if _, err := ParseBench(strings.NewReader("PASS\nok x 1s\n")); err == nil {
+		t.Fatal("benchless input should error")
+	}
+
+	var buf bytes.Buffer
+	if err := WriteBenchJSON(&buf, "test", results); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"label": "test"`) || !strings.Contains(buf.String(), "BenchmarkHorizonPlan") {
+		t.Fatalf("bench JSON missing fields:\n%s", buf.String())
+	}
+}

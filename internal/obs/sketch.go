@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sketch is a fixed-bin streaming histogram over a closed value range: the
+// quantile structure behind the engine's per-round SoC percentiles. Observe
+// is O(1) and allocation-free, Quantile is O(bins), and the whole structure
+// is a few kilobytes regardless of population size — the replacement for
+// materializing a per-node slice every round just to know P50/P99.
+//
+// Quantile error is bounded by one bin width: the reported value is the
+// midpoint of the bin containing the exact rank-q element, so it is within
+// BinWidth of the true quantile (within BinWidth/2 for in-range values).
+// Observations outside [lo, hi] clamp into the edge bins.
+//
+// Sketches of identical shape merge exactly (Merge), so per-shard sketches
+// can be combined into fleet-wide percentiles without re-observation — the
+// property the sharded fleet close-out and the sweep service rely on.
+//
+// A Sketch is not safe for concurrent use; the engines observe from the
+// coordinator goroutine only.
+type Sketch struct {
+	lo, hi float64
+	width  float64
+	counts []uint64
+	n      uint64
+}
+
+// SoCBins is the default resolution of NewSoCSketch: SoC percentiles are
+// exact to better than half a percentage point of charge.
+const SoCBins = 256
+
+// NewSketch returns a sketch over [lo, hi] with the given bin count.
+func NewSketch(lo, hi float64, bins int) (*Sketch, error) {
+	if bins < 1 {
+		return nil, fmt.Errorf("obs: sketch needs >= 1 bin, got %d", bins)
+	}
+	if !(lo < hi) {
+		return nil, fmt.Errorf("obs: sketch range [%g, %g] is empty", lo, hi)
+	}
+	return &Sketch{lo: lo, hi: hi, width: (hi - lo) / float64(bins), counts: make([]uint64, bins)}, nil
+}
+
+// NewSoCSketch returns the standard state-of-charge sketch: SoCBins bins
+// over [0, 1].
+func NewSoCSketch() *Sketch {
+	s, err := NewSketch(0, 1, SoCBins)
+	if err != nil {
+		panic(err) // constants above are valid by construction
+	}
+	return s
+}
+
+// Observe records one value, clamping out-of-range values into the edge
+// bins.
+func (s *Sketch) Observe(x float64) {
+	idx := int((x - s.lo) / s.width)
+	if idx < 0 {
+		idx = 0
+	} else if idx >= len(s.counts) {
+		idx = len(s.counts) - 1
+	}
+	s.counts[idx]++
+	s.n++
+}
+
+// Count returns how many observations the sketch holds.
+func (s *Sketch) Count() uint64 { return s.n }
+
+// BinWidth returns the value width of one bin — the quantile error bound.
+func (s *Sketch) BinWidth() float64 { return s.width }
+
+// Bins returns the bin count.
+func (s *Sketch) Bins() int { return len(s.counts) }
+
+// Quantile returns the q-quantile (q clamped to [0, 1]) as the midpoint of
+// the bin holding the exact rank-ceil(q*n) observation. An empty sketch
+// returns NaN.
+func (s *Sketch) Quantile(q float64) float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(s.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range s.counts {
+		cum += c
+		if cum >= rank {
+			return s.lo + (float64(i)+0.5)*s.width
+		}
+	}
+	return s.hi - s.width/2
+}
+
+// Reset empties the sketch, keeping its shape. The backing array is
+// reused, so a per-round Reset+Observe cycle allocates nothing.
+func (s *Sketch) Reset() {
+	clear(s.counts)
+	s.n = 0
+}
+
+// Merge adds every observation of o into s. The sketches must have the
+// same range and bin count.
+func (s *Sketch) Merge(o *Sketch) error {
+	if s.lo != o.lo || s.hi != o.hi || len(s.counts) != len(o.counts) {
+		return fmt.Errorf("obs: merging sketches of different shape: [%g,%g]/%d vs [%g,%g]/%d",
+			s.lo, s.hi, len(s.counts), o.lo, o.hi, len(o.counts))
+	}
+	for i, c := range o.counts {
+		s.counts[i] += c
+	}
+	s.n += o.n
+	return nil
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// exactQuantile is the reference the sketch is compared against: the value
+// of rank ceil(q*n) in the sorted sample.
+func exactQuantile(sorted []float64, q float64) float64 {
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// The sketch's contract: every quantile is within one bin width of the
+// exact sample quantile. Exercised over 1000 random fleets with varied
+// sizes and SoC distributions.
+func TestSketchQuantileWithinOneBin(t *testing.T) {
+	r := rng.New(7)
+	for trial := 0; trial < 1000; trial++ {
+		n := 1 + r.Intn(400)
+		socs := make([]float64, n)
+		// Mix distribution shapes: uniform, clustered-low, clustered-high.
+		shape := trial % 3
+		for i := range socs {
+			u := r.Float64()
+			switch shape {
+			case 1:
+				u = u * u // mass near 0, like a starving fleet
+			case 2:
+				u = 1 - u*u // mass near 1, like a saturated fleet
+			}
+			socs[i] = u
+		}
+		sk := NewSoCSketch()
+		for _, s := range socs {
+			sk.Observe(s)
+		}
+		sorted := append([]float64(nil), socs...)
+		sort.Float64s(sorted)
+		for _, q := range []float64{0.5, 0.9, 0.99} {
+			got := sk.Quantile(q)
+			want := exactQuantile(sorted, q)
+			if math.Abs(got-want) > sk.BinWidth() {
+				t.Fatalf("trial %d (n=%d shape=%d): q%.2f = %.5f, exact %.5f, off by more than one bin (%.5f)",
+					trial, n, shape, q, got, want, sk.BinWidth())
+			}
+		}
+	}
+}
+
+func TestSketchEmptyIsNaN(t *testing.T) {
+	sk := NewSoCSketch()
+	if !math.IsNaN(sk.Quantile(0.5)) {
+		t.Fatalf("empty sketch quantile = %v, want NaN", sk.Quantile(0.5))
+	}
+}
+
+func TestSketchClampsOutOfRange(t *testing.T) {
+	sk := NewSoCSketch()
+	sk.Observe(-0.5)
+	sk.Observe(1.5)
+	if n := sk.Count(); n != 2 {
+		t.Fatalf("count = %d, want 2", n)
+	}
+	if q := sk.Quantile(0.01); q > sk.BinWidth() {
+		t.Fatalf("low outlier landed at %v, want first bin", q)
+	}
+	if q := sk.Quantile(0.99); q < 1-sk.BinWidth() {
+		t.Fatalf("high outlier landed at %v, want last bin", q)
+	}
+}
+
+func TestSketchResetClears(t *testing.T) {
+	sk := NewSoCSketch()
+	for i := 0; i < 100; i++ {
+		sk.Observe(0.25)
+	}
+	sk.Reset()
+	if sk.Count() != 0 {
+		t.Fatalf("count after reset = %d", sk.Count())
+	}
+	sk.Observe(0.75)
+	if q := sk.Quantile(0.5); math.Abs(q-0.75) > sk.BinWidth() {
+		t.Fatalf("post-reset quantile %v remembers pre-reset data", q)
+	}
+}
+
+func TestSketchMerge(t *testing.T) {
+	a, b, both := NewSoCSketch(), NewSoCSketch(), NewSoCSketch()
+	r := rng.New(11)
+	for i := 0; i < 500; i++ {
+		v := r.Float64()
+		both.Observe(v)
+		if i%2 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		if a.Quantile(q) != both.Quantile(q) {
+			t.Fatalf("merged q%.1f = %v, single-sketch %v", q, a.Quantile(q), both.Quantile(q))
+		}
+	}
+	other, err := NewSketch(0, 2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(other); err == nil {
+		t.Fatal("merging sketches of different shape should fail")
+	}
+}

@@ -43,6 +43,7 @@ import (
 	"repro/internal/harvest"
 	"repro/internal/metrics"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/rng"
 	"repro/internal/tensor"
@@ -142,6 +143,15 @@ type Config struct {
 	// Network is the transport to use; nil selects an in-process channel
 	// network sized for the topology.
 	Network transport.Network
+
+	// Probe optionally attaches the observability layer (internal/obs):
+	// the engine emits round boundaries, per-phase wall-clock timings,
+	// brown-out/revival events, dropped-send counts, evaluations, and
+	// streamed SoC percentiles into the probe's sink. A nil probe is the
+	// off state and costs one nil check per emission site. Telemetry is
+	// read-only and RNG-silent: a telemetry-on run produces bit-identical
+	// model state to the same run with telemetry off (pinned by test).
+	Probe *obs.Probe
 
 	Seed uint64
 }
@@ -261,12 +271,21 @@ type RoundMetrics struct {
 	CumCommWh    float64 // cumulative sharing/aggregation energy
 
 	// Battery state (only meaningful when Config.Harvest is set).
-	MeanSoC      float64   // fleet-average state of charge after the round
-	MinSoC       float64   // lowest state of charge in the fleet
-	Depleted     int       // nodes at or below their brown-out cutoff
-	CumHarvestWh float64   // cumulative stored ambient energy
-	CumWastedWh  float64   // cumulative harvest that arrived on full batteries
-	SoCs         []float64 // per-node SoC snapshot (Config.TrackSoC only)
+	MeanSoC      float64 // fleet-average state of charge after the round
+	MinSoC       float64 // lowest state of charge in the fleet
+	Depleted     int     // nodes at or below their brown-out cutoff
+	CumHarvestWh float64 // cumulative stored ambient energy
+	CumWastedWh  float64 // cumulative harvest that arrived on full batteries
+	// SoCP50/P90/P99 are the fleet's state-of-charge percentiles after the
+	// round, streamed through a fixed-bin quantile sketch (internal/obs):
+	// exact to within one sketch bin (1/256) without materializing a
+	// per-node slice. Always filled on harvest runs.
+	SoCP50, SoCP90, SoCP99 float64
+	// SoCs is the full per-node SoC snapshot. It allocates O(nodes) per
+	// round and exists for consumers that need the exact distribution;
+	// set Config.TrackSoC to keep it. The streamed percentiles above are
+	// the allocation-free default.
+	SoCs []float64 // per-node SoC snapshot (Config.TrackSoC only)
 
 	// Live-topology state, recorded whenever a live-set source exists (a
 	// harvest fleet or a Liveness hook), in both route-through-dead and
@@ -287,6 +306,12 @@ type RoundMetrics struct {
 
 // Result is the outcome of a run.
 type Result struct {
+	// Manifest is the run's content-addressable identity: a stable hash of
+	// the configuration and seed plus the code version (internal/obs). Two
+	// results with equal ConfigHash and GitRevision are interchangeable —
+	// the cache key of the memoized sweep service.
+	Manifest obs.RunManifest
+
 	History []RoundMetrics
 	// Final values (from the last evaluation).
 	FinalMeanAcc, FinalStdAcc, FinalGlobalAcc float64
@@ -416,6 +441,25 @@ func Run(cfg Config) (*Result, error) {
 	result := &Result{TrainedRounds: make([]int, n)}
 	cumHarvestWh := 0.0
 
+	// Every run carries its content-addressable identity; the probe (when
+	// attached) additionally streams it on run_start. Telemetry below is
+	// strictly read-only and RNG-silent: probe calls observe engine state
+	// and wall clocks, never stochastic or model state.
+	result.Manifest = buildManifest(&cfg, paramCount)
+	probe := cfg.Probe
+	probe.RunStart(&result.Manifest)
+
+	// The SoC quantile sketch streams per-round charge percentiles without
+	// materializing a per-node slice; allocated once, reset per round.
+	var socSketch *obs.Sketch
+	if cfg.Harvest != nil {
+		socSketch = obs.NewSoCSketch()
+	}
+	// prevLive remembers the previous round's live mask (nil = all live)
+	// so the probe can emit brown-out/revival transitions; maintained only
+	// while telemetry is on.
+	var prevLive []bool
+
 	// Per-node forecast scratch: one window per node, reused every round,
 	// so the training fan-out allocates nothing. Each slice is written and
 	// read only by its own node's goroutine within a phase.
@@ -440,10 +484,12 @@ func Run(cfg Config) (*Result, error) {
 	for t := 0; t < cfg.Rounds; t++ {
 		kind := cfg.Algo.Schedule.Kind(t)
 		m := RoundMetrics{Round: t, Kind: kind}
+		probe.RoundStart(t, kind.String())
 
 		// Phase 0: snapshot the live set from battery state (or the hook)
 		// before any phase runs, so liveness is a whole-round property and
 		// independent of phase interleaving.
+		probe.PhaseStart(obs.PhaseLiveSet)
 		var live []bool
 		haveLiveSource := cfg.Liveness != nil || cfg.Harvest != nil
 		if cfg.Liveness != nil {
@@ -476,6 +522,31 @@ func Run(cfg Config) (*Result, error) {
 				roundWeights = graph.RenormalizeLive(cfg.Graph, live)
 			}
 		}
+		probe.PhaseEnd(t, obs.PhaseLiveSet)
+
+		// Brown-out/revival transitions, derived by diffing live masks round
+		// over round. Checkpoint runs emit revivals from the rejoin phase
+		// instead, where the staleness is known.
+		if probe.Enabled() && haveLiveSource {
+			for i := 0; i < n; i++ {
+				was := prevLive == nil || prevLive[i]
+				is := live == nil || live[i]
+				if was && !is {
+					probe.Brownout(t, i)
+				} else if !was && is && cfg.Checkpoint == nil {
+					probe.Revival(t, i, 0)
+				}
+			}
+			// Copy: the Liveness hook may reuse its slice next round.
+			if live == nil {
+				prevLive = nil
+			} else {
+				if prevLive == nil {
+					prevLive = make([]bool, n)
+				}
+				copy(prevLive, live)
+			}
+		}
 
 		// Phase 0b: checkpoint/rejoin on live-set transitions. Dying nodes
 		// get their post-aggregation model snapshotted (stamped with the
@@ -485,6 +556,7 @@ func Run(cfg Config) (*Result, error) {
 		// order, so adjacent simultaneous revivals see identical inputs and
 		// results are bit-identical at any GOMAXPROCS.
 		if ck := cfg.Checkpoint; ck != nil {
+			probe.PhaseStart(obs.PhaseRejoin)
 			died, revived := ck.BeginRound(t, live)
 			for _, i := range died {
 				nodes[i].net.CopyParamsTo(ckParams)
@@ -540,6 +612,7 @@ func Run(cfg Config) (*Result, error) {
 					if rv.Staleness > m.MaxStaleness {
 						m.MaxStaleness = rv.Staleness
 					}
+					probe.Revival(t, i, rv.Staleness)
 				}
 				for k, rv := range revived {
 					nodes[rv.Node].net.SetParams(resumed[k])
@@ -548,12 +621,14 @@ func Run(cfg Config) (*Result, error) {
 				result.TotalRevivals += m.Revivals
 				result.TotalRestores += m.Restores
 			}
+			probe.PhaseEnd(t, obs.PhaseRejoin)
 		}
 
 		// Phase 1: local training. Every participating node decides from
 		// its own RoundContext: the shared start-of-round view (round,
 		// horizon, schedule, battery) plus its private forecast window, so
 		// decisions are independent of worker interleaving.
+		probe.PhaseStart(obs.PhaseTrain)
 		roundCtx := core.RoundContext{Round: t, Horizon: cfg.Rounds, Kind: kind, Schedule: cfg.Algo.Schedule}
 		if cfg.Harvest != nil {
 			roundCtx.Battery = cfg.Harvest
@@ -590,12 +665,14 @@ func Run(cfg Config) (*Result, error) {
 			m.TrainedCount += boolToInt(nodes[i].trained > result.TrainedRounds[i])
 			result.TrainedRounds[i] = nodes[i].trained
 		}
+		probe.PhaseEnd(t, obs.PhaseTrain)
 
 		// Phases 2-3: share and aggregate.
 		switch cfg.Algo.Aggregation {
 		case core.AggGlobal:
 			// Hypothetical all-reduce (Figure 1): global average of all
 			// half-step models, applied everywhere.
+			probe.PhaseStart(obs.PhaseAggregate)
 			mean := tensor.NewVector(paramCount)
 			halves := make([]tensor.Vector, n)
 			for i, nd := range nodes {
@@ -606,7 +683,9 @@ func Run(cfg Config) (*Result, error) {
 				copy(nodes[i].agg, mean)
 				nodes[i].net.SetParams(nodes[i].agg)
 			})
+			probe.PhaseEnd(t, obs.PhaseAggregate)
 		default:
+			probe.PhaseStart(obs.PhaseShare)
 			// Phase 2: all sends complete before any receive (inboxes are
 			// buffered beyond the per-round in-flight maximum, so sends
 			// never block and the receive phase cannot deadlock). On drop
@@ -628,6 +707,8 @@ func Run(cfg Config) (*Result, error) {
 			if err := firstError(nodes); err != nil {
 				return nil, err
 			}
+			probe.PhaseEnd(t, obs.PhaseShare)
+			probe.PhaseStart(obs.PhaseAggregate)
 			// Phase 3: receive exactly one model per live neighbor, then
 			// apply the W-row average (Algorithm 1, line 8) — the
 			// renormalized row on drop rounds. Dead nodes receive nothing
@@ -677,6 +758,7 @@ func Run(cfg Config) (*Result, error) {
 			if err := firstError(nodes); err != nil {
 				return nil, err
 			}
+			probe.PhaseEnd(t, obs.PhaseAggregate)
 		}
 		if cfg.Devices != nil {
 			for i := 0; i < n; i++ {
@@ -690,8 +772,10 @@ func Run(cfg Config) (*Result, error) {
 			total := deadNet.Dropped()
 			m.DroppedSends = total - result.TotalDroppedSends
 			result.TotalDroppedSends = total
+			probe.DroppedSends(t, m.DroppedSends)
 		}
 		if cfg.Harvest != nil {
+			probe.PhaseStart(obs.PhaseBattery)
 			// Close the battery round: idle+comm draw, then ambient harvest.
 			// The fleet's per-node ledger is authoritative; the accountant
 			// mirrors it so energy reports pair harvested with consumed.
@@ -709,29 +793,46 @@ func Run(cfg Config) (*Result, error) {
 			}
 			// Learning forecasters observe what the source delivered this
 			// round (stored + wasted), serially, after the battery update.
-			if obs, ok := cfg.Forecast.(harvest.ForecastObserver); ok {
-				obs.Observe(t, cfg.Harvest.RoundArrivedWh())
+			if fob, ok := cfg.Forecast.(harvest.ForecastObserver); ok {
+				fob.Observe(t, cfg.Harvest.RoundArrivedWh())
 			}
-			m.MeanSoC = cfg.Harvest.MeanSoC()
-			m.MinSoC = cfg.Harvest.MinSoC()
-			m.Depleted = cfg.Harvest.DepletedCount()
+			// One pass over the batteries yields mean/min/depleted and feeds
+			// the quantile sketch; the full per-node snapshot (an O(nodes)
+			// allocation every round) is opt-in via TrackSoC.
+			socSketch.Reset()
+			m.MeanSoC, m.MinSoC, m.Depleted = cfg.Harvest.SoCStats(socSketch.Observe)
+			m.SoCP50 = socSketch.Quantile(0.50)
+			m.SoCP90 = socSketch.Quantile(0.90)
+			m.SoCP99 = socSketch.Quantile(0.99)
 			m.CumHarvestWh = cumHarvestWh
 			m.CumWastedWh = cfg.Harvest.WastedWh()
 			if cfg.TrackSoC {
 				m.SoCs = cfg.Harvest.SoCs()
 			}
+			probe.PhaseEnd(t, obs.PhaseBattery)
 		}
 
 		// Phase 4: evaluation.
 		if shouldEval(t, cfg.Rounds, cfg.EvalEvery) {
+			probe.PhaseStart(obs.PhaseEval)
 			nodeAccs := evaluator.evaluate(nodes, t, &m)
 			m.Evaluated = true
 			result.FinalMeanAcc, result.FinalStdAcc, result.FinalGlobalAcc = m.MeanAcc, m.StdAcc, m.GlobalAcc
 			result.FinalNodeAccs = nodeAccs
+			probe.PhaseEnd(t, obs.PhaseEval)
+			probe.Eval(t, m.MeanAcc, m.StdAcc)
 		}
 		m.CumTrainWh = acct.TotalTrainingWh()
 		m.CumCommWh = acct.TotalCommunicationWh()
 		result.History = append(result.History, m)
+		if probe.Enabled() {
+			stats := obs.RoundStats{Trained: m.TrainedCount, Live: m.LiveCount, Depleted: m.Depleted}
+			if cfg.Harvest != nil {
+				stats.HasSoC = true
+				stats.MeanSoC, stats.SoCP50, stats.SoCP90, stats.SoCP99 = m.MeanSoC, m.SoCP50, m.SoCP90, m.SoCP99
+			}
+			probe.RoundEnd(t, stats)
+		}
 	}
 	result.TotalTrainWh = acct.TotalTrainingWh()
 	result.TotalCommWh = acct.TotalCommunicationWh()
@@ -748,7 +849,49 @@ func Run(cfg Config) (*Result, error) {
 		result.FinalGlobalParams = tensor.NewVector(paramCount)
 		tensor.MeanVectorTo(result.FinalGlobalParams, models)
 	}
+	if probe.Enabled() {
+		trained := 0
+		for _, c := range result.TrainedRounds {
+			trained += c
+		}
+		probe.RunEnd(cfg.Rounds, trained)
+	}
 	return result, nil
+}
+
+// buildManifest derives the run's content-addressable identity from every
+// experiment-defining config field. Anything that changes the computed bits
+// must be hashed here; anything that cannot (GOMAXPROCS, transport backend,
+// telemetry) must not be, or equivalent runs stop sharing a cache key.
+func buildManifest(cfg *Config, paramCount int) obs.RunManifest {
+	b := obs.NewManifest("sim", cfg.Algo.Label, cfg.Seed).
+		Scale(cfg.Graph.N, cfg.Rounds).
+		Set("schedule", cfg.Algo.Schedule.Name()).
+		Set("policy", cfg.Algo.Policy.Name()).
+		Setf("aggregation", "%d", cfg.Algo.Aggregation).
+		Setf("lr", "%g", cfg.LR).
+		Setf("batch", "%d", cfg.BatchSize).
+		Setf("local_steps", "%d", cfg.LocalSteps).
+		Setf("params", "%d", paramCount).
+		Setf("graph", "%016x", cfg.Graph.Fingerprint()).
+		Setf("eval_every", "%d", cfg.EvalEvery).
+		Setf("eval_subsample", "%d", cfg.EvalSubsample).
+		Setf("eval_global", "%t", cfg.EvalGlobalModel).
+		Setf("drop_dead", "%t", cfg.DropDeadNodes)
+	if cfg.Harvest != nil {
+		b.Set("trace", cfg.Harvest.TraceName())
+	}
+	if cfg.Forecast != nil {
+		b.Set("forecast", cfg.Forecast.Name()).
+			Setf("forecast_horizon", "%d", cfg.ForecastHorizon)
+	}
+	if cfg.Checkpoint != nil {
+		b.Set("rejoin", cfg.Checkpoint.Rule().Name())
+	}
+	if cfg.Devices != nil {
+		b.Setf("devices", "%d", len(cfg.Devices))
+	}
+	return b.Build()
 }
 
 func shouldEval(t, rounds, every int) bool {

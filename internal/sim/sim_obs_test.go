@@ -1,0 +1,176 @@
+package sim
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// Telemetry must be invisible to the simulation: the same run with a probe
+// attached produces bit-identical model state to the run without one.
+func TestTelemetryBitIdentical(t *testing.T) {
+	run := func(attach bool) (*Result, *obs.MemorySink) {
+		cfg := harvestConfig(t, 6)
+		cfg.Rounds = 16
+		cfg.EvalGlobalModel = true
+		var mem *obs.MemorySink
+		if attach {
+			mem = obs.NewMemory()
+			cfg.Probe = obs.NewProbe(mem)
+			cfg.Probe.TrackAllocs = true
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, mem
+	}
+	plain, _ := run(false)
+	probed, mem := run(true)
+
+	if len(plain.FinalGlobalParams) == 0 {
+		t.Fatal("no global params to compare")
+	}
+	for i := range plain.FinalGlobalParams {
+		if plain.FinalGlobalParams[i] != probed.FinalGlobalParams[i] {
+			t.Fatalf("param %d differs with telemetry on: %v vs %v",
+				i, plain.FinalGlobalParams[i], probed.FinalGlobalParams[i])
+		}
+	}
+	if plain.FinalMeanAcc != probed.FinalMeanAcc {
+		t.Fatalf("accuracy differs with telemetry on: %v vs %v", plain.FinalMeanAcc, probed.FinalMeanAcc)
+	}
+	if mem.Count(obs.KindRunStart) != 1 || mem.Count(obs.KindRunEnd) != 1 {
+		t.Fatalf("run events: %d start, %d end", mem.Count(obs.KindRunStart), mem.Count(obs.KindRunEnd))
+	}
+	if got := mem.Count(obs.KindRoundEnd); got != 16 {
+		t.Fatalf("round_end events = %d, want 16", got)
+	}
+	if mem.Count(obs.KindPhase) == 0 {
+		t.Fatal("no phase events emitted")
+	}
+	first := mem.Events()[0]
+	if first.Kind != obs.KindRunStart || first.Manifest == nil || first.Manifest.ConfigHash == "" {
+		t.Fatalf("stream must open with a manifest-carrying run_start, got %+v", first)
+	}
+}
+
+// Telemetry on, worker width varied: the pinned bit-reproducibility
+// guarantee must survive the probe.
+func TestTelemetryDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	run := func(procs int) *Result {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		cfg := harvestConfig(t, 9)
+		cfg.Rounds = 12
+		cfg.EvalGlobalModel = true
+		cfg.Probe = obs.NewProbe(obs.NewMemory())
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial, wide := run(1), run(8)
+	for i := range serial.FinalGlobalParams {
+		if serial.FinalGlobalParams[i] != wide.FinalGlobalParams[i] {
+			t.Fatalf("param %d differs across GOMAXPROCS with telemetry on", i)
+		}
+	}
+}
+
+// The streamed SoC percentiles must stay within one sketch bin of the
+// exact percentiles computed from the full TrackSoC snapshot.
+func TestSoCQuantilesMatchExact(t *testing.T) {
+	cfg := harvestConfig(t, 11)
+	cfg.Rounds = 20
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binWidth := 1.0 / obs.SoCBins
+	for _, m := range res.History {
+		if len(m.SoCs) != cfg.Graph.N {
+			t.Fatalf("round %d: TrackSoC snapshot has %d nodes", m.Round, len(m.SoCs))
+		}
+		sorted := append([]float64(nil), m.SoCs...)
+		sort.Float64s(sorted)
+		exact := func(q float64) float64 {
+			rank := int(math.Ceil(q * float64(len(sorted))))
+			if rank < 1 {
+				rank = 1
+			}
+			return sorted[rank-1]
+		}
+		for _, c := range []struct {
+			q    float64
+			got  float64
+			name string
+		}{
+			{0.50, m.SoCP50, "P50"},
+			{0.90, m.SoCP90, "P90"},
+			{0.99, m.SoCP99, "P99"},
+		} {
+			if math.Abs(c.got-exact(c.q)) > binWidth {
+				t.Fatalf("round %d: streamed %s = %v, exact %v, off by more than one bin",
+					m.Round, c.name, c.got, exact(c.q))
+			}
+		}
+	}
+}
+
+// Without TrackSoC the per-round snapshot is not materialized, but the
+// streamed percentiles are still filled — the allocation fix's contract.
+func TestTrackSoCOffStreamsPercentilesOnly(t *testing.T) {
+	cfg := harvestConfig(t, 13)
+	cfg.Rounds = 8
+	cfg.TrackSoC = false
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range res.History {
+		if m.SoCs != nil {
+			t.Fatalf("round %d: SoCs materialized without TrackSoC", m.Round)
+		}
+		if math.IsNaN(m.SoCP50) || m.SoCP50 <= 0 {
+			t.Fatalf("round %d: streamed P50 = %v, want a real percentile", m.Round, m.SoCP50)
+		}
+		if m.SoCP50 > m.SoCP90+1.0/obs.SoCBins || m.SoCP90 > m.SoCP99+1.0/obs.SoCBins {
+			t.Fatalf("round %d: percentiles not monotone: %v %v %v", m.Round, m.SoCP50, m.SoCP90, m.SoCP99)
+		}
+	}
+	if len(res.FinalSoC) != cfg.Graph.N {
+		t.Fatal("FinalSoC should be recorded regardless of TrackSoC")
+	}
+}
+
+// Every result carries a manifest whose hash is stable across identical
+// runs and sensitive to the seed.
+func TestResultManifestStamped(t *testing.T) {
+	run := func(seed uint64) *Result {
+		cfg := harvestConfig(t, seed)
+		cfg.Rounds = 4
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b, c := run(6), run(6), run(7)
+	if a.Manifest.Engine != "sim" || a.Manifest.ConfigHash == "" {
+		t.Fatalf("bad manifest: %+v", a.Manifest)
+	}
+	if a.Manifest.ConfigHash != b.Manifest.ConfigHash {
+		t.Fatal("identical runs produced different config hashes")
+	}
+	if a.Manifest.ConfigHash == c.Manifest.ConfigHash {
+		t.Fatal("different seeds share a config hash")
+	}
+	if a.Manifest.Nodes != 8 || a.Manifest.Rounds != 4 {
+		t.Fatalf("manifest scale: %d nodes, %d rounds", a.Manifest.Nodes, a.Manifest.Rounds)
+	}
+}

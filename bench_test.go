@@ -636,6 +636,48 @@ func BenchmarkHarvestFleetRound(b *testing.B) {
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*nodes*rounds), "ns/node-round")
 }
 
+// BenchmarkSoAFleetRound measures the struct-of-arrays engine on the exact
+// scenario of BenchmarkHarvestFleetRound — 1k nodes, 1k rounds, diurnal
+// trace, train-above-0.2-SoC policy — driven through the fused
+// SweepThreshold: the participation decision, battery update, harvest, and
+// liveness count in one pass per node, with the diurnal row served from
+// the day-row cache.
+// The headline node-rounds/s against BenchmarkHarvestFleetRound's is the
+// ROADMAP million-node-engine metric (target: ≥5× the pointer fleet,
+// ≥10M node-rounds/s).
+func BenchmarkSoAFleetRound(b *testing.B) {
+	const (
+		nodes  = 1000
+		rounds = 1000
+	)
+	devices := energy.AssignDevices(nodes, energy.Devices())
+	w := energy.CIFAR10Workload()
+	trace, err := harvest.NewDiurnal(0.01, 24, harvest.LongitudePhase(nodes))
+	if err != nil {
+		b.Fatal(err)
+	}
+	fleet, err := harvest.NewSoAFleet(devices, w, trace, harvest.Options{CapacityRounds: 12, InitialSoC: 0.5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := fleet.Reset(); err != nil {
+			b.Fatal(err)
+		}
+		for t := 0; t < rounds; t++ {
+			fleet.SweepThreshold(t, 0.2)
+		}
+		if fleet.HarvestedWh() <= 0 {
+			b.Fatal("fleet harvested nothing")
+		}
+	}
+	perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N*nodes*rounds)
+	b.ReportMetric(perOp, "ns/node-round")
+	b.ReportMetric(1e3/perOp, "Mnode-rounds/s")
+}
+
 // BenchmarkHorizonPlan measures the MPC planning hot path at fleet scale:
 // 1k nodes each solving the greedy knapsack over a 96-round forecast
 // window (an oracle window fill plus the survival-checked forward plan)

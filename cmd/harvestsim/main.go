@@ -80,6 +80,7 @@ import (
 func main() {
 	var (
 		nodes    = flag.Int("nodes", 96, "fleet size")
+		engine   = flag.String("engine", "pointer", "fleet engine: pointer | soa (struct-of-arrays; bit-identical, built for large fleets)")
 		degree   = flag.Int("degree", 6, "topology degree")
 		rounds   = flag.Int("rounds", 96, "total rounds T")
 		period   = flag.Int("period", 24, "rounds per simulated day (diurnal trace)")
@@ -189,8 +190,9 @@ func main() {
 		minSoC: *minSoC, lowSoC: *lowSoC, highSoC: *highSoC, exponent: *exponent,
 		cutoff: *cutoff, idle: *idle, dropDead: *dropDead,
 		rejoin: *rejoin, ckptDir: *ckptDir,
-		grid: *grid,
-		gt:   *gt, gs: *gs, lr: *lr, batch: *batch, steps: *steps,
+		grid:   *grid,
+		engine: *engine,
+		gt:     *gt, gs: *gs, lr: *lr, batch: *batch, steps: *steps,
 		evalInt: *evalInt, seed: *seed,
 		probe: probe,
 	})
@@ -228,6 +230,7 @@ type runConfig struct {
 	dropDead                        bool
 	rejoin, ckptDir                 string
 	grid                            bool
+	engine                          string
 	gt, gs                          int
 	lr                              float64
 	batch, steps, evalInt           int
@@ -404,7 +407,7 @@ func run(c runConfig) error {
 		return err
 	}
 
-	fleet, err := harvest.NewFleet(devices, workload, trace, harvest.Options{
+	fleet, err := harvest.NewEngine(c.engine, devices, workload, trace, harvest.Options{
 		CapacityRounds: capacity,
 		InitialSoC:     initSoC,
 		// Options treats InitialSoC 0 as "unset"; the flag's 0 means empty.
@@ -602,7 +605,8 @@ func runGrid(c runConfig) error {
 	res, err := experiments.RunGammaGrid(experiments.Options{
 		Nodes: c.nodes, Rounds: c.rounds, Seed: c.seed,
 		LR: c.lr, BatchSize: c.batch, LocalSteps: c.steps,
-		Probe: c.probe,
+		FleetEngine: c.engine,
+		Probe:       c.probe,
 	}, regime)
 	if err != nil {
 		return err

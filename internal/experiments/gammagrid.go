@@ -277,7 +277,7 @@ func (w *gammaWorld) runCell(regime GammaRegime, gt, gs int) (GammaHarvestCell, 
 	if err != nil {
 		return fail(err)
 	}
-	fleet, err := harvest.NewFleet(w.devices, w.workload, trace, gammaGridFleetOptions())
+	fleet, err := harvest.NewEngine(o.FleetEngine, w.devices, w.workload, trace, gammaGridFleetOptions())
 	if err != nil {
 		return fail(err)
 	}

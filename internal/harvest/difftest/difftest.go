@@ -1,0 +1,469 @@
+// Package difftest is the differential test harness for the two fleet
+// engines: it drives a pointer-based harvest.Fleet and a struct-of-arrays
+// harvest.SoAFleet through identical randomized scenario schedules and
+// verifies they stay bit-identical — full per-node state, cumulative
+// ledgers, whole-fleet statistics, and the streaming SoC quantile sketch —
+// after every round.
+//
+// The harness doubles as reusable test infrastructure: Scenarios()
+// generates the (trace × policy × liveness × cutoff) table, and a Scenario
+// builds fresh traces, fleets, policies, and forecasters on demand, so
+// fleet, forecast, and checkpoint tests in other packages can draw
+// well-formed harvest setups from one table instead of hand-rolling their
+// own. (harvest's own in-package tests cannot import this package — it
+// imports harvest — which is why the differential tests live here.)
+package difftest
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/harvest"
+	"repro/internal/obs"
+	"repro/internal/rng"
+)
+
+// Trace kinds a Scenario can name. Each builds a fresh, independently
+// seeded generator per call, so the two engines never share trace state.
+const (
+	TraceConstant = "constant"
+	TraceDiurnal  = "diurnal"
+	TraceMarkov   = "markov"
+	TraceReplay   = "replay"
+)
+
+// Policy kinds a Scenario can name.
+const (
+	PolicyAlways       = "always"
+	PolicyThreshold    = "threshold"
+	PolicyHysteresis   = "hysteresis"
+	PolicyProportional = "proportional"
+	PolicyHorizon      = "horizon"
+)
+
+// Scenario is one cell of the differential table: a fleet shape, an energy
+// arrival process, a participation policy, and a liveness pattern. The
+// zero value is not runnable; take cells from Scenarios or fill every
+// field.
+type Scenario struct {
+	// Name labels the cell in test output.
+	Name string
+	// Nodes and Rounds size the run.
+	Nodes  int
+	Rounds int
+	// Seed derives every random stream in the cell: trace seeds, replay
+	// matrices, policy RNGs, and the liveness masks.
+	Seed uint64
+	// Trace and Policy pick from the Trace*/Policy* kinds above.
+	Trace  string
+	Policy string
+	// Options is the fleet shape (capacity, cutoff, idle draw, …).
+	Options harvest.Options
+	// Gamma > 0 runs a SkipTrain(Gamma, Gamma) schedule instead of
+	// all-train, so sync rounds (policy never consulted) interleave.
+	Gamma int
+	// DropProb > 0 drives rounds through EndRoundLive with a random
+	// liveness mask that marks each node dead with this probability — the
+	// dead-radio accounting path. 0 closes rounds with EndRound.
+	DropProb float64
+	// Horizon > 0 attaches an oracle forecaster with this lookahead
+	// window (required by PolicyHorizon).
+	Horizon int
+	// ResetAt > 0 resets fleets and policies after that many rounds and
+	// keeps going — the grid-search reuse path.
+	ResetAt int
+}
+
+// Workload returns the per-round workload every scenario prices devices
+// under (the paper's CIFAR-10 setting).
+func (s Scenario) Workload() energy.Workload { return energy.CIFAR10Workload() }
+
+// Devices returns the scenario's device assignment: the paper's device mix
+// cycled over Nodes.
+func (s Scenario) Devices() []energy.Device {
+	return energy.AssignDevices(s.Nodes, energy.Devices())
+}
+
+// meanTrainWh is the fleet-average per-round training cost, the natural
+// scale for harvest rates.
+func (s Scenario) meanTrainWh() float64 {
+	return energy.NetworkRoundWh(s.Nodes, energy.Devices(), s.Workload()) / float64(s.Nodes)
+}
+
+// NewTrace builds a fresh trace generator for the scenario. Every call
+// returns an independent instance with identical behavior — the property
+// the differential driver needs to feed two engines the same arrivals.
+func (s Scenario) NewTrace() (harvest.Trace, error) {
+	mean := s.meanTrainWh()
+	switch s.Trace {
+	case TraceConstant:
+		return harvest.Constant{Wh: 0.6 * mean}, nil
+	case TraceDiurnal:
+		return harvest.NewDiurnal(1.5*mean, 8, harvest.LongitudePhase(s.Nodes))
+	case TraceMarkov:
+		return harvest.NewMarkovOnOff(s.Nodes, 1.2*mean, 0.3, 0.4, s.Seed)
+	case TraceReplay:
+		r := rng.Derive(s.Seed, 0x7e91a7)
+		wh := make([][]float64, 2*s.Rounds/3+1)
+		for t := range wh {
+			row := make([]float64, s.Nodes)
+			for i := range row {
+				row[i] = 2 * mean * r.Float64()
+			}
+			wh[t] = row
+		}
+		return harvest.NewReplay(wh)
+	default:
+		return nil, fmt.Errorf("difftest: unknown trace kind %q", s.Trace)
+	}
+}
+
+// NewPolicy builds a fresh participation policy for the scenario. Stateful
+// policies (hysteresis dormancy) are per-engine state, so the driver calls
+// this once per engine.
+func (s Scenario) NewPolicy() (core.Policy, error) {
+	switch s.Policy {
+	case PolicyAlways:
+		return core.AlwaysTrain{}, nil
+	case PolicyThreshold:
+		return harvest.NewSoCThreshold(0.35)
+	case PolicyHysteresis:
+		return harvest.NewSoCHysteresis(s.Nodes, 0.25, 0.55)
+	case PolicyProportional:
+		return harvest.NewSoCProportional(1)
+	case PolicyHorizon:
+		return harvest.NewHorizonPlan(0.1)
+	default:
+		return nil, fmt.Errorf("difftest: unknown policy kind %q", s.Policy)
+	}
+}
+
+// Schedule returns the scenario's coordinated round schedule.
+func (s Scenario) Schedule() core.Schedule {
+	if s.Gamma > 0 {
+		return core.Gamma{GammaTrain: s.Gamma, GammaSync: s.Gamma}
+	}
+	return core.AllTrain{}
+}
+
+// Instance is one engine's complete scenario binding: the engine plus its
+// private trace, policy, and (optional) forecaster instances.
+type Instance struct {
+	Engine     harvest.Engine
+	Trace      harvest.Trace
+	Policy     core.Policy
+	Forecaster harvest.Forecaster
+}
+
+// Build constructs a fresh Instance for the given engine kind
+// (harvest.EnginePointer or harvest.EngineSoA). Nothing is shared with any
+// other Instance, so two of them can be driven in lockstep and compared.
+func (s Scenario) Build(kind string) (*Instance, error) {
+	trace, err := s.NewTrace()
+	if err != nil {
+		return nil, err
+	}
+	eng, err := harvest.NewEngine(kind, s.Devices(), s.Workload(), trace, s.Options)
+	if err != nil {
+		return nil, err
+	}
+	policy, err := s.NewPolicy()
+	if err != nil {
+		return nil, err
+	}
+	inst := &Instance{Engine: eng, Trace: trace, Policy: policy}
+	if s.Horizon > 0 {
+		if inst.Forecaster, err = harvest.NewOracle(trace); err != nil {
+			return nil, err
+		}
+	}
+	return inst, nil
+}
+
+// Fleet builds a fresh pointer-based fleet with its own trace — the
+// builder sim and experiment tests use for well-formed harvest setups.
+func (s Scenario) Fleet() (*harvest.Fleet, error) {
+	trace, err := s.NewTrace()
+	if err != nil {
+		return nil, err
+	}
+	return harvest.NewFleet(s.Devices(), s.Workload(), trace, s.Options)
+}
+
+// SoAFleet builds a fresh struct-of-arrays fleet with its own trace.
+func (s Scenario) SoAFleet() (*harvest.SoAFleet, error) {
+	trace, err := s.NewTrace()
+	if err != nil {
+		return nil, err
+	}
+	return harvest.NewSoAFleet(s.Devices(), s.Workload(), trace, s.Options)
+}
+
+// Scenarios generates the differential table: the cross product of every
+// trace kind and policy kind, under shapes that exercise both liveness
+// paths, both schedules, a brown-out cutoff, idle draw, and the
+// serial/parallel threshold (small fleets stay serial, large ones shard).
+func Scenarios() []Scenario {
+	traces := []string{TraceConstant, TraceDiurnal, TraceMarkov, TraceReplay}
+	policies := []string{PolicyAlways, PolicyThreshold, PolicyHysteresis, PolicyProportional, PolicyHorizon}
+	var out []Scenario
+	for ti, tr := range traces {
+		for pi, pol := range policies {
+			// Vary the shape deterministically across cells so cutoffs,
+			// idle draw, liveness masks, schedules, and fleet sizes all get
+			// coverage without a combinatorial blow-up.
+			k := ti*len(policies) + pi
+			s := Scenario{
+				Name:   tr + "/" + pol,
+				Nodes:  48 + 32*(k%3), // 48, 80, 112
+				Rounds: 40,
+				Seed:   0x9e3779b9 + uint64(k),
+				Trace:  tr,
+				Policy: pol,
+				Options: harvest.Options{
+					CapacityRounds: 6,
+					InitialSoC:     0.6,
+				},
+			}
+			if k%2 == 1 {
+				s.Options.CutoffSoC = 0.25
+				s.DropProb = 0.3
+			}
+			if k%3 == 2 {
+				s.Options.IdleWh = 0.2 * s.meanTrainWh()
+			}
+			if k%4 == 3 {
+				s.Gamma = 2
+			}
+			if pol == PolicyHorizon {
+				s.Horizon = 8
+			}
+			out = append(out, s)
+		}
+	}
+	// The sharded close-out path: fleets past harvest's parallel threshold
+	// (256 nodes), one per trace kind, with mid-run reset on the stateful
+	// combinations.
+	for ti, tr := range traces {
+		s := Scenario{
+			Name:    tr + "/large",
+			Nodes:   384,
+			Rounds:  24,
+			Seed:    0xc0ffee + uint64(ti),
+			Trace:   tr,
+			Policy:  PolicyHysteresis,
+			Options: harvest.Options{CapacityRounds: 5, InitialSoC: 0.5, CutoffSoC: 0.2},
+			ResetAt: 12,
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Diff drives a fresh pointer fleet and a fresh SoA fleet through the
+// scenario in lockstep and returns an error describing the first
+// divergence — any comparison is exact (==), never within-epsilon. A nil
+// return means the two engines were bit-identical after every round.
+func Diff(s Scenario) error {
+	a, err := s.Build(harvest.EnginePointer)
+	if err != nil {
+		return fmt.Errorf("difftest %s: pointer build: %w", s.Name, err)
+	}
+	b, err := s.Build(harvest.EngineSoA)
+	if err != nil {
+		return fmt.Errorf("difftest %s: soa build: %w", s.Name, err)
+	}
+	if err := compare(-1, s, a.Engine, b.Engine); err != nil {
+		return err
+	}
+	schedule := s.Schedule()
+	// Per-node decision RNGs: one set per engine, identically derived, so
+	// a probabilistic policy draws the same stream on both sides.
+	rngsA := decisionRNGs(s)
+	rngsB := decisionRNGs(s)
+	maskRNG := rng.Derive(s.Seed, 0xd1ffe)
+	var scratchA, scratchB []float64
+	if s.Horizon > 0 {
+		scratchA = make([]float64, s.Horizon)
+		scratchB = make([]float64, s.Horizon)
+	}
+	for t := 0; t < s.Rounds; t++ {
+		if s.ResetAt > 0 && t == s.ResetAt {
+			if err := resetInstance(a); err != nil {
+				return fmt.Errorf("difftest %s: pointer reset: %w", s.Name, err)
+			}
+			if err := resetInstance(b); err != nil {
+				return fmt.Errorf("difftest %s: soa reset: %w", s.Name, err)
+			}
+			rngsA, rngsB = decisionRNGs(s), decisionRNGs(s)
+		}
+		kind := schedule.Kind(t)
+		if kind == core.RoundTrain {
+			for i := 0; i < s.Nodes; i++ {
+				da := decide(a, i, t, s, kind, schedule, scratchA, rngsA[i])
+				db := decide(b, i, t, s, kind, schedule, scratchB, rngsB[i])
+				if da != db {
+					return fmt.Errorf("difftest %s: round %d node %d: pointer decision %v, soa decision %v", s.Name, t, i, da, db)
+				}
+			}
+		}
+		// The same liveness mask feeds both engines; harvest rows come
+		// from each engine's private trace.
+		var ra, rb []float64
+		if s.DropProb > 0 {
+			mask := make([]bool, s.Nodes)
+			for i := range mask {
+				mask[i] = !maskRNG.Bernoulli(s.DropProb)
+			}
+			ra = a.Engine.EndRoundLive(t, mask)
+			rb = b.Engine.EndRoundLive(t, mask)
+		} else {
+			ra = a.Engine.EndRound(t)
+			rb = b.Engine.EndRound(t)
+		}
+		if err := compareRows("round harvest", t, s, ra, rb); err != nil {
+			return err
+		}
+		if err := compareRows("arrived", t, s, a.Engine.RoundArrivedWh(), b.Engine.RoundArrivedWh()); err != nil {
+			return err
+		}
+		if err := compare(t, s, a.Engine, b.Engine); err != nil {
+			return err
+		}
+	}
+	if a.Engine.Consumed() != b.Engine.Consumed() {
+		return fmt.Errorf("difftest %s: Consumed() diverges: pointer %v, soa %v", s.Name, a.Engine.Consumed(), b.Engine.Consumed())
+	}
+	return nil
+}
+
+// decide runs one node's participation decision against one engine,
+// building the same round context the sim engine would.
+func decide(inst *Instance, i, t int, s Scenario, kind core.RoundKind, schedule core.Schedule, scratch []float64, r *rng.RNG) bool {
+	ctx := core.RoundContext{
+		Round:    t,
+		Horizon:  s.Rounds,
+		Kind:     kind,
+		Schedule: schedule,
+		Battery:  inst.Engine,
+	}
+	if inst.Forecaster != nil {
+		inst.Forecaster.Forecast(i, t, scratch)
+		ctx.Forecast = scratch
+	}
+	return inst.Policy.Participate(i, ctx, r)
+}
+
+func decisionRNGs(s Scenario) []*rng.RNG {
+	out := make([]*rng.RNG, s.Nodes)
+	for i := range out {
+		out[i] = rng.Derive(s.Seed, uint64(i), 0xdec1de)
+	}
+	return out
+}
+
+func resetInstance(inst *Instance) error {
+	if err := inst.Engine.Reset(); err != nil {
+		return err
+	}
+	if rp, ok := inst.Policy.(core.ResettablePolicy); ok {
+		rp.Reset()
+	}
+	return nil
+}
+
+// sketchQuantiles are the probe points compared between the two engines'
+// SoC sketches each round.
+var sketchQuantiles = []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1}
+
+// compare checks every whole-fleet statistic and every per-node view the
+// Engine surface exposes, plus the obs SoC sketch both engines feed
+// through SoCStats. t = -1 labels the pre-run comparison.
+func compare(t int, s Scenario, a, b harvest.Engine) error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("difftest %s: round %d: %s", s.Name, t, fmt.Sprintf(format, args...))
+	}
+	if a.Nodes() != b.Nodes() {
+		return fail("nodes %d vs %d", a.Nodes(), b.Nodes())
+	}
+	for i := 0; i < a.Nodes(); i++ {
+		type nodeProbe struct {
+			name string
+			fn   func(harvest.Engine, int) float64
+		}
+		for _, p := range []nodeProbe{
+			{"ChargeWh", harvest.Engine.ChargeWh},
+			{"SoC", harvest.Engine.SoC},
+			{"CapacityWh", harvest.Engine.CapacityWh},
+			{"CutoffWh", harvest.Engine.CutoffWh},
+			{"TrainCostWh", harvest.Engine.TrainCostWh},
+			{"OverheadWh", harvest.Engine.OverheadWh},
+			{"NodeHarvestedWh", harvest.Engine.NodeHarvestedWh},
+			{"NodeConsumedWh", harvest.Engine.NodeConsumedWh},
+		} {
+			if va, vb := p.fn(a, i), p.fn(b, i); va != vb {
+				return fail("node %d %s: pointer %v, soa %v", i, p.name, va, vb)
+			}
+		}
+		if ua, ub := a.Usable(i), b.Usable(i); ua != ub {
+			return fail("node %d Usable: pointer %v, soa %v", i, ua, ub)
+		}
+	}
+	type fleetProbe struct {
+		name string
+		fn   func(harvest.Engine) float64
+	}
+	for _, p := range []fleetProbe{
+		{"MeanSoC", harvest.Engine.MeanSoC},
+		{"MinSoC", harvest.Engine.MinSoC},
+		{"HarvestedWh", harvest.Engine.HarvestedWh},
+		{"ConsumedWh", harvest.Engine.ConsumedWh},
+		{"WastedWh", harvest.Engine.WastedWh},
+	} {
+		if va, vb := p.fn(a), p.fn(b); va != vb {
+			return fail("%s: pointer %v, soa %v", p.name, va, vb)
+		}
+	}
+	if da, db := a.DepletedCount(), b.DepletedCount(); da != db {
+		return fail("DepletedCount: pointer %d, soa %d", da, db)
+	}
+	if la, lb := a.LiveCount(), b.LiveCount(); la != lb {
+		return fail("LiveCount: pointer %d, soa %d", la, lb)
+	}
+	if err := compareRows("SoCs", t, s, a.SoCs(), b.SoCs()); err != nil {
+		return err
+	}
+	la, lb := a.Live(), b.Live()
+	for i := range la {
+		if la[i] != lb[i] {
+			return fail("Live mask node %d: pointer %v, soa %v", i, la[i], lb[i])
+		}
+	}
+	skA, skB := obs.NewSoCSketch(), obs.NewSoCSketch()
+	meanA, minA, depA := a.SoCStats(skA.Observe)
+	meanB, minB, depB := b.SoCStats(skB.Observe)
+	if meanA != meanB || minA != minB || depA != depB {
+		return fail("SoCStats: pointer (%v, %v, %d), soa (%v, %v, %d)", meanA, minA, depA, meanB, minB, depB)
+	}
+	for _, q := range sketchQuantiles {
+		qa, qb := skA.Quantile(q), skB.Quantile(q)
+		if qa != qb && !(math.IsNaN(qa) && math.IsNaN(qb)) {
+			return fail("sketch quantile %g: pointer %v, soa %v", q, qa, qb)
+		}
+	}
+	return nil
+}
+
+func compareRows(what string, t int, s Scenario, a, b []float64) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("difftest %s: round %d: %s length %d vs %d", s.Name, t, what, len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return fmt.Errorf("difftest %s: round %d: %s node %d: pointer %v, soa %v", s.Name, t, what, i, a[i], b[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package difftest
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/harvest"
+)
+
+// TestEnginesBitIdentical runs every cell of the differential table: for
+// each (trace × policy × liveness × cutoff) scenario the pointer fleet and
+// the SoA fleet must agree exactly — per-node charge, ledgers, statistics,
+// and sketch quantiles — after every round.
+func TestEnginesBitIdentical(t *testing.T) {
+	for _, s := range Scenarios() {
+		t.Run(s.Name, func(t *testing.T) {
+			if err := Diff(s); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestEnginesBitIdenticalAcrossGOMAXPROCS pins the sharded close-out path:
+// a fleet past the parallel threshold must produce the same bits whether
+// rounds close on one worker or eight. CI additionally runs the whole
+// package under GOMAXPROCS=1 and 8 with -race.
+func TestEnginesBitIdenticalAcrossGOMAXPROCS(t *testing.T) {
+	s := Scenario{
+		Name:    "gomaxprocs",
+		Nodes:   512,
+		Rounds:  16,
+		Seed:    7,
+		Trace:   TraceDiurnal,
+		Policy:  PolicyThreshold,
+		Options: harvest.Options{CapacityRounds: 6, InitialSoC: 0.55, CutoffSoC: 0.2},
+	}
+	run := func(procs int) []float64 {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		if err := Diff(s); err != nil {
+			t.Fatalf("GOMAXPROCS=%d: %v", procs, err)
+		}
+		// Also capture one engine's final state to compare across settings.
+		inst, err := s.Build(harvest.EngineSoA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		policy := inst.Policy
+		for tt := 0; tt < s.Rounds; tt++ {
+			for i := 0; i < s.Nodes; i++ {
+				// Threshold policies ignore the RNG; Context builds the
+				// minimal battery-backed round context.
+				policy.Participate(i, inst.Engine.Context(tt), nil)
+			}
+			inst.Engine.EndRound(tt)
+		}
+		return inst.Engine.SoCs()
+	}
+	serial := run(1)
+	parallel := run(8)
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("node %d SoC diverges across GOMAXPROCS: 1 worker %v, 8 workers %v", i, serial[i], parallel[i])
+		}
+	}
+}
+
+// TestScenarioBuildersReject pins that malformed cells surface as errors
+// instead of half-built instances.
+func TestScenarioBuildersReject(t *testing.T) {
+	s := Scenarios()[0]
+	s.Trace = "no-such-trace"
+	if _, err := s.Build(harvest.EnginePointer); err == nil {
+		t.Fatal("unknown trace kind built successfully")
+	}
+	s = Scenarios()[0]
+	s.Policy = "no-such-policy"
+	if _, err := s.Build(harvest.EnginePointer); err == nil {
+		t.Fatal("unknown policy kind built successfully")
+	}
+	if _, err := harvest.NewEngine("no-such-engine", s.Devices(), s.Workload(), harvest.Constant{Wh: 1}, harvest.Options{}); err == nil {
+		t.Fatal("unknown engine kind built successfully")
+	}
+}

@@ -1,0 +1,177 @@
+package harvest
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+)
+
+// Engine is the whole-fleet battery surface the simulation stack drives:
+// sim.Run, the gamma-grid runner, and cmd/harvestsim all accept any Engine.
+// Two implementations exist with bit-identical behavior — Fleet keeps one
+// Battery struct per node, SoAFleet keeps the same state as flat parallel
+// slices for million-node hot loops — pinned against each other by the
+// differential harness in internal/harvest/difftest.
+//
+// The concurrency contract is Fleet's: per-node calls (the BatteryView
+// methods) are safe for concurrent use across distinct nodes; the
+// whole-fleet calls (EndRound*, the statistics, Reset, Consumed) must not
+// race with them or each other.
+type Engine interface {
+	core.BatteryView
+
+	// Nodes returns the fleet size.
+	Nodes() int
+	// Usable reports whether node i is above its brown-out cutoff.
+	Usable(i int) bool
+	// Live snapshots the per-node liveness mask (above-cutoff nodes).
+	Live() []bool
+	// LiveCount returns how many nodes are above their cutoff.
+	LiveCount() int
+	// EndRound closes round t: every node pays idle+comm draw, then
+	// harvests trace energy. Returns per-node stored harvest (slice reused
+	// by the next call).
+	EndRound(t int) []float64
+	// EndRoundLive closes round t with dead nodes paying idle draw only.
+	EndRoundLive(t int, live []bool) []float64
+	// RoundArrivedWh returns the per-node harvest that arrived during the
+	// last closed round, before the capacity clamp (slice reused).
+	RoundArrivedWh() []float64
+	// SoCStats computes mean/min SoC and the depleted count in one pass,
+	// streaming every SoC through observe when non-nil.
+	SoCStats(observe func(soc float64)) (mean, min float64, depleted int)
+	// SoCs returns a snapshot of every node's state of charge.
+	SoCs() []float64
+	// MeanSoC returns the fleet-average state of charge.
+	MeanSoC() float64
+	// MinSoC returns the lowest state of charge in the fleet.
+	MinSoC() float64
+	// DepletedCount returns how many nodes sit at or below their cutoff.
+	DepletedCount() int
+	// HarvestedWh returns total energy stored from harvesting so far.
+	HarvestedWh() float64
+	// ConsumedWh returns total energy drained (training + comm + idle).
+	ConsumedWh() float64
+	// WastedWh returns harvest that arrived while batteries were full.
+	WastedWh() float64
+	// NodeHarvestedWh returns node i's cumulative stored harvest.
+	NodeHarvestedWh(i int) float64
+	// NodeConsumedWh returns node i's cumulative drain.
+	NodeConsumedWh(i int) float64
+	// TraceName reports the attached trace's identity.
+	TraceName() string
+	// Consumed reports whether the fleet carries history a new run would
+	// silently inherit (closed rounds or training drain).
+	Consumed() bool
+	// Reset rewinds to construction state; fails on a stateful trace that
+	// is not a TraceResetter.
+	Reset() error
+	// Context returns the direct-drive round context for round t.
+	Context(t int) core.RoundContext
+}
+
+var (
+	_ Engine = (*Fleet)(nil)
+	_ Engine = (*SoAFleet)(nil)
+)
+
+// Engine kind names accepted by NewEngine and the cmd/harvestsim -engine
+// flag.
+const (
+	EnginePointer = "pointer"
+	EngineSoA     = "soa"
+)
+
+// NewEngine builds a fleet engine by kind name: "pointer" (or "") for the
+// per-node-struct Fleet, "soa" for the struct-of-arrays SoAFleet.
+func NewEngine(kind string, devices []energy.Device, w energy.Workload, trace Trace, opt Options) (Engine, error) {
+	switch kind {
+	case "", EnginePointer:
+		return NewFleet(devices, w, trace, opt)
+	case EngineSoA:
+		return NewSoAFleet(devices, w, trace, opt)
+	default:
+		return nil, fmt.Errorf("harvest: unknown fleet engine %q (want %q or %q)", kind, EnginePointer, EngineSoA)
+	}
+}
+
+// fleetSpec is the validated per-node state both fleet engines are built
+// from: one slice entry per node, initial charge already clamped into
+// [0, capacity] exactly as NewBattery clamps it.
+type fleetSpec struct {
+	trainWh    []float64
+	commWh     []float64
+	capacityWh []float64
+	cutoffWh   []float64
+	initialWh  []float64
+	idleWh     float64
+}
+
+// buildFleetSpec validates options and derives every node's costs, battery
+// geometry, and initial charge from its device profile — the shared
+// constructor core of NewFleet and NewSoAFleet, so the two engines cannot
+// drift in how a fleet shape is interpreted.
+func buildFleetSpec(devices []energy.Device, w energy.Workload, trace Trace, opt Options) (fleetSpec, error) {
+	var s fleetSpec
+	if len(devices) == 0 {
+		return s, fmt.Errorf("harvest: fleet needs at least one device")
+	}
+	if trace == nil {
+		return s, fmt.Errorf("harvest: nil trace")
+	}
+	if err := w.Validate(); err != nil {
+		return s, err
+	}
+	opt = opt.defaults()
+	if opt.CutoffSoC < 0 || opt.CutoffSoC >= 1 {
+		return s, fmt.Errorf("harvest: cutoff SoC %v outside [0, 1)", opt.CutoffSoC)
+	}
+	if opt.IdleWh < 0 {
+		return s, fmt.Errorf("harvest: negative idle draw %v", opt.IdleWh)
+	}
+	if opt.CapacityRounds < 0 {
+		return s, fmt.Errorf("harvest: negative capacity rounds %v", opt.CapacityRounds)
+	}
+	if opt.InitialSoC < 0 || opt.InitialSoC > 1 {
+		return s, fmt.Errorf("harvest: initial SoC %v outside [0, 1]", opt.InitialSoC)
+	}
+	if opt.InitialRounds < 0 {
+		return s, fmt.Errorf("harvest: negative initial rounds %v", opt.InitialRounds)
+	}
+	n := len(devices)
+	s = fleetSpec{
+		trainWh:    make([]float64, n),
+		commWh:     make([]float64, n),
+		capacityWh: make([]float64, n),
+		cutoffWh:   make([]float64, n),
+		initialWh:  make([]float64, n),
+		idleWh:     opt.IdleWh,
+	}
+	for i, d := range devices {
+		s.trainWh[i] = d.TrainRoundWh(w)
+		s.commWh[i] = s.trainWh[i] * opt.CommFrac
+		capacity := d.BatteryWh
+		if opt.CapacityRounds > 0 {
+			capacity = opt.CapacityRounds * s.trainWh[i]
+		}
+		initial := opt.InitialSoC * capacity
+		if opt.InitialRounds > 0 {
+			initial = opt.InitialRounds * s.trainWh[i]
+		}
+		if opt.StartEmpty {
+			initial = 0
+		}
+		// NewBattery owns the geometry validation and the initial-charge
+		// clamp; routing through it keeps the spec exactly what a Battery
+		// would hold.
+		b, err := NewBattery(capacity, initial, opt.CutoffSoC*capacity)
+		if err != nil {
+			return fleetSpec{}, fmt.Errorf("harvest: node %d (%s): %w", i, d.Name, err)
+		}
+		s.capacityWh[i] = b.CapacityWh
+		s.cutoffWh[i] = b.CutoffWh
+		s.initialWh[i] = b.ChargeWh()
+	}
+	return s, nil
+}

@@ -92,64 +92,30 @@ type Fleet struct {
 // comes from its device under workload w (Eq. 2), its battery capacity from
 // the device profile, and its recharge from trace.
 func NewFleet(devices []energy.Device, w energy.Workload, trace Trace, opt Options) (*Fleet, error) {
-	if len(devices) == 0 {
-		return nil, fmt.Errorf("harvest: fleet needs at least one device")
-	}
-	if trace == nil {
-		return nil, fmt.Errorf("harvest: nil trace")
-	}
-	if err := w.Validate(); err != nil {
+	spec, err := buildFleetSpec(devices, w, trace, opt)
+	if err != nil {
 		return nil, err
 	}
-	opt = opt.defaults()
-	if opt.CutoffSoC < 0 || opt.CutoffSoC >= 1 {
-		return nil, fmt.Errorf("harvest: cutoff SoC %v outside [0, 1)", opt.CutoffSoC)
-	}
-	if opt.IdleWh < 0 {
-		return nil, fmt.Errorf("harvest: negative idle draw %v", opt.IdleWh)
-	}
-	if opt.CapacityRounds < 0 {
-		return nil, fmt.Errorf("harvest: negative capacity rounds %v", opt.CapacityRounds)
-	}
-	if opt.InitialSoC < 0 || opt.InitialSoC > 1 {
-		return nil, fmt.Errorf("harvest: initial SoC %v outside [0, 1]", opt.InitialSoC)
-	}
-	if opt.InitialRounds < 0 {
-		return nil, fmt.Errorf("harvest: negative initial rounds %v", opt.InitialRounds)
-	}
+	n := len(devices)
 	f := &Fleet{
-		batteries:    make([]Battery, len(devices)),
-		initialWh:    make([]float64, len(devices)),
-		trainWh:      make([]float64, len(devices)),
-		commWh:       make([]float64, len(devices)),
-		idleWh:       opt.IdleWh,
+		batteries:    make([]Battery, n),
+		initialWh:    spec.initialWh, // post-clamp, so Reset restores exactly
+		trainWh:      spec.trainWh,
+		commWh:       spec.commWh,
+		idleWh:       spec.idleWh,
 		trace:        trace,
-		harvested:    make([]float64, len(devices)),
-		consumed:     make([]float64, len(devices)),
-		wasted:       make([]float64, len(devices)),
-		roundHarvest: make([]float64, len(devices)),
-		roundArrived: make([]float64, len(devices)),
+		harvested:    make([]float64, n),
+		consumed:     make([]float64, n),
+		wasted:       make([]float64, n),
+		roundHarvest: make([]float64, n),
+		roundArrived: make([]float64, n),
 	}
-	for i, d := range devices {
-		f.trainWh[i] = d.TrainRoundWh(w)
-		f.commWh[i] = f.trainWh[i] * opt.CommFrac
-		capacity := d.BatteryWh
-		if opt.CapacityRounds > 0 {
-			capacity = opt.CapacityRounds * f.trainWh[i]
+	for i := range f.batteries {
+		f.batteries[i] = Battery{
+			CapacityWh: spec.capacityWh[i],
+			CutoffWh:   spec.cutoffWh[i],
+			chargeWh:   spec.initialWh[i],
 		}
-		initial := opt.InitialSoC * capacity
-		if opt.InitialRounds > 0 {
-			initial = opt.InitialRounds * f.trainWh[i]
-		}
-		if opt.StartEmpty {
-			initial = 0
-		}
-		b, err := NewBattery(capacity, initial, opt.CutoffSoC*capacity)
-		if err != nil {
-			return nil, fmt.Errorf("harvest: node %d (%s): %w", i, d.Name, err)
-		}
-		f.batteries[i] = b
-		f.initialWh[i] = b.ChargeWh() // post-clamp, so Reset restores exactly
 	}
 	return f, nil
 }

@@ -1,0 +1,580 @@
+package harvest
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/par"
+)
+
+// SoAFleet is the struct-of-arrays fleet engine: the same battery state a
+// Fleet keeps behind per-node Battery structs — charge, capacity, cutoff,
+// costs, and the harvest/consumption/waste ledgers — stored as flat
+// parallel slices, so the per-round hot loop walks contiguous memory with
+// no pointer chasing and no interface call per node.
+//
+// SoAFleet implements Engine with behavior bit-identical to Fleet on every
+// trace and policy: each battery mutation replicates the exact float
+// operation sequence of the Battery methods, and the differential harness
+// in internal/harvest/difftest pins the two engines against each other
+// round by round. On top of the Engine surface it adds Sweep, which fuses
+// the participation-decision, battery-update, and liveness passes into one
+// sharded, zero-steady-state-allocation pass per round — the path the
+// million-node demo and BenchmarkSoAFleetRound drive.
+//
+// Concurrency contract is Fleet's: per-node calls are safe across distinct
+// nodes; whole-fleet calls (EndRound*, Sweep, statistics, Reset, Consumed)
+// must not race with them.
+type SoAFleet struct {
+	chargeWh   []float64
+	capacityWh []float64
+	cutoffWh   []float64
+	initialWh  []float64 // construction-time charge, for Reset
+	trainWh    []float64 // per-round training cost of node i's device
+	commWh     []float64 // per-round sharing cost of node i's device
+	idleWh     float64
+	trace      Trace
+	rowTrace   RowTrace // non-nil when trace supports bulk row fill
+
+	harvested    []float64 // cumulative stored harvest per node
+	consumed     []float64 // cumulative train+idle+comm drain per node
+	wasted       []float64 // per-node harvest that arrived with the battery full
+	roundHarvest []float64 // scratch: last round's per-node stored harvest
+	roundArrived []float64 // scratch: last round's per-node arrived harvest
+	rowBuf       []float64 // scratch: RowTrace bulk fill for the current round
+
+	shardStats []sweepShard // scratch: per-shard Sweep accumulators
+
+	// roundsClosed counts EndRound/Sweep calls since construction or
+	// Reset, mirroring Fleet.roundsClosed (Consumed/Reset guard).
+	roundsClosed int
+}
+
+// NewSoAFleet builds the struct-of-arrays engine for the same fleet shape
+// NewFleet accepts, from the same validated per-node derivation.
+func NewSoAFleet(devices []energy.Device, w energy.Workload, trace Trace, opt Options) (*SoAFleet, error) {
+	spec, err := buildFleetSpec(devices, w, trace, opt)
+	if err != nil {
+		return nil, err
+	}
+	n := len(devices)
+	rt, _ := trace.(RowTrace)
+	f := &SoAFleet{
+		chargeWh:     make([]float64, n),
+		capacityWh:   spec.capacityWh,
+		cutoffWh:     spec.cutoffWh,
+		initialWh:    spec.initialWh,
+		trainWh:      spec.trainWh,
+		commWh:       spec.commWh,
+		idleWh:       spec.idleWh,
+		trace:        trace,
+		rowTrace:     rt,
+		harvested:    make([]float64, n),
+		consumed:     make([]float64, n),
+		wasted:       make([]float64, n),
+		roundHarvest: make([]float64, n),
+		roundArrived: make([]float64, n),
+		shardStats:   make([]sweepShard, (n+sweepShardSize-1)/sweepShardSize),
+	}
+	copy(f.chargeWh, spec.initialWh)
+	if rt != nil {
+		f.rowBuf = make([]float64, n)
+	}
+	return f, nil
+}
+
+// Consumed reports whether the fleet carries history a new run would
+// silently inherit; see Fleet.Consumed.
+func (f *SoAFleet) Consumed() bool { return f.roundsClosed > 0 || sum(f.consumed) > 0 }
+
+// Reset rewinds the fleet to its construction state; see Fleet.Reset for
+// the contract, including the TraceResetter requirement on stateful traces
+// and the caveat about stateful policies bound to the fleet.
+func (f *SoAFleet) Reset() error {
+	switch tr := f.trace.(type) {
+	case TraceResetter:
+		tr.ResetTrace()
+	case Constant, *Diurnal, *Replay: // stateless: nothing to rewind
+	default:
+		return fmt.Errorf("harvest: trace %s is not resettable (implement TraceResetter); build a fresh fleet instead", f.trace.Name())
+	}
+	copy(f.chargeWh, f.initialWh)
+	for i := range f.harvested {
+		f.harvested[i] = 0
+		f.consumed[i] = 0
+		f.wasted[i] = 0
+		f.roundHarvest[i] = 0
+		f.roundArrived[i] = 0
+	}
+	f.roundsClosed = 0
+	return nil
+}
+
+// Nodes returns the fleet size.
+func (f *SoAFleet) Nodes() int { return len(f.chargeWh) }
+
+// SoC returns node i's state of charge in [0, 1].
+func (f *SoAFleet) SoC(i int) float64 { return f.chargeWh[i] / f.capacityWh[i] }
+
+// ChargeWh returns node i's charge level in Wh.
+func (f *SoAFleet) ChargeWh(i int) float64 { return f.chargeWh[i] }
+
+// Usable reports whether node i is above its brown-out cutoff.
+func (f *SoAFleet) Usable(i int) bool { return f.chargeWh[i] > f.cutoffWh[i] }
+
+// Live snapshots the per-node liveness mask; see Fleet.Live.
+func (f *SoAFleet) Live() []bool {
+	live := make([]bool, len(f.chargeWh))
+	for i := range live {
+		live[i] = f.chargeWh[i] > f.cutoffWh[i]
+	}
+	return live
+}
+
+// LiveCount returns how many nodes are above their brown-out cutoff.
+func (f *SoAFleet) LiveCount() int { return len(f.chargeWh) - f.DepletedCount() }
+
+// TrainCostWh returns the per-round training cost of node i's device.
+func (f *SoAFleet) TrainCostWh(i int) float64 { return f.trainWh[i] }
+
+// CapacityWh returns node i's battery capacity in Wh.
+func (f *SoAFleet) CapacityWh(i int) float64 { return f.capacityWh[i] }
+
+// CutoffWh returns node i's brown-out level in Wh.
+func (f *SoAFleet) CutoffWh(i int) float64 { return f.cutoffWh[i] }
+
+// OverheadWh returns the per-round non-training draw node i pays regardless
+// of participation.
+func (f *SoAFleet) OverheadWh(i int) float64 { return f.idleWh + f.commWh[i] }
+
+// Context returns the direct-drive round context for round t; see
+// Fleet.Context.
+func (f *SoAFleet) Context(t int) core.RoundContext {
+	return core.RoundContext{Round: t, Kind: core.RoundTrain, Battery: f}
+}
+
+// TryTrain atomically spends node i's training-round energy, reporting
+// whether the battery could afford it — the exact Battery.TryConsume
+// sequence on the flat slices. Safe for concurrent use across distinct
+// nodes.
+func (f *SoAFleet) TryTrain(i int) bool {
+	wh := f.trainWh[i]
+	if wh < 0 || f.chargeWh[i]-wh < f.cutoffWh[i] {
+		return false
+	}
+	f.chargeWh[i] -= wh
+	f.consumed[i] += wh
+	return true
+}
+
+// EndRound closes round t; see Fleet.EndRound.
+func (f *SoAFleet) EndRound(t int) []float64 { return f.endRound(t, nil) }
+
+// EndRoundLive closes round t with dead nodes paying idle draw only; see
+// Fleet.EndRoundLive.
+func (f *SoAFleet) EndRoundLive(t int, live []bool) []float64 { return f.endRound(t, live) }
+
+func (f *SoAFleet) endRound(t int, live []bool) []float64 {
+	// Bulk-fill the round's harvest row first when the trace supports it:
+	// RowTrace is single-goroutine by contract, and the sharded close-out
+	// below then reads the row instead of calling the trace per node.
+	row := f.fillRow(t)
+	parallelFor(len(f.chargeWh), func(i int) {
+		draw := f.idleWh
+		if live == nil || live[i] {
+			draw += f.commWh[i]
+		}
+		f.consumed[i] += f.drain(i, draw)
+		var arrived float64
+		if row != nil {
+			arrived = row[i]
+		} else {
+			arrived = f.trace.HarvestWh(i, t)
+		}
+		stored := f.store(i, arrived)
+		f.harvested[i] += stored
+		f.wasted[i] += arrived - stored
+		f.roundHarvest[i] = stored
+		f.roundArrived[i] = arrived
+	})
+	f.roundsClosed++
+	return f.roundHarvest
+}
+
+// fillRow fills rowBuf for round t through the RowTrace bulk path and
+// returns it, or nil when the trace has no bulk path.
+func (f *SoAFleet) fillRow(t int) []float64 {
+	if f.rowTrace == nil {
+		return nil
+	}
+	f.rowTrace.HarvestRowWh(t, f.rowBuf)
+	return f.rowBuf
+}
+
+// drain removes up to wh from node i's charge clamped at empty — the exact
+// Battery.Drain sequence — returning the amount actually drained.
+func (f *SoAFleet) drain(i int, wh float64) float64 {
+	if wh <= 0 {
+		return 0
+	}
+	if wh > f.chargeWh[i] {
+		wh = f.chargeWh[i]
+	}
+	f.chargeWh[i] -= wh
+	return wh
+}
+
+// store harvests up to wh into node i clamped at capacity — the exact
+// Battery.Harvest sequence — returning the amount actually stored.
+func (f *SoAFleet) store(i int, wh float64) float64 {
+	if wh <= 0 {
+		return 0
+	}
+	stored := wh
+	if room := f.capacityWh[i] - f.chargeWh[i]; stored > room {
+		stored = room
+	}
+	f.chargeWh[i] += stored
+	return stored
+}
+
+// RoundArrivedWh returns the per-node harvest that arrived during the last
+// closed round; see Fleet.RoundArrivedWh.
+func (f *SoAFleet) RoundArrivedWh() []float64 { return f.roundArrived }
+
+// SoCStats computes mean/min SoC and the depleted count in one index-order
+// pass, streaming every SoC through observe when non-nil; see
+// Fleet.SoCStats.
+func (f *SoAFleet) SoCStats(observe func(soc float64)) (mean, min float64, depleted int) {
+	sum := 0.0
+	min = f.chargeWh[0] / f.capacityWh[0]
+	for i := range f.chargeWh {
+		s := f.chargeWh[i] / f.capacityWh[i]
+		sum += s
+		if s < min {
+			min = s
+		}
+		if !(f.chargeWh[i] > f.cutoffWh[i]) {
+			depleted++
+		}
+		if observe != nil {
+			observe(s)
+		}
+	}
+	return sum / float64(len(f.chargeWh)), min, depleted
+}
+
+// SoCs returns a snapshot of every node's state of charge.
+func (f *SoAFleet) SoCs() []float64 {
+	out := make([]float64, len(f.chargeWh))
+	for i := range out {
+		out[i] = f.chargeWh[i] / f.capacityWh[i]
+	}
+	return out
+}
+
+// MeanSoC returns the fleet-average state of charge.
+func (f *SoAFleet) MeanSoC() float64 {
+	s := 0.0
+	for i := range f.chargeWh {
+		s += f.chargeWh[i] / f.capacityWh[i]
+	}
+	return s / float64(len(f.chargeWh))
+}
+
+// MinSoC returns the lowest state of charge in the fleet.
+func (f *SoAFleet) MinSoC() float64 {
+	min := f.chargeWh[0] / f.capacityWh[0]
+	for i := 1; i < len(f.chargeWh); i++ {
+		if s := f.chargeWh[i] / f.capacityWh[i]; s < min {
+			min = s
+		}
+	}
+	return min
+}
+
+// DepletedCount returns how many nodes sit at or below their cutoff.
+func (f *SoAFleet) DepletedCount() int {
+	n := 0
+	for i := range f.chargeWh {
+		if !(f.chargeWh[i] > f.cutoffWh[i]) {
+			n++
+		}
+	}
+	return n
+}
+
+// HarvestedWh returns the total energy stored from harvesting so far.
+func (f *SoAFleet) HarvestedWh() float64 { return sum(f.harvested) }
+
+// ConsumedWh returns the total energy drained (training + comm + idle).
+func (f *SoAFleet) ConsumedWh() float64 { return sum(f.consumed) }
+
+// WastedWh returns harvest energy that arrived while batteries were full.
+func (f *SoAFleet) WastedWh() float64 { return sum(f.wasted) }
+
+// NodeHarvestedWh returns node i's cumulative stored harvest.
+func (f *SoAFleet) NodeHarvestedWh(i int) float64 { return f.harvested[i] }
+
+// NodeConsumedWh returns node i's cumulative drain.
+func (f *SoAFleet) NodeConsumedWh(i int) float64 { return f.consumed[i] }
+
+// TraceName reports the attached trace's identity for logs and tables.
+func (f *SoAFleet) TraceName() string { return f.trace.Name() }
+
+// SweepStats summarizes one fused Sweep round. All counts are exact and
+// independent of GOMAXPROCS. SoC distribution statistics are deliberately
+// not accumulated here — the per-node division they cost would dominate
+// the fused loop; call SoCStats (streaming into an obs sketch if wanted)
+// at whatever cadence the caller actually samples them.
+type SweepStats struct {
+	// Trained counts nodes whose decide returned true and whose battery
+	// could afford the round.
+	Trained int
+	// Live and Depleted split the fleet by post-round cutoff state.
+	Live     int
+	Depleted int
+}
+
+// sweepShardSize fixes the Sweep shard width independently of GOMAXPROCS:
+// per-shard partial counts merged in shard index order give the same
+// result whether the shards ran on one worker or eight.
+const sweepShardSize = 4096
+
+// sweepShard is one shard's statistics accumulator; shards only ever write
+// their own slot.
+type sweepShard struct {
+	trained  int
+	depleted int
+}
+
+// Sweep fuses one whole round into a single pass per node: the
+// participation decision, the training drain, the idle+communication draw,
+// the harvest with its ledger updates, and the post-round liveness count.
+// It is exactly equivalent to
+//
+//	for i := range nodes { if decide(i, SoC(i)) { TryTrain(i) } }
+//	EndRound(t)
+//	_, _, depleted := SoCStats(nil)
+//
+// with per-node charge, ledgers, and scratch slices bit-identical to that
+// three-pass sequence. Every node pays its communication draw (EndRound
+// semantics; drive EndRoundLive directly for dead-radio accounting).
+//
+// decide sees node i's pre-round state of charge and returns whether the
+// node attempts to train; it must be safe for concurrent calls on distinct
+// nodes and is called exactly once per node. A nil decide sweeps a
+// no-training round. The pass runs serially below parallelMinNodes nodes
+// and shards across workers above it — in fixed sweepShardSize ranges with
+// stats merged in shard order, so results are independent of GOMAXPROCS.
+// The steady state allocates nothing: all scratch (harvest row, shard
+// accumulators) is preallocated at construction.
+func (f *SoAFleet) Sweep(t int, decide func(i int, soc float64) bool) SweepStats {
+	n := len(f.chargeWh)
+	row := f.fillRow(t)
+	shards := (n + sweepShardSize - 1) / sweepShardSize
+	if n < parallelMinNodes || shards < 2 {
+		for s := 0; s < shards; s++ {
+			f.sweepShardRange(t, s, row, decide)
+		}
+	} else {
+		par.For(shards, 1, func(s int) {
+			f.sweepShardRange(t, s, row, decide)
+		})
+	}
+	return f.mergeSweep(shards)
+}
+
+// SweepThreshold is Sweep specialized to the paper's SoC-threshold
+// participation rule: node i attempts to train iff its pre-round state of
+// charge exceeds minSoC. It is bit-identical to
+//
+//	Sweep(t, func(i int, soc float64) bool { return soc > minSoC })
+//
+// but keeps the predicate inline in the fused loop instead of behind an
+// indirect call per node, which is worth ~20% of the whole sweep at
+// million-node scale.
+func (f *SoAFleet) SweepThreshold(t int, minSoC float64) SweepStats {
+	n := len(f.chargeWh)
+	row := f.fillRow(t)
+	shards := (n + sweepShardSize - 1) / sweepShardSize
+	if n < parallelMinNodes || shards < 2 {
+		for s := 0; s < shards; s++ {
+			f.sweepThresholdShardRange(t, s, row, minSoC)
+		}
+	} else {
+		par.For(shards, 1, func(s int) {
+			f.sweepThresholdShardRange(t, s, row, minSoC)
+		})
+	}
+	return f.mergeSweep(shards)
+}
+
+// mergeSweep closes the round and merges the per-shard counts in shard
+// index order, so totals are independent of how the shards were scheduled.
+func (f *SoAFleet) mergeSweep(shards int) SweepStats {
+	f.roundsClosed++
+	var stats SweepStats
+	for s := 0; s < shards; s++ {
+		stats.Trained += f.shardStats[s].trained
+		stats.Depleted += f.shardStats[s].depleted
+	}
+	stats.Live = len(f.chargeWh) - stats.Depleted
+	return stats
+}
+
+// sweepShardRange runs the fused per-node pass over shard s's node range
+// and records the shard's partial statistics in its own slot.
+func (f *SoAFleet) sweepShardRange(t int, s int, row []float64, decide func(i int, soc float64) bool) {
+	lo := s * sweepShardSize
+	hi := lo + sweepShardSize
+	if n := len(f.chargeWh); hi > n {
+		hi = n
+	}
+	// Subslice every array to the shard window so all loop indexing is
+	// provably in bounds (bounds-check elimination).
+	n := hi - lo
+	charge := f.chargeWh[lo:hi]
+	capacity := f.capacityWh[lo:hi]
+	cutoff := f.cutoffWh[lo:hi]
+	train := f.trainWh[lo:hi]
+	comm := f.commWh[lo:hi]
+	consumed := f.consumed[lo:hi]
+	harvested := f.harvested[lo:hi]
+	wasted := f.wasted[lo:hi]
+	roundHarvest := f.roundHarvest[lo:hi]
+	roundArrived := f.roundArrived[lo:hi]
+	if row != nil {
+		row = row[lo:hi]
+	}
+	idle := f.idleWh
+	var sh sweepShard
+	for j := 0; j < n; j++ {
+		c := charge[j]
+		// Participation decision + training drain (Battery.TryConsume).
+		if decide != nil && decide(lo+j, c/capacity[j]) {
+			if wh := train[j]; wh >= 0 && c-wh >= cutoff[j] {
+				c -= wh
+				consumed[j] += wh
+				sh.trained++
+			}
+		}
+		// Idle + communication draw (Battery.Drain, clamped at empty).
+		if draw := idle + comm[j]; draw > 0 {
+			if draw > c {
+				draw = c
+			}
+			c -= draw
+			consumed[j] += draw
+		}
+		// Harvest (Battery.Harvest, clamped at capacity) + ledgers.
+		var arrived float64
+		if row != nil {
+			arrived = row[j]
+		} else {
+			arrived = f.trace.HarvestWh(lo+j, t)
+		}
+		stored := 0.0
+		if arrived > 0 {
+			stored = arrived
+			if room := capacity[j] - c; stored > room {
+				stored = room
+			}
+			c += stored
+		}
+		charge[j] = c
+		// Guarded read-modify-writes: adding 0.0 is a bitwise no-op on the
+		// non-negative ledgers, and skipping it avoids two loads and stores
+		// per idle node.
+		if stored != 0 {
+			harvested[j] += stored
+		}
+		if d := arrived - stored; d != 0 {
+			wasted[j] += d
+		}
+		roundHarvest[j] = stored
+		roundArrived[j] = arrived
+		// Post-round liveness.
+		if !(c > cutoff[j]) {
+			sh.depleted++
+		}
+	}
+	f.shardStats[s] = sh
+}
+
+// sweepThresholdShardRange is sweepShardRange with the participation
+// predicate inlined as soc > minSoC. Every float operation and its order
+// are identical to the generic loop — TestSweepThresholdMatchesClosure
+// pins the two bit-equal — so any change here must be mirrored there.
+func (f *SoAFleet) sweepThresholdShardRange(t int, s int, row []float64, minSoC float64) {
+	lo := s * sweepShardSize
+	hi := lo + sweepShardSize
+	if n := len(f.chargeWh); hi > n {
+		hi = n
+	}
+	n := hi - lo
+	charge := f.chargeWh[lo:hi]
+	capacity := f.capacityWh[lo:hi]
+	cutoff := f.cutoffWh[lo:hi]
+	train := f.trainWh[lo:hi]
+	comm := f.commWh[lo:hi]
+	consumed := f.consumed[lo:hi]
+	harvested := f.harvested[lo:hi]
+	wasted := f.wasted[lo:hi]
+	roundHarvest := f.roundHarvest[lo:hi]
+	roundArrived := f.roundArrived[lo:hi]
+	if row != nil {
+		row = row[lo:hi]
+	}
+	idle := f.idleWh
+	var sh sweepShard
+	for j := 0; j < n; j++ {
+		c := charge[j]
+		// Participation decision + training drain (Battery.TryConsume).
+		if c/capacity[j] > minSoC {
+			if wh := train[j]; wh >= 0 && c-wh >= cutoff[j] {
+				c -= wh
+				consumed[j] += wh
+				sh.trained++
+			}
+		}
+		// Idle + communication draw (Battery.Drain, clamped at empty).
+		if draw := idle + comm[j]; draw > 0 {
+			if draw > c {
+				draw = c
+			}
+			c -= draw
+			consumed[j] += draw
+		}
+		// Harvest (Battery.Harvest, clamped at capacity) + ledgers.
+		var arrived float64
+		if row != nil {
+			arrived = row[j]
+		} else {
+			arrived = f.trace.HarvestWh(lo+j, t)
+		}
+		stored := 0.0
+		if arrived > 0 {
+			stored = arrived
+			if room := capacity[j] - c; stored > room {
+				stored = room
+			}
+			c += stored
+		}
+		charge[j] = c
+		if stored != 0 {
+			harvested[j] += stored
+		}
+		if d := arrived - stored; d != 0 {
+			wasted[j] += d
+		}
+		roundHarvest[j] = stored
+		roundArrived[j] = arrived
+		// Post-round liveness.
+		if !(c > cutoff[j]) {
+			sh.depleted++
+		}
+	}
+	f.shardStats[s] = sh
+}

@@ -1,0 +1,309 @@
+package harvest
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/energy"
+)
+
+func testSoAFleet(t *testing.T, trace Trace, opt Options) *SoAFleet {
+	t.Helper()
+	devices := energy.AssignDevices(8, energy.Devices())
+	f, err := NewSoAFleet(devices, energy.CIFAR10Workload(), trace, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// driveSoAFleet mirrors driveFleet: greedy training, returning the
+// per-round (trained count, mean SoC) trajectory fingerprint.
+func driveSoAFleet(f *SoAFleet, rounds int) (trained []int, meanSoC []float64) {
+	for t := 0; t < rounds; t++ {
+		n := 0
+		for i := 0; i < f.Nodes(); i++ {
+			if f.TryTrain(i) {
+				n++
+			}
+		}
+		f.EndRound(t)
+		trained = append(trained, n)
+		meanSoC = append(meanSoC, f.MeanSoC())
+	}
+	return trained, meanSoC
+}
+
+// TestSoAFleetConsumedByTryTrainOnly mirrors the PR 4 regression on the SoA
+// engine: training drain alone, with no round ever closed, must already
+// mark the fleet consumed so sim.Run refuses to build on it.
+func TestSoAFleetConsumedByTryTrainOnly(t *testing.T) {
+	f := testSoAFleet(t, Constant{Wh: 0}, Options{CapacityRounds: 6, InitialSoC: 0.5})
+	if f.Consumed() {
+		t.Fatal("fresh fleet reports consumed")
+	}
+	if !f.TryTrain(0) {
+		t.Fatal("affordable round refused")
+	}
+	if !f.Consumed() {
+		t.Fatal("TryTrain drain not reflected in Consumed")
+	}
+	if err := f.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if f.Consumed() {
+		t.Fatal("fleet still consumed after Reset")
+	}
+}
+
+// TestSoAFleetResetAfterPartialRound resets a fleet that trained and closed
+// only part of its horizon — mid-grid-cell abandonment — and requires the
+// replay to be bit-identical from the start.
+func TestSoAFleetResetAfterPartialRound(t *testing.T) {
+	trace, err := NewMarkovOnOff(8, 0.004, 0.3, 0.3, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := testSoAFleet(t, trace, Options{CapacityRounds: 6, InitialSoC: 0.5})
+	soc0 := f.SoCs()
+	trained1, soc1 := driveSoAFleet(f, 12)
+	// Leave the fleet mid-round: extra training drain after the last
+	// close-out, so Reset must also rewind uncommitted TryTrain spending.
+	f.TryTrain(0)
+	f.TryTrain(3)
+	if err := f.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if f.Consumed() {
+		t.Fatal("fleet still consumed after Reset")
+	}
+	if f.HarvestedWh() != 0 || f.ConsumedWh() != 0 || f.WastedWh() != 0 {
+		t.Fatalf("ledgers not zeroed: harvested %v consumed %v wasted %v",
+			f.HarvestedWh(), f.ConsumedWh(), f.WastedWh())
+	}
+	for i, s := range f.SoCs() {
+		if s != soc0[i] {
+			t.Fatalf("node %d SoC %v after Reset, want initial %v", i, s, soc0[i])
+		}
+	}
+	trained2, soc2 := driveSoAFleet(f, 12)
+	for i := range trained1 {
+		if trained1[i] != trained2[i] || soc1[i] != soc2[i] {
+			t.Fatalf("round %d differs after Reset: (%d, %v) vs (%d, %v)",
+				i, trained1[i], soc1[i], trained2[i], soc2[i])
+		}
+	}
+}
+
+// TestSoAFleetResetRestoresClampedInitialCharge pins that Reset restores
+// the post-clamp construction charge, not the raw option value.
+func TestSoAFleetResetRestoresClampedInitialCharge(t *testing.T) {
+	f := testSoAFleet(t, Constant{Wh: 0}, Options{CapacityRounds: 4, InitialRounds: 100})
+	if f.SoC(0) != 1 {
+		t.Fatalf("construction SoC %v, want clamped full", f.SoC(0))
+	}
+	f.TryTrain(0)
+	f.EndRound(0)
+	if err := f.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if f.SoC(0) != 1 {
+		t.Fatalf("Reset SoC %v, want clamped full", f.SoC(0))
+	}
+}
+
+// TestSoAFleetResetTraceHandling: stateless traces reset fine, a stateful
+// trace without TraceResetter must refuse.
+func TestSoAFleetResetTraceHandling(t *testing.T) {
+	for _, trace := range []Trace{Constant{Wh: 0.001}, mustDiurnal(t), mustReplay(t)} {
+		f := testSoAFleet(t, trace, Options{CapacityRounds: 6, InitialSoC: 0.5})
+		f.EndRound(0)
+		if err := f.Reset(); err != nil {
+			t.Fatalf("%s: %v", trace.Name(), err)
+		}
+	}
+	f := testSoAFleet(t, &statefulTrace{}, Options{CapacityRounds: 6, InitialSoC: 0.5})
+	f.EndRound(0)
+	if err := f.Reset(); err == nil {
+		t.Fatal("Reset accepted a stateful, non-resettable trace")
+	}
+}
+
+// TestSweepMatchesThreePassSequence pins the fusion invariant: one Sweep
+// call must leave per-node charge, ledgers, and scratch slices bit-identical
+// to the decide-loop + EndRound sequence it replaces, with trained, live,
+// and depleted counts exactly matching the staged drive.
+func TestSweepMatchesThreePassSequence(t *testing.T) {
+	mk := func() (*SoAFleet, *SoAFleet) {
+		trace1, err := NewDiurnal(0.01, 8, LongitudePhase(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		trace2, err := NewDiurnal(0.01, 8, LongitudePhase(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := Options{CapacityRounds: 5, InitialSoC: 0.6, CutoffSoC: 0.2, IdleWh: 0.0005}
+		return testSoAFleet(t, trace1, opt), testSoAFleet(t, trace2, opt)
+	}
+	fused, staged := mk()
+	decide := func(i int, soc float64) bool { return soc > 0.3 }
+	for r := 0; r < 16; r++ {
+		stats := fused.Sweep(r, decide)
+		trained := 0
+		for i := 0; i < staged.Nodes(); i++ {
+			if decide(i, staged.SoC(i)) && staged.TryTrain(i) {
+				trained++
+			}
+		}
+		staged.EndRound(r)
+		_, _, depleted := staged.SoCStats(nil)
+		if stats.Trained != trained {
+			t.Fatalf("round %d: Sweep trained %d, staged %d", r, stats.Trained, trained)
+		}
+		if stats.Depleted != depleted || stats.Live != staged.Nodes()-depleted {
+			t.Fatalf("round %d: Sweep depleted/live (%d, %d), staged (%d, %d)",
+				r, stats.Depleted, stats.Live, depleted, staged.Nodes()-depleted)
+		}
+		// State bit-identity makes the post-round SoC statistics trivially
+		// equal too; pin it anyway since callers sample them after Sweep.
+		fm, fmin, fd := fused.SoCStats(nil)
+		sm, smin, sd := staged.SoCStats(nil)
+		if fm != sm || fmin != smin || fd != sd {
+			t.Fatalf("round %d: SoCStats diverge after Sweep: (%v, %v, %d) vs (%v, %v, %d)",
+				r, fm, fmin, fd, sm, smin, sd)
+		}
+		for i := 0; i < fused.Nodes(); i++ {
+			if fused.ChargeWh(i) != staged.ChargeWh(i) {
+				t.Fatalf("round %d node %d: Sweep charge %v, staged %v", r, i, fused.ChargeWh(i), staged.ChargeWh(i))
+			}
+			if fused.NodeConsumedWh(i) != staged.NodeConsumedWh(i) || fused.NodeHarvestedWh(i) != staged.NodeHarvestedWh(i) {
+				t.Fatalf("round %d node %d: Sweep ledgers diverge", r, i)
+			}
+		}
+		for i, v := range fused.RoundArrivedWh() {
+			if v != staged.RoundArrivedWh()[i] {
+				t.Fatalf("round %d node %d: Sweep arrived %v, staged %v", r, i, v, staged.RoundArrivedWh()[i])
+			}
+		}
+	}
+	if fused.Consumed() != staged.Consumed() {
+		t.Fatal("Consumed diverges between Sweep and staged drive")
+	}
+}
+
+// TestSweepThresholdMatchesClosure pins the specialized threshold sweep
+// bit-identical to the generic Sweep with the equivalent closure — the
+// two shard loops are maintained as mirror copies and this is the test
+// that catches them drifting apart.
+func TestSweepThresholdMatchesClosure(t *testing.T) {
+	const nodes = sweepShardSize + 256 // two shards, last one ragged
+	mk := func() *SoAFleet {
+		trace, err := NewDiurnal(0.01, 8, LongitudePhase(nodes))
+		if err != nil {
+			t.Fatal(err)
+		}
+		devices := energy.AssignDevices(nodes, energy.Devices())
+		f, err := NewSoAFleet(devices, energy.CIFAR10Workload(), trace,
+			Options{CapacityRounds: 5, InitialSoC: 0.6, CutoffSoC: 0.2, IdleWh: 0.0005})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	const minSoC = 0.3
+	special, generic := mk(), mk()
+	for r := 0; r < 16; r++ {
+		ss := special.SweepThreshold(r, minSoC)
+		gs := generic.Sweep(r, func(i int, soc float64) bool { return soc > minSoC })
+		if ss != gs {
+			t.Fatalf("round %d: SweepThreshold stats %+v, Sweep %+v", r, ss, gs)
+		}
+	}
+	specialSoCs, genericSoCs := special.SoCs(), generic.SoCs()
+	for i := range specialSoCs {
+		if specialSoCs[i] != genericSoCs[i] {
+			t.Fatalf("node %d SoC diverges: threshold %v, closure %v", i, specialSoCs[i], genericSoCs[i])
+		}
+	}
+	if special.ConsumedWh() != generic.ConsumedWh() || special.HarvestedWh() != generic.HarvestedWh() ||
+		special.WastedWh() != generic.WastedWh() {
+		t.Fatal("fleet ledgers diverge between SweepThreshold and Sweep")
+	}
+}
+
+// TestSweepParallelMatchesSerial pins Sweep's GOMAXPROCS independence on a
+// fleet spanning multiple fixed-size shards: state and statistics must be
+// bit-identical whether the shards run on one worker or eight, because the
+// shard structure is a function of fleet size only and partial statistics
+// merge in shard index order.
+func TestSweepParallelMatchesSerial(t *testing.T) {
+	const nodes = 2*sweepShardSize + 512 // three shards, last one ragged
+	decide := func(i int, soc float64) bool { return soc > 0.3 }
+	run := func(procs int) ([]float64, []SweepStats) {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		trace, err := NewDiurnal(0.01, 8, LongitudePhase(nodes))
+		if err != nil {
+			t.Fatal(err)
+		}
+		devices := energy.AssignDevices(nodes, energy.Devices())
+		f, err := NewSoAFleet(devices, energy.CIFAR10Workload(), trace,
+			Options{CapacityRounds: 5, InitialSoC: 0.6, CutoffSoC: 0.2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var stats []SweepStats
+		for r := 0; r < 10; r++ {
+			stats = append(stats, f.Sweep(r, decide))
+		}
+		return f.SoCs(), stats
+	}
+	socSerial, statsSerial := run(1)
+	socParallel, statsParallel := run(8)
+	for i := range socSerial {
+		if socSerial[i] != socParallel[i] {
+			t.Fatalf("node %d SoC diverges across GOMAXPROCS: %v vs %v", i, socSerial[i], socParallel[i])
+		}
+	}
+	for r := range statsSerial {
+		if statsSerial[r] != statsParallel[r] {
+			t.Fatalf("round %d SweepStats diverge across GOMAXPROCS: %+v vs %+v", r, statsSerial[r], statsParallel[r])
+		}
+	}
+}
+
+// TestSoAEndRoundParallelMatchesSerial pins the sharded close-out path of
+// the SoA engine the way TestEndRoundParallelMatchesSerial pins the
+// pointer fleet's: lowering the parallel threshold must not change a bit.
+func TestSoAEndRoundParallelMatchesSerial(t *testing.T) {
+	run := func(minNodes int) []float64 {
+		old := parallelMinNodes
+		parallelMinNodes = minNodes
+		defer func() { parallelMinNodes = old }()
+		trace, err := NewDiurnal(0.01, 8, LongitudePhase(64))
+		if err != nil {
+			t.Fatal(err)
+		}
+		devices := energy.AssignDevices(64, energy.Devices())
+		f, err := NewSoAFleet(devices, energy.CIFAR10Workload(), trace,
+			Options{CapacityRounds: 5, InitialSoC: 0.6, CutoffSoC: 0.2, IdleWh: 0.0005})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < 12; r++ {
+			for i := 0; i < f.Nodes(); i++ {
+				f.TryTrain(i)
+			}
+			f.EndRound(r)
+		}
+		return f.SoCs()
+	}
+	serial := run(1 << 30)
+	parallel := run(2)
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("node %d SoC diverges serial/parallel: %v vs %v", i, serial[i], parallel[i])
+		}
+	}
+}

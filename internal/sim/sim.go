@@ -83,14 +83,16 @@ type Config struct {
 	Devices  []energy.Device
 	Workload energy.Workload
 
-	// Harvest optionally attaches a battery/harvesting fleet
-	// (internal/harvest) covering Graph.N nodes. Training drains batteries
-	// only through the harvest policies' Fleet.TryTrain — pair the fleet
-	// with a charge-aware Algo.Policy — while the engine closes every round
-	// with Fleet.EndRound: idle and communication draw, then ambient
-	// harvest. State-of-charge statistics land in RoundMetrics; set
-	// TrackSoC to also record the full per-node SoC snapshot each round.
-	Harvest  *harvest.Fleet
+	// Harvest optionally attaches a battery/harvesting fleet engine
+	// (internal/harvest) covering Graph.N nodes — the pointer-based
+	// harvest.Fleet or the struct-of-arrays harvest.SoAFleet, which are
+	// bit-identical. Training drains batteries only through the harvest
+	// policies' TryTrain — pair the fleet with a charge-aware Algo.Policy —
+	// while the engine closes every round with EndRound: idle and
+	// communication draw, then ambient harvest. State-of-charge statistics
+	// land in RoundMetrics; set TrackSoC to also record the full per-node
+	// SoC snapshot each round.
+	Harvest  harvest.Engine
 	TrackSoC bool
 
 	// Forecast attaches a harvest forecaster (internal/harvest): on every

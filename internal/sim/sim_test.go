@@ -12,6 +12,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/graph"
 	"repro/internal/harvest"
+	"repro/internal/harvest/difftest"
 	"repro/internal/nn"
 	"repro/internal/rng"
 	"repro/internal/transport"
@@ -501,31 +502,43 @@ func TestTransportFailureSurfaces(t *testing.T) {
 	}
 }
 
-// harvestConfig attaches a diurnal harvest fleet and a charge-proportional
-// policy to the standard test config.
-func harvestConfig(t *testing.T, seed uint64) Config {
+// harvestScenario is the shared scenario cell behind the sim harvest
+// tests: the difftest table generator builds the trace, fleet, and policy,
+// so these tests exercise the same construction path the engine
+// differential suite pins.
+func harvestScenario(seed uint64, nodes int) difftest.Scenario {
+	return difftest.Scenario{
+		Name:    "sim-harvest",
+		Nodes:   nodes,
+		Seed:    seed,
+		Trace:   difftest.TraceDiurnal,
+		Policy:  difftest.PolicyProportional,
+		Options: harvest.Options{CapacityRounds: 8, InitialSoC: 0.5},
+	}
+}
+
+// harvestEngineConfig attaches a diurnal harvest fleet — built by the
+// difftest scenario generator on the requested engine — and a
+// charge-proportional policy to the standard test config.
+func harvestEngineConfig(t *testing.T, seed uint64, engine string) Config {
 	t.Helper()
 	cfg := testConfig(t, seed)
-	devices := energy.AssignDevices(cfg.Graph.N, energy.Devices())
-	w := energy.CIFAR10Workload()
-	trace, err := harvest.NewDiurnal(0.01, 8, harvest.LongitudePhase(cfg.Graph.N))
+	s := harvestScenario(seed, cfg.Graph.N)
+	inst, err := s.Build(engine)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fleet, err := harvest.NewFleet(devices, w, trace, harvest.Options{CapacityRounds: 8, InitialSoC: 0.5})
-	if err != nil {
-		t.Fatal(err)
-	}
-	policy, err := harvest.NewSoCProportional(1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	cfg.Algo = core.Algorithm{Label: "harvest", Schedule: core.AllTrain{}, Policy: policy}
-	cfg.Devices = devices
-	cfg.Workload = w
-	cfg.Harvest = fleet
+	cfg.Algo = core.Algorithm{Label: "harvest", Schedule: s.Schedule(), Policy: inst.Policy}
+	cfg.Devices = s.Devices()
+	cfg.Workload = s.Workload()
+	cfg.Harvest = inst.Engine
 	cfg.TrackSoC = true
 	return cfg
+}
+
+func harvestConfig(t *testing.T, seed uint64) Config {
+	t.Helper()
+	return harvestEngineConfig(t, seed, harvest.EnginePointer)
 }
 
 func TestHarvestFleetWiring(t *testing.T) {
@@ -560,6 +573,43 @@ func TestHarvestFleetWiring(t *testing.T) {
 	for i := 1; i < len(res.History); i++ {
 		if res.History[i].CumHarvestWh < res.History[i-1].CumHarvestWh {
 			t.Fatalf("cumulative harvest decreased at round %d", i)
+		}
+	}
+}
+
+// TestHarvestSimEngineParity runs the full simulation — training, gossip,
+// and the harvest loop — once on the pointer fleet and once on the
+// struct-of-arrays fleet and requires bit-identical results. This extends
+// the engine-level differential suite (internal/harvest/difftest) through
+// sim.Run: the engines must be interchangeable behind Config.Harvest, not
+// just in isolation.
+func TestHarvestSimEngineParity(t *testing.T) {
+	run := func(engine string) *Result {
+		cfg := harvestEngineConfig(t, 6, engine)
+		cfg.Rounds = 24
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	pointer := run(harvest.EnginePointer)
+	soa := run(harvest.EngineSoA)
+	if pointer.FinalMeanAcc != soa.FinalMeanAcc ||
+		pointer.TotalHarvestWh != soa.TotalHarvestWh ||
+		pointer.TotalWastedWh != soa.TotalWastedWh {
+		t.Fatalf("engines diverge: pointer (acc %v, harvest %v, wasted %v), soa (acc %v, harvest %v, wasted %v)",
+			pointer.FinalMeanAcc, pointer.TotalHarvestWh, pointer.TotalWastedWh,
+			soa.FinalMeanAcc, soa.TotalHarvestWh, soa.TotalWastedWh)
+	}
+	for i := range pointer.FinalSoC {
+		if pointer.FinalSoC[i] != soa.FinalSoC[i] {
+			t.Fatalf("node %d final SoC: pointer %v, soa %v", i, pointer.FinalSoC[i], soa.FinalSoC[i])
+		}
+	}
+	for r := range pointer.TrainedRounds {
+		if pointer.TrainedRounds[r] != soa.TrainedRounds[r] {
+			t.Fatalf("node %d trained-rounds: pointer %d, soa %d", r, pointer.TrainedRounds[r], soa.TrainedRounds[r])
 		}
 	}
 }

@@ -1,0 +1,56 @@
+// Regression gate over the committed bench snapshots: the cross-PR history
+// in BENCH_*.json must stay clean under the same comparison obstool regress
+// runs in CI, and a synthetic slowdown must trip it.
+package repro_test
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/obs/analyze"
+)
+
+func readBench(t *testing.T, path string) obs.BenchFile {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	bf, err := obs.ReadBenchJSON(f)
+	if err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	return bf
+}
+
+// The committed snapshot sequence must pass the default gate: PR 7's SoA
+// engine improved ns/node-round, and nothing tracked regressed.
+func TestCommittedBenchSnapshotsPassGate(t *testing.T) {
+	old := readBench(t, "BENCH_6.json")
+	new := readBench(t, "BENCH_7.json")
+	res := analyze.CompareBench(old, new, nil, 0.2)
+	if res.Regressions != 0 {
+		t.Fatalf("committed snapshots regress: %+v", res.Deltas)
+	}
+	if len(res.Deltas) == 0 {
+		t.Fatal("no shared benchmarks compared — the gate is vacuous")
+	}
+}
+
+// A synthetic 2x slowdown of every shared benchmark must trip the gate —
+// proving the CI regress step can actually fail.
+func TestSyntheticRegressionTripsGate(t *testing.T) {
+	old := readBench(t, "BENCH_7.json")
+	slow := readBench(t, "BENCH_7.json")
+	for i := range slow.Results {
+		for k, v := range slow.Results[i].Metrics {
+			slow.Results[i].Metrics[k] = 2 * v
+		}
+	}
+	res := analyze.CompareBench(old, slow, nil, 0.2)
+	if res.Regressions == 0 {
+		t.Fatal("doubled timings passed the regression gate")
+	}
+}

@@ -16,6 +16,7 @@
 //	                                             # checkpoint/restore on rejoin
 //	harvestsim -grid -trace diurnal              # Γ-schedule search per regime
 //	harvestsim -telemetry -events run.jsonl      # live progress + JSONL events
+//	harvestsim -audit                            # live invariant auditor
 //	harvestsim -telemetry -pprof localhost:6060  # ... with pprof/expvar served
 //
 // With -telemetry, the run streams structured telemetry (internal/obs): a
@@ -24,8 +25,12 @@
 // round boundaries, per-phase wall-clock timings, brown-outs, revivals,
 // dropped sends, evaluations) for offline analysis. Telemetry never
 // perturbs the simulation: the model output is bit-identical with it on or
-// off. -pprof serves the standard pprof and expvar handlers for the run's
-// duration.
+// off. -audit attaches the streaming invariant auditor
+// (internal/obs/analyze) as one more sink: per-round energy conservation,
+// brownout/revival alternation, counter monotonicity, and phase-time
+// accounting are checked live, and any violation fails the run with exit
+// status 1. -pprof serves the standard pprof and expvar handlers for the
+// run's duration.
 //
 // With -grid, instead of a single run the command evaluates the full 4x4
 // Γtrain x Γsync grid under the harvest regime selected by -trace (each
@@ -72,6 +77,7 @@ import (
 	"repro/internal/harvest"
 	"repro/internal/nn"
 	"repro/internal/obs"
+	"repro/internal/obs/analyze"
 	"repro/internal/report"
 	"repro/internal/rng"
 	"repro/internal/sim"
@@ -112,6 +118,7 @@ func main() {
 
 		telemetry = flag.Bool("telemetry", false, "stream telemetry: a live progress line on stderr (internal/obs; see -events)")
 		events    = flag.String("events", "", "with -telemetry: write the JSONL event stream to this file")
+		audit     = flag.Bool("audit", false, "attach the streaming invariant auditor (internal/obs/analyze): check energy conservation, brownout alternation, counters, and phase times live; violations fail the run")
 		pprofAddr = flag.String("pprof", "", "serve pprof and expvar on this address (e.g. localhost:6060) for the run's duration")
 	)
 	flag.Usage = usage
@@ -140,12 +147,13 @@ func main() {
 		go http.Serve(ln, nil)
 	}
 
-	// The telemetry sink chain: a live progress line on stderr, plus the
-	// JSONL event stream when -events is set. A nil sink yields a nil
-	// (disabled) probe, so the engines pay only nil checks.
-	var sink obs.Sink
+	// The telemetry sink chain: a live progress line on stderr plus the
+	// JSONL event stream when -events is set, and the streaming invariant
+	// auditor when -audit is set (independently of -telemetry). A nil sink
+	// yields a nil (disabled) probe, so the engines pay only nil checks.
+	var sinks []obs.Sink
 	if *telemetry {
-		sinks := []obs.Sink{obs.NewProgress(os.Stderr)}
+		sinks = append(sinks, obs.NewProgress(os.Stderr))
 		if *events != "" {
 			fh, err := os.Create(*events)
 			if err != nil {
@@ -154,6 +162,14 @@ func main() {
 			}
 			sinks = append(sinks, obs.NewJSONL(fh))
 		}
+	}
+	var auditor *analyze.Auditor
+	if *audit {
+		auditor = analyze.NewAuditor()
+		sinks = append(sinks, auditor)
+	}
+	var sink obs.Sink
+	if len(sinks) > 0 {
 		sink = obs.Multi(sinks...)
 	}
 	probe := obs.NewProbe(sink)
@@ -204,6 +220,14 @@ func main() {
 	if runErr != nil {
 		fmt.Fprintln(os.Stderr, "error:", runErr)
 		os.Exit(1)
+	}
+	// The audit verdict comes after the sink chain closed: Close runs the
+	// auditor's end-of-stream checks (run_end present, no round left open).
+	if auditor != nil {
+		fmt.Fprint(os.Stderr, auditor.Summary())
+		if !auditor.Ok() {
+			os.Exit(1)
+		}
 	}
 }
 

@@ -1,13 +1,17 @@
 // Command obstool is the offline side of the observability layer
-// (internal/obs): it turns `go test -bench` output into the committed
-// BENCH_*.json perf-trajectory snapshots and validates JSONL telemetry
-// event streams.
+// (internal/obs + internal/obs/analyze): it turns `go test -bench`
+// output into the committed BENCH_*.json perf-trajectory snapshots,
+// validates JSONL telemetry event streams, audits and summarizes runs,
+// diffs two runs by manifest, and gates benchmark regressions.
 //
 //	go test -run '^$' -bench 'HarvestFleetRound|HorizonPlan' . | obstool bench -o BENCH_6.json -label "PR 6"
 //	obstool events run.jsonl        # validate a harvestsim -events stream
+//	obstool report run.jsonl        # audit + summarize one run
+//	obstool diff a.jsonl b.jsonl    # compare two runs by manifest
+//	obstool regress BENCH_6.json BENCH_7.json   # perf gate
 //
-// Both subcommands exit 0 on success, 1 on malformed input, and 2 on a
-// usage error — matching the other cmd/ binaries.
+// All subcommands exit 0 on success, 1 on malformed input or a failed
+// audit/gate, and 2 on a usage error — matching the other cmd/ binaries.
 package main
 
 import (
@@ -18,11 +22,12 @@ import (
 	"sort"
 
 	"repro/internal/obs"
+	"repro/internal/obs/analyze"
 )
 
 func main() {
 	if len(os.Args) < 2 {
-		usageError("need a subcommand: bench | events")
+		usageError("need a subcommand: bench | events | report | diff | regress")
 	}
 	var err error
 	switch os.Args[1] {
@@ -30,11 +35,17 @@ func main() {
 		err = runBench(os.Args[2:])
 	case "events":
 		err = runEvents(os.Args[2:])
+	case "report":
+		err = runReport(os.Args[2:])
+	case "diff":
+		err = runDiff(os.Args[2:])
+	case "regress":
+		err = runRegress(os.Args[2:])
 	case "-h", "-help", "--help":
 		usage(os.Stderr)
 		return
 	default:
-		usageError(fmt.Sprintf("unknown subcommand %q (want bench or events)", os.Args[1]))
+		usageError(fmt.Sprintf("unknown subcommand %q (want bench, events, report, diff, or regress)", os.Args[1]))
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
@@ -63,8 +74,26 @@ Usage:
   obstool events file.jsonl
       Validate a JSONL telemetry event stream (harvestsim -events): every
       line a well-formed event of a known kind, opening with a run_start
-      that carries a manifest config hash, closing with a run_end. Prints
-      a per-kind summary. "-" reads stdin.
+      that carries a manifest config hash, closing with a run_end, rounds
+      properly bracketed and strictly increasing. Prints a per-kind
+      summary. "-" reads stdin.
+
+  obstool report [-md] file.jsonl
+      Audit a stream against the analyze invariants (energy conservation,
+      brownout/revival alternation, counter monotonicity, phase-time
+      accounting) and print a run summary: throughput, phase breakdown,
+      SoC timelines, outage episodes, energy totals. -md emits markdown.
+      Exits 1 when the audit finds violations. "-" reads stdin.
+
+  obstool diff a.jsonl b.jsonl
+      Compare two runs by their manifests and reconstructed reports:
+      flags config-hash/seed/revision drift and prints accuracy, energy,
+      and wall-time deltas.
+
+  obstool regress [-tol 0.2] [-metric ns/node-round] old.json new.json
+      Compare two BENCH_*.json snapshots and exit 1 when a tracked metric
+      regressed past the tolerance. Benchmarks present on only one side
+      are warnings, never failures. -metric may repeat.
 `)
 }
 
@@ -131,5 +160,122 @@ func runEvents(args []string) error {
 	for _, k := range kinds {
 		fmt.Printf("  %-13s %d\n", k, stats.Kinds[k])
 	}
+	return nil
+}
+
+// openArg opens a positional file argument, with "-" meaning stdin.
+func openArg(path string) (io.ReadCloser, error) {
+	if path == "-" {
+		return io.NopCloser(os.Stdin), nil
+	}
+	return os.Open(path)
+}
+
+// runReport audits one stream and prints its reconstructed run summary.
+func runReport(args []string) error {
+	fs := flag.NewFlagSet("obstool report", flag.ExitOnError)
+	md := fs.Bool("md", false, "render the report as markdown")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		usageError("report takes exactly one file argument (\"-\" for stdin)")
+	}
+	fh, err := openArg(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer fh.Close()
+	// One decode pass feeds both consumers: the auditor and the report
+	// builder.
+	events, err := analyze.ReadEvents(fh)
+	if err != nil {
+		return err
+	}
+	auditor := analyze.NewAuditor()
+	for _, ev := range events {
+		auditor.Emit(ev)
+	}
+	auditor.Close()
+	rep := analyze.FromEvents(events)
+	if *md {
+		rep.WriteMarkdown(os.Stdout)
+	} else {
+		rep.WriteText(os.Stdout)
+	}
+	fmt.Println()
+	fmt.Print(auditor.Summary())
+	if !auditor.Ok() {
+		return fmt.Errorf("audit found %d violation(s)", len(auditor.Violations())+auditor.Overflow())
+	}
+	return nil
+}
+
+// runDiff compares two runs by manifest and reconstructed report.
+func runDiff(args []string) error {
+	fs := flag.NewFlagSet("obstool diff", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		usageError("diff takes exactly two stream file arguments")
+	}
+	reports := make([]*analyze.Report, 2)
+	for i := 0; i < 2; i++ {
+		fh, err := openArg(fs.Arg(i))
+		if err != nil {
+			return err
+		}
+		rep, err := analyze.ReadReport(fh)
+		fh.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", fs.Arg(i), err)
+		}
+		reports[i] = rep
+	}
+	d := analyze.DiffReports(reports[0], reports[1])
+	d.WriteText(os.Stdout, fs.Arg(0), fs.Arg(1))
+	return nil
+}
+
+// runRegress gates a new bench snapshot against an old one.
+func runRegress(args []string) error {
+	fs := flag.NewFlagSet("obstool regress", flag.ExitOnError)
+	tol := fs.Float64("tol", 0.2, "allowed relative slowdown before a metric counts as regressed")
+	var metrics metricList
+	fs.Var(&metrics, "metric", "tracked metric to compare (repeatable; default ns/node-round)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		usageError("regress takes exactly two BENCH_*.json file arguments (old new)")
+	}
+	files := make([]obs.BenchFile, 2)
+	for i := 0; i < 2; i++ {
+		fh, err := openArg(fs.Arg(i))
+		if err != nil {
+			return err
+		}
+		bf, err := obs.ReadBenchJSON(fh)
+		fh.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", fs.Arg(i), err)
+		}
+		files[i] = bf
+	}
+	res := analyze.CompareBench(files[0], files[1], metrics, *tol)
+	res.WriteText(os.Stdout, fs.Arg(0), fs.Arg(1), *tol)
+	if res.Regressions > 0 {
+		return fmt.Errorf("%d tracked metric(s) regressed past %.0f%%", res.Regressions, 100**tol)
+	}
+	return nil
+}
+
+// metricList is a repeatable -metric flag; nil means the default set.
+type metricList []string
+
+func (m *metricList) String() string { return fmt.Sprint([]string(*m)) }
+func (m *metricList) Set(v string) error {
+	*m = append(*m, v)
 	return nil
 }

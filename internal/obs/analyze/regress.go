@@ -1,0 +1,128 @@
+package analyze
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/obs"
+)
+
+// DefaultRegressMetrics are the tracked per-unit-of-work metrics the
+// regression gate compares by default. ns/node-round is the repo's
+// headline hot-path number (per-node cost of one fleet round); raw ns/op
+// is excluded because it scales with the benchmark's configured problem
+// size and is too machine-noisy to gate on.
+var DefaultRegressMetrics = []string{"ns/node-round"}
+
+// BenchDelta is one benchmark metric compared across two snapshots. All
+// tracked metrics are lower-is-better (nanosecond costs), so Regressed
+// means New exceeded Old by more than the gate's tolerance.
+type BenchDelta struct {
+	Name      string  `json:"name"`
+	Metric    string  `json:"metric"`
+	Old       float64 `json:"old"`
+	New       float64 `json:"new"`
+	Ratio     float64 `json:"ratio"` // New/Old; > 1 is slower
+	Regressed bool    `json:"regressed"`
+}
+
+// RegressResult is the outcome of comparing two BENCH_*.json snapshots.
+type RegressResult struct {
+	Deltas []BenchDelta `json:"deltas"`
+	// MissingInNew lists old benchmarks with no counterpart in the new
+	// snapshot (renamed or removed — a warning, not a regression).
+	MissingInNew []string `json:"missing_in_new,omitempty"`
+	// AddedInNew lists new benchmarks with no old counterpart.
+	AddedInNew []string `json:"added_in_new,omitempty"`
+	// Regressions counts deltas past tolerance; the gate fails when > 0.
+	Regressions int `json:"regressions"`
+}
+
+// CompareBench compares two bench snapshots over the tracked metrics
+// (nil means DefaultRegressMetrics): benchmarks are matched by name
+// (GOMAXPROCS split off at parse time is ignored), and a match regresses
+// when its new value exceeds old × (1 + tol). Benchmarks present on only
+// one side are reported but never fail the gate — the suite is allowed
+// to grow and shrink across PRs.
+func CompareBench(old, new obs.BenchFile, metrics []string, tol float64) RegressResult {
+	if metrics == nil {
+		metrics = DefaultRegressMetrics
+	}
+	tracked := map[string]bool{}
+	for _, m := range metrics {
+		tracked[m] = true
+	}
+	newByName := map[string]obs.BenchResult{}
+	for _, r := range new.Results {
+		newByName[r.Name] = r
+	}
+	oldSeen := map[string]bool{}
+	var res RegressResult
+	for _, or := range old.Results {
+		oldSeen[or.Name] = true
+		nr, ok := newByName[or.Name]
+		if !ok {
+			res.MissingInNew = append(res.MissingInNew, or.Name)
+			continue
+		}
+		for metric, ov := range or.Metrics {
+			if !tracked[metric] || ov <= 0 {
+				continue
+			}
+			nv, ok := nr.Metrics[metric]
+			if !ok {
+				continue
+			}
+			d := BenchDelta{
+				Name: or.Name, Metric: metric, Old: ov, New: nv,
+				Ratio: nv / ov,
+			}
+			d.Regressed = nv > ov*(1+tol)
+			if d.Regressed {
+				res.Regressions++
+			}
+			res.Deltas = append(res.Deltas, d)
+		}
+	}
+	for _, nr := range new.Results {
+		if !oldSeen[nr.Name] {
+			res.AddedInNew = append(res.AddedInNew, nr.Name)
+		}
+	}
+	sort.Slice(res.Deltas, func(i, j int) bool {
+		if res.Deltas[i].Name != res.Deltas[j].Name {
+			return res.Deltas[i].Name < res.Deltas[j].Name
+		}
+		return res.Deltas[i].Metric < res.Deltas[j].Metric
+	})
+	sort.Strings(res.MissingInNew)
+	sort.Strings(res.AddedInNew)
+	return res
+}
+
+// WriteText renders the comparison for `obstool regress`.
+func (r *RegressResult) WriteText(w io.Writer, labelOld, labelNew string, tol float64) {
+	fmt.Fprintf(w, "bench regression gate: %s -> %s (tolerance %.0f%%)\n", labelOld, labelNew, 100*tol)
+	for _, d := range r.Deltas {
+		mark := "ok"
+		if d.Regressed {
+			mark = "REGRESSED"
+		} else if d.Ratio < 1 {
+			mark = "improved"
+		}
+		fmt.Fprintf(w, "  %-28s %-14s %10.2f -> %10.2f  (x%.3f)  %s\n",
+			d.Name, d.Metric, d.Old, d.New, d.Ratio, mark)
+	}
+	for _, name := range r.MissingInNew {
+		fmt.Fprintf(w, "  %-28s missing in new snapshot (warning)\n", name)
+	}
+	for _, name := range r.AddedInNew {
+		fmt.Fprintf(w, "  %-28s new benchmark\n", name)
+	}
+	if r.Regressions > 0 {
+		fmt.Fprintf(w, "FAIL: %d metric(s) regressed past tolerance\n", r.Regressions)
+	} else {
+		fmt.Fprintf(w, "clean: no tracked metric regressed\n")
+	}
+}

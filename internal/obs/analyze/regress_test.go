@@ -1,0 +1,104 @@
+package analyze
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func benchFile(label string, results ...obs.BenchResult) obs.BenchFile {
+	return obs.BenchFile{Label: label, Results: results}
+}
+
+func benchResult(name string, nsPerNodeRound float64) obs.BenchResult {
+	return obs.BenchResult{
+		Name:    name,
+		Metrics: map[string]float64{"ns/node-round": nsPerNodeRound, "ns/op": nsPerNodeRound * 100},
+	}
+}
+
+func TestCompareBenchFlagsRegression(t *testing.T) {
+	old := benchFile("old", benchResult("FleetRound", 50), benchResult("Plan", 10))
+	// FleetRound got 50% slower — well past a 20% tolerance; Plan improved.
+	new := benchFile("new", benchResult("FleetRound", 75), benchResult("Plan", 8))
+	res := CompareBench(old, new, nil, 0.2)
+	if res.Regressions != 1 {
+		t.Fatalf("regressions = %d, want 1: %+v", res.Regressions, res.Deltas)
+	}
+	var flagged *BenchDelta
+	for i := range res.Deltas {
+		if res.Deltas[i].Regressed {
+			flagged = &res.Deltas[i]
+		}
+	}
+	if flagged == nil || flagged.Name != "FleetRound" || flagged.Metric != "ns/node-round" {
+		t.Fatalf("wrong delta flagged: %+v", flagged)
+	}
+	if flagged.Ratio != 1.5 {
+		t.Fatalf("ratio = %g, want 1.5", flagged.Ratio)
+	}
+
+	var buf bytes.Buffer
+	res.WriteText(&buf, "old", "new", 0.2)
+	out := buf.String()
+	if !strings.Contains(out, "REGRESSED") || !strings.Contains(out, "FAIL") {
+		t.Fatalf("render missing failure marks:\n%s", out)
+	}
+}
+
+func TestCompareBenchToleranceBoundary(t *testing.T) {
+	old := benchFile("old", benchResult("X", 100))
+	// Exactly at the threshold: 100 * (1 + 0.2) = 120 is NOT a regression;
+	// anything strictly above is.
+	if res := CompareBench(old, benchFile("new", benchResult("X", 120)), nil, 0.2); res.Regressions != 0 {
+		t.Fatalf("at-threshold flagged: %+v", res.Deltas)
+	}
+	if res := CompareBench(old, benchFile("new", benchResult("X", 121)), nil, 0.2); res.Regressions != 1 {
+		t.Fatalf("past-threshold not flagged: %+v", res.Deltas)
+	}
+}
+
+func TestCompareBenchMissingAndAddedAreWarnings(t *testing.T) {
+	old := benchFile("old", benchResult("Kept", 10), benchResult("Removed", 5))
+	new := benchFile("new", benchResult("Kept", 10), benchResult("Added", 7))
+	res := CompareBench(old, new, nil, 0.2)
+	if res.Regressions != 0 {
+		t.Fatalf("coverage drift treated as regression: %+v", res.Deltas)
+	}
+	if len(res.MissingInNew) != 1 || res.MissingInNew[0] != "Removed" {
+		t.Fatalf("missing: %v", res.MissingInNew)
+	}
+	if len(res.AddedInNew) != 1 || res.AddedInNew[0] != "Added" {
+		t.Fatalf("added: %v", res.AddedInNew)
+	}
+	var buf bytes.Buffer
+	res.WriteText(&buf, "old", "new", 0.2)
+	if out := buf.String(); !strings.Contains(out, "clean") {
+		t.Fatalf("clean run not reported clean:\n%s", out)
+	}
+}
+
+func TestCompareBenchCustomMetrics(t *testing.T) {
+	old := benchFile("old", benchResult("X", 10))
+	new := benchFile("new", benchResult("X", 10))
+	// ns/op regressed 2x (benchResult derives it as 100x ns/node-round)
+	// but only when the metric is tracked does it count.
+	new.Results[0].Metrics["ns/op"] = 5000
+	if res := CompareBench(old, new, nil, 0.2); res.Regressions != 0 {
+		t.Fatalf("untracked metric flagged: %+v", res.Deltas)
+	}
+	if res := CompareBench(old, new, []string{"ns/op"}, 0.2); res.Regressions != 1 {
+		t.Fatalf("tracked metric not flagged: %+v", res.Deltas)
+	}
+}
+
+func TestReadBenchJSONRejectsGarbage(t *testing.T) {
+	if _, err := obs.ReadBenchJSON(strings.NewReader("{oops")); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+	if _, err := obs.ReadBenchJSON(strings.NewReader(`{"label":"x","results":[]}`)); err == nil {
+		t.Fatal("empty results accepted")
+	}
+}

@@ -1,0 +1,147 @@
+package analyze
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestReportReconstructsRun(t *testing.T) {
+	rep := FromEvents(cleanStream())
+	if rep.Runs != 1 || rep.Rounds != 2 || rep.Events != len(cleanStream()) {
+		t.Fatalf("shape: %+v", rep)
+	}
+	if rep.Manifest == nil || rep.Manifest.Engine != "sim" {
+		t.Fatalf("manifest not captured: %+v", rep.Manifest)
+	}
+	if rep.TotalTrained != 7 {
+		t.Fatalf("TotalTrained = %d", rep.TotalTrained)
+	}
+	if rep.WallNs != 2000 || rep.RoundsPerSec <= 0 {
+		t.Fatalf("throughput: wall %d ns, %v rounds/s", rep.WallNs, rep.RoundsPerSec)
+	}
+	if !rep.HasEnergy {
+		t.Fatal("energy ledger not detected")
+	}
+	if rep.HarvestWh != 0.75 || rep.ConsumedWh != 0.75 || rep.WastedWh != 0.125 {
+		t.Fatalf("energy totals: %g %g %g", rep.HarvestWh, rep.ConsumedWh, rep.WastedWh)
+	}
+	if rep.FinalChargeWh != 1.875 {
+		t.Fatalf("final charge: %g", rep.FinalChargeWh)
+	}
+	if rep.DroppedSends != 4 {
+		t.Fatalf("dropped sends: %d", rep.DroppedSends)
+	}
+	if len(rep.Outages) != 1 || rep.OpenOutages != 0 {
+		t.Fatalf("outages: %+v", rep.Outages)
+	}
+	ep := rep.Outages[0]
+	if ep.Node != 2 || ep.Start != 0 || ep.End != 1 || ep.Rounds != 1 {
+		t.Fatalf("episode: %+v", ep)
+	}
+	if hist := rep.OutageHistogram(); len(hist) != 1 || hist[0] != 1 {
+		t.Fatalf("histogram: %v", hist)
+	}
+	if got := rep.PhaseNs["train"]; got != 400 {
+		t.Fatalf("train phase ns: %d", got)
+	}
+	if len(rep.Evals) != 1 || rep.FinalAcc() != 0.5 {
+		t.Fatalf("evals: %+v", rep.Evals)
+	}
+	if len(rep.Trained) != 2 || rep.Trained[0] != 3 || rep.Trained[1] != 4 {
+		t.Fatalf("trained series: %v", rep.Trained)
+	}
+}
+
+func TestReportOpenOutage(t *testing.T) {
+	var evs []obs.Event
+	for _, ev := range cleanStream() {
+		if ev.Kind == obs.KindRevival {
+			continue // node 2 never comes back
+		}
+		evs = append(evs, ev)
+	}
+	rep := FromEvents(evs)
+	if rep.OpenOutages != 1 || len(rep.Outages) != 1 {
+		t.Fatalf("open outage not recorded: %+v", rep.Outages)
+	}
+	if ep := rep.Outages[0]; ep.End != -1 || ep.Rounds != 2 {
+		t.Fatalf("open episode: %+v", ep)
+	}
+}
+
+func TestReportRendersTextAndMarkdown(t *testing.T) {
+	rep := FromEvents(cleanStream())
+	var txt, md bytes.Buffer
+	rep.WriteText(&txt)
+	rep.WriteMarkdown(&md)
+	for _, want := range []string{"run report", "Energy", "harvested", "Outages", "Evaluations"} {
+		if !strings.Contains(txt.String(), want) {
+			t.Fatalf("text report missing %q:\n%s", want, txt.String())
+		}
+	}
+	if !strings.Contains(md.String(), "## Energy") || !strings.Contains(md.String(), "# Run report") {
+		t.Fatalf("markdown structure missing:\n%s", md.String())
+	}
+}
+
+func TestReadReportRoundtripsJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	sink := obs.NewJSONL(&nopCloser{&buf})
+	for _, ev := range cleanStream() {
+		sink.Emit(ev)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rounds != 2 || rep.FinalChargeWh != 1.875 || len(rep.Outages) != 1 {
+		t.Fatalf("roundtripped report: %+v", rep)
+	}
+}
+
+type nopCloser struct{ *bytes.Buffer }
+
+func (n *nopCloser) Close() error { return nil }
+
+func TestDiffReportsFlagsDrift(t *testing.T) {
+	mkReport := func(seed uint64, extra string) *Report {
+		b := obs.NewManifest("sim", "x", seed).Scale(8, 4).Set("lr", "0.05")
+		if extra != "" {
+			b.Set("cutoff", extra)
+		}
+		m := b.Build()
+		evs := []obs.Event{
+			{Kind: obs.KindRunStart, Round: -1, Node: -1, Manifest: &m},
+			{Kind: obs.KindRunEnd, Round: -1, Node: -1, WallNs: 1000, Steps: 4, Trained: 10},
+		}
+		return FromEvents(evs)
+	}
+	same := DiffReports(mkReport(1, ""), mkReport(1, ""))
+	if !same.SameConfig || same.SeedDrift || len(same.ConfigDrift) != 0 {
+		t.Fatalf("identical runs flagged: %+v", same)
+	}
+	drift := DiffReports(mkReport(1, ""), mkReport(2, "0.3"))
+	if drift.SameConfig || !drift.SeedDrift {
+		t.Fatalf("drift not flagged: %+v", drift)
+	}
+	found := false
+	for _, line := range drift.ConfigDrift {
+		if line == "+cutoff=0.3" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("config drift lines: %v", drift.ConfigDrift)
+	}
+	var buf bytes.Buffer
+	drift.WriteText(&buf, "a", "b")
+	if !strings.Contains(buf.String(), "HASH DRIFT") {
+		t.Fatalf("diff text: %s", buf.String())
+	}
+}

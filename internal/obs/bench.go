@@ -119,6 +119,21 @@ func WriteBenchJSON(w io.Writer, label string, results []BenchResult) error {
 	return enc.Encode(f)
 }
 
+// ReadBenchJSON decodes one committed BENCH_*.json snapshot — the inverse
+// of WriteBenchJSON, used by `obstool regress` and the perf-trajectory
+// regression tests.
+func ReadBenchJSON(r io.Reader) (BenchFile, error) {
+	var f BenchFile
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&f); err != nil {
+		return f, fmt.Errorf("obs: decoding bench snapshot: %w", err)
+	}
+	if len(f.Results) == 0 {
+		return f, fmt.Errorf("obs: bench snapshot has no results")
+	}
+	return f, nil
+}
+
 // EventStats summarizes a validated event stream.
 type EventStats struct {
 	Events int
@@ -128,8 +143,15 @@ type EventStats struct {
 
 // ValidateEvents reads a JSONL event stream and checks its structure: every
 // line one JSON-decodable Event with a known kind, the first event a
-// run_start carrying a manifest with a config hash, and at least one
-// run_end. This is the CI smoke contract for `harvestsim -events`.
+// run_start carrying a manifest with a config hash, at least one run_end,
+// and well-formed round bracketing — every round_start closed by a
+// round_end for the same round before the next opens, round numbers
+// strictly increasing within a run, and no round left open at a run_end
+// or at end of stream. Streams without round events (the async engine,
+// the grid runner) pass trivially, and a stream may carry several
+// run_start/run_end pairs (the grid runner emits one per regime). This is
+// the CI smoke contract for `harvestsim -events`; deeper semantic checks
+// (energy conservation, brownout alternation) live in obs/analyze.
 func ValidateEvents(r io.Reader) (EventStats, error) {
 	stats := EventStats{Kinds: map[string]int{}}
 	known := map[string]bool{
@@ -140,6 +162,8 @@ func ValidateEvents(r io.Reader) (EventStats, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	line := 0
+	openRound := -1 // round number of the currently open round, -1 when none
+	lastRound := -1 // last round opened in this run
 	for sc.Scan() {
 		line++
 		text := strings.TrimSpace(sc.Text())
@@ -161,6 +185,33 @@ func ValidateEvents(r io.Reader) (EventStats, error) {
 				return stats, fmt.Errorf("obs: line %d: run_start carries no manifest config hash", line)
 			}
 		}
+		switch ev.Kind {
+		case KindRunStart:
+			if openRound >= 0 {
+				return stats, fmt.Errorf("obs: line %d: run_start with round %d still open", line, openRound)
+			}
+			lastRound = -1
+		case KindRunEnd:
+			if openRound >= 0 {
+				return stats, fmt.Errorf("obs: line %d: run_end with round %d still open", line, openRound)
+			}
+		case KindRoundStart:
+			if openRound >= 0 {
+				return stats, fmt.Errorf("obs: line %d: round_start %d while round %d is still open", line, ev.Round, openRound)
+			}
+			if ev.Round <= lastRound {
+				return stats, fmt.Errorf("obs: line %d: round_start %d is not after round %d (rounds must strictly increase)", line, ev.Round, lastRound)
+			}
+			openRound, lastRound = ev.Round, ev.Round
+		case KindRoundEnd:
+			if openRound != ev.Round {
+				if openRound < 0 {
+					return stats, fmt.Errorf("obs: line %d: round_end %d without a matching round_start", line, ev.Round)
+				}
+				return stats, fmt.Errorf("obs: line %d: round_end %d closes open round %d", line, ev.Round, openRound)
+			}
+			openRound = -1
+		}
 		stats.Events++
 		stats.Kinds[ev.Kind]++
 		if ev.Kind == KindRoundEnd {
@@ -172,6 +223,9 @@ func ValidateEvents(r io.Reader) (EventStats, error) {
 	}
 	if stats.Events == 0 {
 		return stats, fmt.Errorf("obs: empty event stream")
+	}
+	if openRound >= 0 {
+		return stats, fmt.Errorf("obs: event stream ends with round %d still open", openRound)
 	}
 	if stats.Kinds[KindRunEnd] == 0 {
 		return stats, fmt.Errorf("obs: event stream has no %s (run did not close)", KindRunEnd)

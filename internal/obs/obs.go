@@ -134,6 +134,17 @@ type Event struct {
 	SoCP90  float64 `json:"soc_p90,omitempty"`
 	SoCP99  float64 `json:"soc_p99,omitempty"`
 
+	// Per-round fleet energy totals in watt-hours (round_end of
+	// harvest-coupled runs; charge also rides on run_start as the audit
+	// baseline). HarvestWh is the energy that arrived this round — the sum
+	// of what was stored and what overflowed full batteries (WastedWh), so
+	// HarvestWh − ConsumedWh − WastedWh = ΔChargeWh, the conservation
+	// identity the analyze.Auditor checks.
+	HarvestWh  float64 `json:"harvest_wh,omitempty"`
+	ConsumedWh float64 `json:"consumed_wh,omitempty"`
+	WastedWh   float64 `json:"wasted_wh,omitempty"`
+	ChargeWh   float64 `json:"charge_wh,omitempty"`
+
 	// Evaluation results (eval events).
 	MeanAcc float64 `json:"mean_acc,omitempty"`
 	StdAcc  float64 `json:"std_acc,omitempty"`
@@ -148,7 +159,8 @@ type Event struct {
 }
 
 // RoundStats is the per-round summary a probe turns into a round_end
-// event. HasSoC distinguishes "no fleet attached" from all-zero charge.
+// event. HasSoC distinguishes "no fleet attached" from all-zero charge;
+// HasEnergy likewise gates the per-round energy ledger fields.
 type RoundStats struct {
 	Trained  int
 	Live     int
@@ -158,6 +170,15 @@ type RoundStats struct {
 	SoCP50   float64
 	SoCP90   float64
 	SoCP99   float64
+
+	// Per-round fleet energy ledger (Wh): what arrived, what training and
+	// idling drained, what overflowed full batteries, and the fleet's total
+	// charge after the round closed.
+	HasEnergy  bool
+	HarvestWh  float64
+	ConsumedWh float64
+	WastedWh   float64
+	ChargeWh   float64
 }
 
 // Probe is the handle engines emit telemetry through. A nil *Probe is the
@@ -219,6 +240,20 @@ func (p *Probe) RunStart(m *RunManifest) {
 	p.sink.Emit(Event{Kind: KindRunStart, Round: -1, Node: -1, Manifest: m})
 }
 
+// RunStartCharge is RunStart for harvest-coupled runs: the run_start
+// event additionally carries the fleet's initial total charge (Wh), the
+// baseline the energy-conservation audit integrates from. A fleet that
+// genuinely starts empty stamps nothing (the field is omitempty, zero Wh
+// drops out of the JSON) and the auditor baselines at the first
+// round_end instead.
+func (p *Probe) RunStartCharge(m *RunManifest, chargeWh float64) {
+	if p == nil {
+		return
+	}
+	p.runStart = time.Now()
+	p.sink.Emit(Event{Kind: KindRunStart, Round: -1, Node: -1, Manifest: m, ChargeWh: chargeWh})
+}
+
 // RunEnd closes the run with its total wall clock and counters.
 func (p *Probe) RunEnd(rounds, trained int) {
 	if p == nil {
@@ -253,6 +288,9 @@ func (p *Probe) RoundEnd(t int, s RoundStats) {
 	}
 	if s.HasSoC {
 		ev.MeanSoC, ev.SoCP50, ev.SoCP90, ev.SoCP99 = s.MeanSoC, s.SoCP50, s.SoCP90, s.SoCP99
+	}
+	if s.HasEnergy {
+		ev.HarvestWh, ev.ConsumedWh, ev.WastedWh, ev.ChargeWh = s.HarvestWh, s.ConsumedWh, s.WastedWh, s.ChargeWh
 	}
 	p.sink.Emit(ev)
 }

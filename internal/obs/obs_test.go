@@ -79,18 +79,47 @@ func TestDroppedSendsSkipsZero(t *testing.T) {
 }
 
 func TestValidateEventsRejectsBadStreams(t *testing.T) {
+	const runStart = `{"kind":"run_start","round":-1,"node":-1,"manifest":{"engine":"sim","seed":1,"config_hash":"ab","config":[],"go_version":"x","gomaxprocs":1}}` + "\n"
+	const runEnd = `{"kind":"run_end","round":-1,"node":-1}` + "\n"
 	cases := map[string]string{
 		"empty":          "",
 		"not json":       "hello\n",
 		"unknown kind":   `{"kind":"nonsense","round":0,"node":0}` + "\n",
 		"no run_start":   `{"kind":"round_start","round":0,"node":-1}` + "\n",
 		"no manifest":    `{"kind":"run_start","round":-1,"node":-1}` + "\n",
-		"missing runend": `{"kind":"run_start","round":-1,"node":-1,"manifest":{"engine":"sim","seed":1,"config_hash":"ab","config":[],"go_version":"x","gomaxprocs":1}}` + "\n",
+		"missing runend": runStart,
+		"unpaired round_end": runStart +
+			`{"kind":"round_end","round":0,"node":-1}` + "\n" + runEnd,
+		"double round_start": runStart +
+			`{"kind":"round_start","round":0,"node":-1}` + "\n" +
+			`{"kind":"round_start","round":1,"node":-1}` + "\n" + runEnd,
+		"round_end number mismatch": runStart +
+			`{"kind":"round_start","round":0,"node":-1}` + "\n" +
+			`{"kind":"round_end","round":3,"node":-1}` + "\n" + runEnd,
+		"rounds not monotone": runStart +
+			`{"kind":"round_start","round":1,"node":-1}` + "\n" +
+			`{"kind":"round_end","round":1,"node":-1}` + "\n" +
+			`{"kind":"round_start","round":0,"node":-1}` + "\n" +
+			`{"kind":"round_end","round":0,"node":-1}` + "\n" + runEnd,
+		"round open at run_end": runStart +
+			`{"kind":"round_start","round":0,"node":-1}` + "\n" + runEnd,
+		"round open at stream end": runStart +
+			`{"kind":"round_start","round":0,"node":-1}` + "\n",
 	}
 	for name, stream := range cases {
 		if _, err := ValidateEvents(strings.NewReader(stream)); err == nil {
 			t.Errorf("%s: stream validated, want error", name)
 		}
+	}
+	// A well-paired multi-run stream must still validate.
+	good := runStart +
+		`{"kind":"round_start","round":0,"node":-1}` + "\n" +
+		`{"kind":"round_end","round":0,"node":-1}` + "\n" + runEnd +
+		runStart + // second segment: round numbering restarts
+		`{"kind":"round_start","round":0,"node":-1}` + "\n" +
+		`{"kind":"round_end","round":0,"node":-1}` + "\n" + runEnd
+	if stats, err := ValidateEvents(strings.NewReader(good)); err != nil || stats.Events != 8 {
+		t.Fatalf("multi-run stream rejected: stats=%+v err=%v", stats, err)
 	}
 }
 

@@ -88,6 +88,7 @@ type ProgressSink struct {
 	mu     sync.Mutex
 	w      io.Writer
 	rounds int  // total rounds from the manifest, 0 when unknown
+	nodes  int  // fleet size from the manifest, 0 when unknown
 	dirty  bool // a \r status line is pending and needs a newline
 }
 
@@ -101,6 +102,7 @@ func (s *ProgressSink) Emit(ev Event) {
 	case KindRunStart:
 		if ev.Manifest != nil {
 			s.rounds = ev.Manifest.Rounds
+			s.nodes = ev.Manifest.Nodes
 			fmt.Fprintf(s.w, "run %s seed=%d config=%s\n",
 				ev.Manifest.Engine, ev.Manifest.Seed, ev.Manifest.ConfigHash)
 		}
@@ -112,6 +114,9 @@ func (s *ProgressSink) Emit(ev Event) {
 		line := fmt.Sprintf("\rround %d/%s  trained=%d live=%d", ev.Round+1, total, ev.Trained, ev.Live)
 		if ev.SoCP50 != 0 || ev.SoCP99 != 0 || ev.MeanSoC != 0 {
 			line += fmt.Sprintf("  soc p50=%.3f p90=%.3f p99=%.3f", ev.SoCP50, ev.SoCP90, ev.SoCP99)
+		}
+		if s.nodes > 0 && ev.WallNs > 0 {
+			line += fmt.Sprintf("  %.1fM nr/s", float64(s.nodes)/float64(ev.WallNs)*1e3)
 		}
 		fmt.Fprintf(s.w, "%-78s", line)
 		s.dirty = true
@@ -165,18 +170,30 @@ func (m multiSink) Close() error {
 	return first
 }
 
-// MemorySink buffers events in order of arrival — the test double.
+// MemorySink buffers events in order of arrival — the test double, and
+// the buffer behind post-run analysis (analyze.FromEvents). Limit, when
+// positive, caps the buffer: events past the cap are counted in
+// Dropped() and discarded, keeping long runs bounded.
 type MemorySink struct {
-	mu     sync.Mutex
-	events []Event
+	mu      sync.Mutex
+	events  []Event
+	dropped int
+
+	// Limit caps the buffer when positive (0 means unbounded). Set before
+	// the first Emit.
+	Limit int
 }
 
-// NewMemory returns an empty in-memory sink.
+// NewMemory returns an empty, unbounded in-memory sink.
 func NewMemory() *MemorySink { return &MemorySink{} }
 
 func (s *MemorySink) Emit(ev Event) {
 	s.mu.Lock()
-	s.events = append(s.events, ev)
+	if s.Limit > 0 && len(s.events) >= s.Limit {
+		s.dropped++
+	} else {
+		s.events = append(s.events, ev)
+	}
 	s.mu.Unlock()
 }
 
@@ -190,6 +207,14 @@ func (s *MemorySink) Events() []Event {
 	out := make([]Event, len(s.events))
 	copy(out, s.events)
 	return out
+}
+
+// Dropped returns how many events were discarded because the buffer was
+// at Limit.
+func (s *MemorySink) Dropped() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
 }
 
 // Count returns how many events of the given kind were emitted ("" counts

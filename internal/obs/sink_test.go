@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// failWriter fails every write after the first n bytes-worth of calls.
+type failWriter struct {
+	calls int
+	limit int
+	err   error
+}
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	w.calls++
+	if w.calls > w.limit {
+		return 0, w.err
+	}
+	return len(p), nil
+}
+
+type failCloser struct {
+	bytes.Buffer
+	err error
+}
+
+func (c *failCloser) Close() error { return c.err }
+
+func TestJSONLWriteFailureIsStickyAndSurfacesOnClose(t *testing.T) {
+	wantErr := errors.New("disk full")
+	w := &failWriter{limit: 0, err: wantErr}
+	s := NewJSONL(w)
+	// Force the tiny bufio buffer to flush mid-stream so the write error
+	// lands during Emit, not only at Close.
+	big := Event{Kind: KindCell, Label: strings.Repeat("x", 8192)}
+	s.Emit(big)
+	s.Emit(big)
+	if err := s.Close(); !errors.Is(err, wantErr) {
+		t.Fatalf("Close() = %v, want %v", err, wantErr)
+	}
+	// Errors are sticky: closing again reports the same failure.
+	if err := s.Close(); !errors.Is(err, wantErr) {
+		t.Fatalf("second Close() = %v, want sticky %v", err, wantErr)
+	}
+}
+
+func TestJSONLCloserFailureSurfaces(t *testing.T) {
+	wantErr := errors.New("close failed")
+	c := &failCloser{err: wantErr}
+	s := NewJSONL(c)
+	s.Emit(Event{Kind: KindRunEnd, Round: -1, Node: -1})
+	if err := s.Close(); !errors.Is(err, wantErr) {
+		t.Fatalf("Close() = %v, want %v", err, wantErr)
+	}
+}
+
+func TestJSONLEmitAfterCloseIsDiscarded(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONL(&buf)
+	s.Emit(Event{Kind: KindRunEnd, Round: -1, Node: -1})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	before := buf.Len()
+	s.Emit(Event{Kind: KindEval, Round: 0, Node: -1})
+	if buf.Len() != before {
+		t.Fatal("Emit after Close wrote to the stream")
+	}
+}
+
+func TestMultiCloseReturnsFirstErrorButClosesAll(t *testing.T) {
+	wantErr := errors.New("child failed")
+	bad := NewJSONL(&failCloser{err: wantErr})
+	mem := NewMemory()
+	progress := NewProgress(&bytes.Buffer{})
+	m := Multi(bad, mem, progress)
+	m.Emit(Event{Kind: KindRoundEnd, Round: 0, Node: -1, Trained: 3})
+	if mem.Count(KindRoundEnd) != 1 {
+		t.Fatal("fan-out skipped a child")
+	}
+	if err := m.Close(); !errors.Is(err, wantErr) {
+		t.Fatalf("Multi.Close() = %v, want first child error %v", err, wantErr)
+	}
+}
+
+func TestMemorySinkLimitCountsDropped(t *testing.T) {
+	s := NewMemory()
+	s.Limit = 3
+	for i := 0; i < 10; i++ {
+		s.Emit(Event{Kind: KindRoundEnd, Round: i, Node: -1})
+	}
+	if got := len(s.Events()); got != 3 {
+		t.Fatalf("buffered %d events, want limit 3", got)
+	}
+	if s.Dropped() != 7 {
+		t.Fatalf("Dropped() = %d, want 7", s.Dropped())
+	}
+	// The retained events are the earliest ones, in order.
+	for i, ev := range s.Events() {
+		if ev.Round != i {
+			t.Fatalf("event %d has round %d", i, ev.Round)
+		}
+	}
+}
+
+func TestProgressSinkShowsNodeThroughput(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewProgress(&buf)
+	m := NewManifest("sim", "x", 1).Scale(2_000_000, 4).Build()
+	s.Emit(Event{Kind: KindRunStart, Round: -1, Node: -1, Manifest: &m})
+	s.Emit(Event{Kind: KindRoundEnd, Round: 0, Node: -1, Trained: 5, Live: 8, WallNs: 1_000_000})
+	s.Close()
+	if out := buf.String(); !strings.Contains(out, "2000.0M nr/s") {
+		t.Fatalf("no node throughput in progress line:\n%q", out)
+	}
+}

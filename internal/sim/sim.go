@@ -449,7 +449,19 @@ func Run(cfg Config) (*Result, error) {
 	// and wall clocks, never stochastic or model state.
 	result.Manifest = buildManifest(&cfg, paramCount)
 	probe := cfg.Probe
-	probe.RunStart(&result.Manifest)
+	if probe.Enabled() && cfg.Harvest != nil {
+		// Harvest-coupled runs stamp the fleet's initial total charge on
+		// run_start — the baseline the energy-conservation audit
+		// (obs/analyze) integrates per-round deltas from.
+		probe.RunStartCharge(&result.Manifest, fleetChargeWh(cfg.Harvest))
+	} else {
+		probe.RunStart(&result.Manifest)
+	}
+	// Snapshots of the fleet's cumulative drain/overflow ledgers at the
+	// previous round close, so round_end can carry this round's deltas.
+	// Maintained only while telemetry is on; reads only, so a probed run
+	// stays bit-identical to an unprobed one.
+	var prevConsumedWh, prevWastedWh float64
 
 	// The SoC quantile sketch streams per-round charge percentiles without
 	// materializing a per-node slice; allocated once, reset per round.
@@ -832,6 +844,20 @@ func Run(cfg Config) (*Result, error) {
 			if cfg.Harvest != nil {
 				stats.HasSoC = true
 				stats.MeanSoC, stats.SoCP50, stats.SoCP90, stats.SoCP99 = m.MeanSoC, m.SoCP50, m.SoCP90, m.SoCP99
+				// This round's energy ledger: arrived harvest (pre-clamp, so
+				// stored + wasted), drain and overflow as deltas of the
+				// cumulative ledgers, and the closing total charge. Together
+				// they satisfy harvest − consumed − wasted = ΔCharge, the
+				// invariant obs/analyze audits.
+				consumed, wasted := cfg.Harvest.ConsumedWh(), cfg.Harvest.WastedWh()
+				stats.HasEnergy = true
+				for _, wh := range cfg.Harvest.RoundArrivedWh() {
+					stats.HarvestWh += wh
+				}
+				stats.ConsumedWh = consumed - prevConsumedWh
+				stats.WastedWh = wasted - prevWastedWh
+				stats.ChargeWh = fleetChargeWh(cfg.Harvest)
+				prevConsumedWh, prevWastedWh = consumed, wasted
 			}
 			probe.RoundEnd(t, stats)
 		}
@@ -861,6 +887,17 @@ func Run(cfg Config) (*Result, error) {
 	return result, nil
 }
 
+// fleetChargeWh sums the fleet's per-node battery charge — the total the
+// probe stamps on run_start and every harvest round_end so the energy
+// audit can track ΔCharge round to round.
+func fleetChargeWh(e harvest.Engine) float64 {
+	total := 0.0
+	for i := 0; i < e.Nodes(); i++ {
+		total += e.ChargeWh(i)
+	}
+	return total
+}
+
 // buildManifest derives the run's content-addressable identity from every
 // experiment-defining config field. Anything that changes the computed bits
 // must be hashed here; anything that cannot (GOMAXPROCS, transport backend,
@@ -882,6 +919,22 @@ func buildManifest(cfg *Config, paramCount int) obs.RunManifest {
 		Setf("drop_dead", "%t", cfg.DropDeadNodes)
 	if cfg.Harvest != nil {
 		b.Set("trace", cfg.Harvest.TraceName())
+		// The battery spec is experiment identity too: capacity, cutoff,
+		// idle draw, and starting charge decide who trains and who browns
+		// out. Fleet-level sums are a compact fingerprint — per-node values
+		// follow deterministically from the device mix and options — and
+		// without them runs differing only in (say) -cutoff would collide
+		// on one cache key.
+		var capWh, cutWh, ovWh float64
+		for i := 0; i < cfg.Harvest.Nodes(); i++ {
+			capWh += cfg.Harvest.CapacityWh(i)
+			cutWh += cfg.Harvest.CutoffWh(i)
+			ovWh += cfg.Harvest.OverheadWh(i)
+		}
+		b.Setf("fleet_capacity_wh", "%g", capWh).
+			Setf("fleet_cutoff_wh", "%g", cutWh).
+			Setf("fleet_overhead_wh", "%g", ovWh).
+			Setf("fleet_initial_wh", "%g", fleetChargeWh(cfg.Harvest))
 	}
 	if cfg.Forecast != nil {
 		b.Set("forecast", cfg.Forecast.Name()).

@@ -6,7 +6,9 @@ import (
 	"sort"
 	"testing"
 
+	"repro/internal/harvest"
 	"repro/internal/obs"
+	"repro/internal/obs/analyze"
 )
 
 // Telemetry must be invisible to the simulation: the same run with a probe
@@ -172,5 +174,53 @@ func TestResultManifestStamped(t *testing.T) {
 	}
 	if a.Manifest.Nodes != 8 || a.Manifest.Rounds != 4 {
 		t.Fatalf("manifest scale: %d nodes, %d rounds", a.Manifest.Nodes, a.Manifest.Rounds)
+	}
+}
+
+// Every round_end on a harvest run must carry the per-round energy ledger,
+// and the ledger must conserve: prevCharge + harvested - consumed - wasted
+// equals the new fleet charge within analyze.EnergyTol, on both engines.
+func TestRoundEndEnergyLedgerConserves(t *testing.T) {
+	for _, engine := range []string{harvest.EnginePointer, harvest.EngineSoA} {
+		t.Run(engine, func(t *testing.T) {
+			cfg := harvestEngineConfig(t, 17, engine)
+			cfg.Rounds = 16
+			mem := obs.NewMemory()
+			cfg.Probe = obs.NewProbe(mem)
+			if _, err := Run(cfg); err != nil {
+				t.Fatal(err)
+			}
+
+			first := mem.Events()[0]
+			if first.Kind != obs.KindRunStart || first.ChargeWh <= 0 {
+				t.Fatalf("run_start must carry the initial fleet charge, got %+v", first)
+			}
+			prev := first.ChargeWh
+			var cumHarvest, cumConsumed, cumWasted float64
+			rounds := 0
+			for _, ev := range mem.Events() {
+				if ev.Kind != obs.KindRoundEnd {
+					continue
+				}
+				rounds++
+				if ev.HarvestWh < 0 || ev.ConsumedWh < 0 || ev.WastedWh < 0 {
+					t.Fatalf("round %d: negative energy total: %+v", ev.Round, ev)
+				}
+				cumHarvest += ev.HarvestWh
+				cumConsumed += ev.ConsumedWh
+				cumWasted += ev.WastedWh
+				residual := prev + ev.HarvestWh - ev.ConsumedWh - ev.WastedWh - ev.ChargeWh
+				if tol := analyze.EnergyTol(cumHarvest, cumConsumed, cumWasted, ev.ChargeWh); math.Abs(residual) > tol {
+					t.Fatalf("round %d: conservation residual %g exceeds tolerance %g", ev.Round, residual, tol)
+				}
+				prev = ev.ChargeWh
+			}
+			if rounds != cfg.Rounds {
+				t.Fatalf("saw %d energy-bearing round_ends, want %d", rounds, cfg.Rounds)
+			}
+			if cumHarvest <= 0 || cumConsumed <= 0 {
+				t.Fatalf("diurnal fleet ledger empty: harvest %g, consumed %g", cumHarvest, cumConsumed)
+			}
+		})
 	}
 }

@@ -25,17 +25,21 @@ func readBench(t *testing.T, path string) obs.BenchFile {
 	return bf
 }
 
-// The committed snapshot sequence must pass the default gate: PR 7's SoA
-// engine improved ns/node-round, and nothing tracked regressed.
+// The committed snapshot sequence must pass the default gate at every
+// step: PR 7's SoA engine improved ns/node-round, PR 8 and PR 9 added
+// benchmarks without regressing the tracked ones.
 func TestCommittedBenchSnapshotsPassGate(t *testing.T) {
-	old := readBench(t, "BENCH_6.json")
-	new := readBench(t, "BENCH_7.json")
-	res := analyze.CompareBench(old, new, nil, 0.2)
-	if res.Regressions != 0 {
-		t.Fatalf("committed snapshots regress: %+v", res.Deltas)
-	}
-	if len(res.Deltas) == 0 {
-		t.Fatal("no shared benchmarks compared — the gate is vacuous")
+	history := []string{"BENCH_6.json", "BENCH_7.json", "BENCH_8.json", "BENCH_9.json"}
+	for i := 1; i < len(history); i++ {
+		old := readBench(t, history[i-1])
+		new := readBench(t, history[i])
+		res := analyze.CompareBench(old, new, nil, 0.2)
+		if res.Regressions != 0 {
+			t.Fatalf("%s -> %s regresses: %+v", history[i-1], history[i], res.Deltas)
+		}
+		if len(res.Deltas) == 0 {
+			t.Fatalf("%s -> %s shares no benchmarks — the gate is vacuous", history[i-1], history[i])
+		}
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/async"
 	"repro/internal/compress"
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -787,4 +788,77 @@ func BenchmarkHarvestFleetRoundParallel(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*nodes*rounds), "ns/node-round")
+}
+
+// BenchmarkAsyncHarvestEventLoop measures the event-driven intermittency
+// engine end to end: a 64-node fleet on a scarce diurnal trace, every
+// local step an admission check plus a continuous battery integration,
+// sleeping nodes woken at solved charge-arrival crossings, and in-flight
+// steps interrupted at exact cutoff crossings. LocalSteps 1 on a small
+// model keeps SGD cheap, so the heap, crossing solvers, and per-segment
+// trace integration dominate — the cost the refactor added over the
+// budget-contract step clock.
+func BenchmarkAsyncHarvestEventLoop(b *testing.B) {
+	const nodes = 64
+	g, err := graph.Regular(nodes, 6, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := dataset.SyntheticConfig{Classes: 10, Dim: 16, Train: nodes * 24, Test: 240, Noise: 2.5, Seed: 42}
+	train, testAll, err := dataset.Generate(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	part, err := dataset.ShardPartition(train, nodes, 2, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	devices := energy.AssignDevices(nodes, energy.Devices())
+	w := energy.CIFAR10Workload()
+	mean := energy.NetworkRoundWh(nodes, energy.Devices(), w) / float64(nodes)
+	stepSec := 0.0
+	for _, d := range devices {
+		stepSec += d.TrainRoundSeconds(w)
+	}
+	stepSec /= nodes
+	const traceRounds = 96
+	steps := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		trace, err := harvest.NewDiurnal(1.2*mean, 24, harvest.LongitudePhase(nodes))
+		if err != nil {
+			b.Fatal(err)
+		}
+		policy, err := harvest.NewSoCThreshold(0.2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := async.Run(async.Config{
+			Graph:        g,
+			Algo:         core.Algorithm{Label: "bench", Schedule: core.AllTrain{}, Policy: policy},
+			Horizon:      traceRounds * stepSec,
+			ModelFactory: func(node int, r *rng.RNG) *nn.Network { return nn.LogisticRegression(16, 10, r) },
+			LR:           0.2, BatchSize: 8, LocalSteps: 1,
+			Partition: part, Test: testAll,
+			Devices: devices, Workload: w,
+			Trace: trace,
+			FleetOptions: harvest.Options{
+				CapacityRounds: 8, InitialSoC: 0.3, CutoffSoC: 0.1, IdleWh: 0.2 * mean,
+			},
+			RoundSeconds: stepSec,
+			Seed:         42,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		steps = 0
+		for _, s := range res.StepsPerNode {
+			steps += s
+		}
+		if steps == 0 || res.Brownouts == 0 {
+			b.Fatalf("event loop idle: %d steps, %d brown-outs", steps, res.Brownouts)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*steps), "ns/step")
 }

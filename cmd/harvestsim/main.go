@@ -32,6 +32,16 @@
 // status 1. -pprof serves the standard pprof and expvar handlers for the
 // run's duration.
 //
+// With -async, the round engine is replaced by the event-driven one
+// (internal/async): batteries evolve on a continuous virtual clock, an
+// unaffordable node sleeps until its solved charge-arrival crossing, and a
+// brown-out interrupts an in-flight training step at the exact cutoff
+// crossing — the computation is discarded but its partial energy stays
+// spent. One trace round spans the fleet-mean step duration, so -rounds,
+// -peak, and -period describe the same ambient process as the round
+// engine. Flags tied to round-engine machinery (-engine, -dropdead,
+// -rejoin, -ckptdir, -grid) conflict with -async.
+//
 // With -grid, instead of a single run the command evaluates the full 4x4
 // Γtrain x Γsync grid under the harvest regime selected by -trace (each
 // cell a fresh-fleet simulation, cells fanned out across workers) and
@@ -68,6 +78,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/async"
 	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -108,6 +119,7 @@ func main() {
 		rejoin   = flag.String("rejoin", "", "checkpoint/restore on rejoin: stale | restore | catchup (requires -dropdead; empty = off)")
 		ckptDir  = flag.String("ckptdir", "", "persist snapshots under this directory (default: in-memory store)")
 		grid     = flag.Bool("grid", false, "run the 4x4 Γtrain x Γsync grid search under the -trace regime instead of a single run")
+		asyncRun = flag.Bool("async", false, "run the event-driven intermittency engine (internal/async): batteries on a continuous virtual clock, solved wake/brown-out crossings instead of round-boundary settlement")
 		gt       = flag.Int("gt", 0, "Γtrain (0 = all-train schedule)")
 		gs       = flag.Int("gs", 0, "Γsync (needs -gt > 0: SkipTrain schedule)")
 		lr       = flag.Float64("lr", 0.2, "learning rate η")
@@ -178,6 +190,29 @@ func main() {
 	// the schedule itself, so the single-run fleet/policy/schedule flags
 	// have no effect there. Explicitly setting one alongside -grid is the
 	// same silent-ignore hazard as -gs without -gt: reject it.
+	// -async replaces the round engine with the event-driven one. The
+	// flags below configure machinery that only exists in the round
+	// engine (pointer/SoA round fleets, per-round dropout, checkpoint
+	// rejoin), so setting one alongside -async is a usage error, not a
+	// silent no-op.
+	if *asyncRun {
+		if *grid {
+			usageError("-grid searches schedules on the round engine; it cannot be combined with -async")
+		}
+		roundOnly := map[string]bool{
+			"engine": true, "dropdead": true, "rejoin": true, "ckptdir": true,
+		}
+		var ignored []string
+		flag.Visit(func(f *flag.Flag) {
+			if roundOnly[f.Name] {
+				ignored = append(ignored, "-"+f.Name)
+			}
+		})
+		if len(ignored) > 0 {
+			usageError(fmt.Sprintf("-async runs the event-driven engine and ignores %s",
+				strings.Join(ignored, ", ")))
+		}
+	}
 	if *grid {
 		single := map[string]bool{
 			"degree": true, "policy": true, "capacity": true, "initsoc": true,
@@ -207,6 +242,7 @@ func main() {
 		cutoff: *cutoff, idle: *idle, dropDead: *dropDead,
 		rejoin: *rejoin, ckptDir: *ckptDir,
 		grid:   *grid,
+		async:  *asyncRun,
 		engine: *engine,
 		gt:     *gt, gs: *gs, lr: *lr, batch: *batch, steps: *steps,
 		evalInt: *evalInt, seed: *seed,
@@ -254,6 +290,7 @@ type runConfig struct {
 	dropDead                        bool
 	rejoin, ckptDir                 string
 	grid                            bool
+	async                           bool
 	engine                          string
 	gt, gs                          int
 	lr                              float64
@@ -355,6 +392,9 @@ Scenarios:
   harvestsim -policy mpc-persist               # ... with a learned forecast
   harvestsim -grid -trace diurnal              # Γ-schedule search (4x4 grid)
   harvestsim -grid -trace constant -peak 0     # ... under a fixed budget
+  harvestsim -async -cutoff 0.25 -idle 0.2     # event-driven engine: solved
+                                               # wake/brown-out crossings
+  harvestsim -async -telemetry -audit          # ... with the live auditor
   harvestsim -telemetry -events run.jsonl      # live progress + JSONL events
   harvestsim -telemetry -pprof localhost:6060  # ... with pprof/expvar served
 
@@ -364,15 +404,50 @@ Flags:
 	flag.PrintDefaults()
 }
 
+// buildTrace constructs the ambient trace selected by -trace from the
+// CLI's trace parameters; shared by the round and event-driven paths.
+func buildTrace(c runConfig, nodes int, meanTrainWh float64) (harvest.Trace, error) {
+	switch c.traceKind {
+	case "diurnal":
+		return harvest.NewDiurnal(c.peak*meanTrainWh, c.period, harvest.LongitudePhase(nodes))
+	case "constant":
+		return harvest.Constant{Wh: c.peak * meanTrainWh}, nil
+	case "markov":
+		return harvest.NewMarkovOnOff(nodes, c.peak*meanTrainWh, 0.25, 0.35, c.seed)
+	case "csv":
+		if c.traceCSV == "" {
+			return nil, fmt.Errorf("-trace csv needs -tracefile")
+		}
+		fh, err := os.Open(c.traceCSV)
+		if err != nil {
+			return nil, err
+		}
+		defer fh.Close()
+		replay, err := harvest.ReadReplay(fh)
+		if err != nil {
+			return nil, err
+		}
+		if replay.Nodes() < nodes {
+			return nil, fmt.Errorf("replay covers %d nodes, fleet has %d", replay.Nodes(), nodes)
+		}
+		return replay, nil
+	default:
+		return nil, fmt.Errorf("unknown trace %q", c.traceKind)
+	}
+}
+
 func run(c runConfig) error {
 	if c.grid {
 		return runGrid(c)
+	}
+	if c.async {
+		return runAsyncHarvest(c)
 	}
 	// Unpack by name; the body reads like the flag list. The per-policy
 	// knobs (minsoc, low/high, exponent) stay on c — the registry builders
 	// read them there.
 	nodes, degree, rounds, period := c.nodes, c.degree, c.rounds, c.period
-	peak, traceKind, traceCSV, policyKind := c.peak, c.traceKind, c.traceCSV, c.policyKind
+	traceKind, policyKind := c.traceKind, c.policyKind
 	capacity, initSoC := c.capacity, c.initSoC
 	cutoff, idle, dropDead := c.cutoff, c.idle, c.dropDead
 	rejoin, ckptDir := c.rejoin, c.ckptDir
@@ -399,34 +474,7 @@ func run(c runConfig) error {
 	workload := energy.CIFAR10Workload()
 	meanTrainWh := energy.NetworkRoundWh(nodes, energy.Devices(), workload) / float64(nodes)
 
-	var trace harvest.Trace
-	switch traceKind {
-	case "diurnal":
-		trace, err = harvest.NewDiurnal(peak*meanTrainWh, period, harvest.LongitudePhase(nodes))
-	case "constant":
-		trace = harvest.Constant{Wh: peak * meanTrainWh}
-	case "markov":
-		trace, err = harvest.NewMarkovOnOff(nodes, peak*meanTrainWh, 0.25, 0.35, seed)
-	case "csv":
-		if traceCSV == "" {
-			return fmt.Errorf("-trace csv needs -tracefile")
-		}
-		var fh *os.File
-		if fh, err = os.Open(traceCSV); err != nil {
-			return err
-		}
-		defer fh.Close()
-		var replay *harvest.Replay
-		if replay, err = harvest.ReadReplay(fh); err != nil {
-			return err
-		}
-		if replay.Nodes() < nodes {
-			return fmt.Errorf("replay covers %d nodes, fleet has %d", replay.Nodes(), nodes)
-		}
-		trace = replay
-	default:
-		return fmt.Errorf("unknown trace %q", traceKind)
-	}
+	trace, err := buildTrace(c, nodes, meanTrainWh)
 	if err != nil {
 		return err
 	}
@@ -612,6 +660,143 @@ func run(c runConfig) error {
 			res.TotalRevivals, res.TotalRestores, res.MeanRejoinStaleness())
 	}
 	fmt.Println()
+	return nil
+}
+
+// runAsyncHarvest runs the event-driven intermittency engine (-async):
+// the same fleet shape, trace, policy, and schedule flags as the round
+// engine, but batteries evolve on a continuous virtual clock — nodes
+// sleep until their solved charge-arrival crossing, and brown-outs
+// interrupt in-flight training steps at the exact cutoff crossing. One
+// trace round spans the fleet-mean training-step duration, so -rounds
+// covers the same stretch of the ambient process as the round engine.
+func runAsyncHarvest(c runConfig) error {
+	g, err := graph.Regular(c.nodes, c.degree, c.seed)
+	if err != nil {
+		return err
+	}
+	data := dataset.SyntheticConfig{Classes: 10, Dim: 32, Train: c.nodes * 40, Test: 640, Noise: 2.5, Seed: c.seed}
+	train, testAll, err := dataset.Generate(data)
+	if err != nil {
+		return err
+	}
+	part, err := dataset.ShardPartition(train, c.nodes, 2, c.seed)
+	if err != nil {
+		return err
+	}
+	_, test := testAll.Split(testAll.Len() / 2)
+
+	devices := energy.AssignDevices(c.nodes, energy.Devices())
+	workload := energy.CIFAR10Workload()
+	meanTrainWh := energy.NetworkRoundWh(c.nodes, energy.Devices(), workload) / float64(c.nodes)
+	roundSec := 0.0
+	for _, d := range devices {
+		roundSec += d.TrainRoundSeconds(workload)
+	}
+	roundSec /= float64(len(devices))
+
+	trace, err := buildTrace(c, c.nodes, meanTrainWh)
+	if err != nil {
+		return err
+	}
+	spec, ok := policyRegistry[c.policyKind]
+	if !ok {
+		return fmt.Errorf("unknown policy %q (want %s)", c.policyKind, policyNames())
+	}
+	if c.policyKind == "mpc-persist" {
+		return fmt.Errorf("-policy mpc-persist learns from per-round observations, which the event-driven engine does not produce; use -policy mpc")
+	}
+	if !spec.mpc && (c.fhorizon != 0 || c.fnoise != 0) {
+		return fmt.Errorf("-fhorizon/-fnoise only apply to the mpc policies, not -policy %s", c.policyKind)
+	}
+	policy, err := spec.build(c)
+	if err != nil {
+		return err
+	}
+	var forecaster harvest.Forecaster
+	fhorizon := c.fhorizon
+	if spec.mpc {
+		switch {
+		case fhorizon < 0:
+			return fmt.Errorf("negative forecast window %d", fhorizon)
+		case c.fnoise < 0:
+			return fmt.Errorf("negative forecast noise %g", c.fnoise)
+		}
+		if fhorizon == 0 {
+			fhorizon = c.period
+		}
+		if c.fnoise > 0 {
+			forecaster, err = harvest.NewNoisyOracle(trace, c.fnoise, c.seed)
+		} else {
+			forecaster, err = harvest.NewOracle(trace)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	schedule, err := core.ScheduleFromGammaFlags(c.gt, c.gs)
+	if err != nil {
+		return err
+	}
+
+	horizon := float64(c.rounds) * roundSec
+	res, err := async.Run(async.Config{
+		Graph:   g,
+		Algo:    core.Algorithm{Label: "async-harvest-" + policy.Name(), Schedule: schedule, Policy: policy},
+		Horizon: horizon,
+		ModelFactory: func(node int, r *rng.RNG) *nn.Network {
+			return nn.LogisticRegression(32, 10, r)
+		},
+		LR: c.lr, BatchSize: c.batch, LocalSteps: c.steps,
+		Partition: part, Test: test,
+		Devices: devices, Workload: workload,
+		Trace: trace,
+		FleetOptions: harvest.Options{
+			CapacityRounds: c.capacity,
+			InitialSoC:     c.initSoC,
+			StartEmpty:     c.initSoC == 0,
+			CutoffSoC:      c.cutoff,
+			IdleWh:         c.idle * meanTrainWh,
+		},
+		RoundSeconds: roundSec,
+		Forecast:     forecaster, ForecastHorizon: fhorizon,
+		EvalEverySeconds: float64(c.evalInt) * roundSec,
+		EvalSubsample:    320,
+		Probe:            c.probe,
+		Seed:             c.seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	policyModel := policy.Name()
+	if forecaster != nil {
+		policyModel += fmt.Sprintf(" [%s, window %d]", forecaster.Name(), fhorizon)
+	}
+	fmt.Printf("event-driven harvest fleet: %d nodes, %d-regular, horizon %.0fs (%d trace rounds of %.2fs) | trace %s | policy %s | capacity %g rounds\n",
+		c.nodes, c.degree, horizon, c.rounds, roundSec, trace.Name(), policyModel, c.capacity)
+
+	var curve []float64
+	tb := report.NewTable("evaluations",
+		"virtual time s", "mean acc %", "std %", "steps", "train Wh")
+	for _, s := range res.History {
+		curve = append(curve, s.MeanAcc)
+		tb.AddRowf("%.0f|%.2f|%.2f|%d|%.4f",
+			s.Time, s.MeanAcc*100, s.StdAcc*100, s.StepsTotal, s.TrainWh)
+	}
+	tb.Render(os.Stdout)
+	fmt.Printf("accuracy trend: %s\n", report.Sparkline(curve))
+
+	steps, trained := 0, 0
+	for i := range res.StepsPerNode {
+		steps += res.StepsPerNode[i]
+		trained += res.TrainedSteps[i]
+	}
+	fmt.Printf("final: %.2f%% ± %.2f | %d steps (%d trained), %d gossips (%d dropped) | %d brown-outs, %.1f%% node-time down | harvested %.4f Wh, consumed %.4f Wh, wasted %.4f Wh\n",
+		res.FinalMeanAcc*100, res.FinalStdAcc*100, steps, trained,
+		res.GossipsSent, res.DroppedGossips,
+		res.Brownouts, 100*res.BrownoutShare,
+		res.HarvestedWh, res.ConsumedWh, res.WastedWh)
 	return nil
 }
 

@@ -18,16 +18,28 @@
 // 2.3 — Table 2), so heterogeneous pacing emerges naturally: fast devices
 // gossip more often, exactly the system-heterogeneity regime asynchronous
 // DL targets. Virtual time also keeps every run bit-reproducible.
+//
+// Attaching a harvest trace (Config.Trace) makes intermittency
+// event-driven, the setting of Decentralized Federated Learning With
+// Energy Harvesting Devices (Zhang, Cao, Letaief): batteries evolve on
+// the continuous clock (harvest.VFleet), charge arrivals wake sleeping
+// nodes at exactly solved crossing times, and a brown-out interrupts an
+// in-flight training step — the computation is discarded but its partial
+// energy stays spent, per Intermittent Learning (Lee et al.). Every
+// battery/forecast participation policy of the synchronous engine runs
+// unchanged through the same core.RoundContext contract.
 package async
 
 import (
 	"container/heap"
 	"fmt"
+	"math"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/energy"
 	"repro/internal/graph"
+	"repro/internal/harvest"
 	"repro/internal/metrics"
 	"repro/internal/nn"
 	"repro/internal/obs"
@@ -63,6 +75,28 @@ type Config struct {
 	// step (communication is cheap); default 10.
 	SyncSpeedup float64
 
+	// Trace attaches an energy-harvesting trace: nodes then run on real
+	// battery state (harvest.VFleet) instead of the pure step clock —
+	// training steps drain the battery continuously, unaffordable steps
+	// put the node to sleep until the solved charge-arrival crossing, and
+	// brown-outs interrupt in-flight work. Nil keeps the energy-oblivious
+	// engine.
+	Trace harvest.Trace
+	// FleetOptions shape the batteries when Trace is set (same knobs as
+	// the synchronous engines).
+	FleetOptions harvest.Options
+	// RoundSeconds maps virtual seconds onto trace rounds: trace round k
+	// spans [k·RoundSeconds, (k+1)·RoundSeconds). 0 defaults to the fleet
+	// mean training-step duration, so one trace round ≈ one synchronous
+	// round of the average device.
+	RoundSeconds float64
+	// Forecast supplies per-round harvest predictions to forecast-aware
+	// policies (HorizonPlan); requires Trace and ForecastHorizon ≥ 1.
+	// Learning forecasters (harvest.ForecastObserver) are rejected: the
+	// async engine has no serial round close to observe arrivals on.
+	Forecast        harvest.Forecaster
+	ForecastHorizon int
+
 	// EvalEverySeconds evaluates all nodes at this virtual period
 	// (0 = final only). EvalSubsample bounds test samples per evaluation.
 	EvalEverySeconds float64
@@ -71,7 +105,10 @@ type Config struct {
 	// Probe optionally attaches the observability layer (internal/obs):
 	// the engine emits the run manifest, per-evaluation accuracy events
 	// stamped with virtual time, and a run_end with total step/gossip
-	// counts. Nil is the off state. Telemetry is read-only and RNG-silent.
+	// counts. Harvest runs additionally stream VTime-stamped brownout and
+	// revival events plus the fleet energy ledger at every eval tick, so
+	// analyze.Auditor's conservation invariants extend to the roundless
+	// stream. Nil is the off state. Telemetry is read-only and RNG-silent.
 	Probe *obs.Probe
 
 	Seed uint64
@@ -95,15 +132,33 @@ func (c *Config) validate() error {
 		return fmt.Errorf("async: %d devices for %d nodes", len(c.Devices), c.Graph.N)
 	case c.Algo.Schedule == nil || c.Algo.Policy == nil:
 		return fmt.Errorf("async: incomplete algorithm")
+	case c.RoundSeconds < 0:
+		return fmt.Errorf("async: negative round duration %v", c.RoundSeconds)
 	}
-	// The async engine carries no battery or forecast state, so a policy
-	// that decides from either would silently never train: reject it up
-	// front, mirroring sim.Run's checks.
-	if _, ok := c.Algo.Policy.(core.BatteryDependent); ok {
-		return fmt.Errorf("async: policy %s decides from battery state, which the async engine does not model", c.Algo.Policy.Name())
+	// Battery- and forecast-aware policies need the state they decide
+	// from; with a trace attached they run natively on the virtual-time
+	// fleet (this mirrors sim.Run's configuration-consistency checks, not
+	// an engine limitation).
+	if c.Trace == nil {
+		if _, ok := c.Algo.Policy.(core.BatteryDependent); ok {
+			return fmt.Errorf("async: policy %s decides from battery state and needs Config.Trace", c.Algo.Policy.Name())
+		}
 	}
-	if _, ok := c.Algo.Policy.(core.ForecastDependent); ok {
-		return fmt.Errorf("async: policy %s plans over a forecast window, which the async engine does not model", c.Algo.Policy.Name())
+	if _, ok := c.Algo.Policy.(core.ForecastDependent); ok && c.Forecast == nil {
+		return fmt.Errorf("async: policy %s plans over a forecast window and needs Config.Forecast", c.Algo.Policy.Name())
+	}
+	if c.Forecast != nil {
+		if c.Trace == nil {
+			return fmt.Errorf("async: Forecast requires a harvest trace to forecast")
+		}
+		if c.ForecastHorizon < 1 {
+			return fmt.Errorf("async: Forecast needs ForecastHorizon >= 1, got %d", c.ForecastHorizon)
+		}
+		if _, ok := c.Forecast.(harvest.ForecastObserver); ok {
+			return fmt.Errorf("async: forecaster %s learns from per-round observations, which the event-driven engine does not produce", c.Forecast.Name())
+		}
+	} else if c.ForecastHorizon != 0 {
+		return fmt.Errorf("async: ForecastHorizon %d given without a Forecast", c.ForecastHorizon)
 	}
 	return c.Workload.Validate()
 }
@@ -129,11 +184,44 @@ type Result struct {
 	StepsPerNode []int // local steps completed per node
 	TrainedSteps []int // steps that included training
 	GossipsSent  int
+
+	// Harvest-run outcomes (zero without a trace):
+	// Brownouts counts brown-out interrupts — in-flight work hitting the
+	// cutoff plus sleeping nodes drained across it.
+	Brownouts int
+	// BrownoutShare is the fraction of total node-time spent browned out.
+	BrownoutShare float64
+	// DroppedGossips counts exchanges skipped because the chosen peer was
+	// browned out.
+	DroppedGossips int
+	// HarvestedWh/ConsumedWh/WastedWh are the fleet ledger totals.
+	HarvestedWh float64
+	ConsumedWh  float64
+	WastedWh    float64
 }
 
-// event is a scheduled node wake-up in virtual time.
+// eventKind types the entries of the virtual-time heap.
+type eventKind uint8
+
+const (
+	// evStep: the node is free at ev.time and processes its next local
+	// step (merge, decide, train or gossip).
+	evStep eventKind = iota
+	// evWake: a sleeping node's charge-arrival crossing — re-check
+	// affordability and resume stepping.
+	evWake
+	// evBrownout: the node's battery hit its cutoff at ev.time (mid-step
+	// or while sleeping); marks it down until the next wake.
+	evBrownout
+	// evEval: fleet-wide evaluation tick (node −1); reschedules itself
+	// every EvalEverySeconds.
+	evEval
+)
+
+// event is one scheduled occurrence in virtual time.
 type event struct {
 	time float64
+	kind eventKind
 	node int
 	seq  int // tiebreaker for determinism
 }
@@ -167,6 +255,12 @@ type asyncNode struct {
 	incoming []tensor.Vector // models pushed by peers since last step
 	steps    int
 	trained  int
+
+	// Harvest-run state.
+	down        bool    // browned out (a brownout event was emitted)
+	downSince   float64 // virtual time the current outage began
+	downTotal   float64 // accumulated outage seconds
+	wakePending bool    // an evWake is already on the heap
 }
 
 // Run executes the asynchronous simulation.
@@ -198,23 +292,81 @@ func Run(cfg Config) (*Result, error) {
 		nodes[i].net.CopyParamsTo(nodes[i].params)
 	}
 
+	// Per-node step durations and the step-count horizon threaded into
+	// every round context: how many training-step durations fit in the
+	// virtual horizon (or the explicit cap, whichever binds), so
+	// horizon-aware schedules see a real T instead of 0.
+	stepSec := make([]float64, n)
+	hsteps := make([]int, n)
+	for i := range stepSec {
+		stepSec[i] = cfg.Devices[i].TrainRoundSeconds(cfg.Workload)
+		hsteps[i] = int(math.Ceil(cfg.Horizon / stepSec[i]))
+		if cfg.StepsPerNode > 0 && cfg.StepsPerNode < hsteps[i] {
+			hsteps[i] = cfg.StepsPerNode
+		}
+	}
+
+	// The harvest fleet, when a trace is attached.
+	var vf *harvest.VFleet
+	roundSec := cfg.RoundSeconds
+	if cfg.Trace != nil {
+		if roundSec == 0 {
+			for _, s := range stepSec {
+				roundSec += s
+			}
+			roundSec /= float64(n)
+		}
+		var err error
+		vf, err = harvest.NewVFleet(cfg.Devices, cfg.Workload, cfg.Trace, cfg.FleetOptions, roundSec)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var forecastScratch [][]float64
+	if cfg.Forecast != nil {
+		forecastScratch = make([][]float64, n)
+		for i := range forecastScratch {
+			forecastScratch[i] = make([]float64, cfg.ForecastHorizon)
+		}
+	}
+
 	res := &Result{StepsPerNode: make([]int, n), TrainedSteps: make([]int, n)}
-	res.Manifest = buildManifest(&cfg, paramCount)
+	res.Manifest = buildManifest(&cfg, paramCount, roundSec)
 	probe := cfg.Probe
-	probe.RunStart(&res.Manifest)
+	if vf != nil {
+		probe.RunStartCharge(&res.Manifest, vf.TotalChargeWh())
+	} else {
+		probe.RunStart(&res.Manifest)
+	}
 	queue := &eventQueue{}
 	heap.Init(queue)
 	seq := 0
+	push := func(t float64, kind eventKind, node int) {
+		heap.Push(queue, event{time: t, kind: kind, node: node, seq: seq})
+		seq++
+	}
 	for i := 0; i < n; i++ {
 		// Stagger starts by a fraction of the node's own step time so the
 		// fleet does not begin in lockstep.
-		start := cfg.Devices[i].TrainRoundSeconds(cfg.Workload) * nodes[i].gossip.Float64()
-		heap.Push(queue, event{time: start, node: i, seq: seq})
-		seq++
+		push(stepSec[i]*nodes[i].gossip.Float64(), evStep, i)
+	}
+	if cfg.EvalEverySeconds > 0 && cfg.EvalEverySeconds < cfg.Horizon {
+		push(cfg.EvalEverySeconds, evEval, -1)
+	}
+	// Nodes whose batteries start at or below the cutoff are browned out
+	// from the first instant: emit the transition at VTime 0 so the
+	// alternation invariant sees their eventual revival.
+	if vf != nil {
+		for i := 0; i < n; i++ {
+			if !vf.Usable(i) {
+				nodes[i].down = true
+				res.Brownouts++
+				probe.Emit(obs.Event{Kind: obs.KindBrownout, Round: 0, Node: i})
+			}
+		}
 	}
 
 	trainWh := 0.0
-	nextEval := cfg.EvalEverySeconds
 	evalRNG := rng.Derive(cfg.Seed, 0xe7a1)
 	evaluate := func(t float64) {
 		xs, ys := evalSubset(cfg, evalRNG)
@@ -241,18 +393,125 @@ func Run(cfg Config) (*Result, error) {
 		})
 	}
 
+	// ledgerTick emits the fleet energy ledger as a VTime-stamped
+	// round_start/round_end pair — the roundless stream's conservation
+	// checkpoints. Deltas of the cumulative ledgers, like the synchronous
+	// engines; HarvestWh carries arrivals (stored + wasted).
+	ticks := 0
+	lastArrived, lastConsumed, lastWasted := 0.0, 0.0, 0.0
+	ledgerTick := func(t float64) {
+		if vf == nil {
+			return
+		}
+		arrived := vf.HarvestedWh() + vf.WastedWh()
+		consumed := vf.ConsumedWh()
+		wasted := vf.WastedWh()
+		live := vf.LiveCount()
+		probe.Emit(obs.Event{Kind: obs.KindRoundStart, Round: ticks, Node: -1, Label: "tick", VTime: t})
+		probe.Emit(obs.Event{
+			Kind: obs.KindRoundEnd, Round: ticks, Node: -1, VTime: t,
+			Live: live, Depleted: vf.Nodes() - live,
+			HarvestWh: arrived - lastArrived, ConsumedWh: consumed - lastConsumed,
+			WastedWh: wasted - lastWasted, ChargeWh: vf.TotalChargeWh(),
+			MeanSoC: vf.MeanSoC(),
+		})
+		lastArrived, lastConsumed, lastWasted = arrived, consumed, wasted
+		ticks++
+	}
+
+	// markDown transitions node i into an outage at virtual time t.
+	markDown := func(nd *asyncNode, t float64) {
+		nd.down = true
+		nd.downSince = t
+		res.Brownouts++
+		probe.Emit(obs.Event{
+			Kind: obs.KindBrownout, Round: vf.TraceRound(t), Node: nd.id, VTime: t,
+		})
+	}
+
+	// sleep schedules node i's future after it cannot afford costWh at
+	// time t: a wake event at the solved charge-arrival crossing and, if
+	// the trajectory dips first, a brown-out event at that crossing. A
+	// node whose trajectory can never afford the cost within the horizon
+	// gets no wake — it parks (its outage accounting closes at run end).
+	sleep := func(nd *asyncNode, t, costWh float64) {
+		wake, brown := vf.ScanAfford(nd.id, costWh, cfg.Horizon)
+		if !nd.down && brown < wake && !math.IsInf(brown, 1) {
+			push(brown, evBrownout, nd.id)
+		}
+		if !math.IsInf(wake, 1) {
+			// Progress guard: the scan mirrors the realized float ops, but
+			// association differs, so a realized wake can land a few ulps
+			// short and re-solve to "now". Nudge to the next trace-round
+			// boundary so virtual time always advances.
+			if wake <= t {
+				wake = (math.Floor(t/vf.RoundSeconds()) + 1) * vf.RoundSeconds()
+			}
+			push(wake, evWake, nd.id)
+			nd.wakePending = true
+		}
+	}
+
+	// nextCostWh is the energy the node's next step slot needs — what a
+	// sleeping node must be able to afford before waking.
+	nextCostWh := func(nd *asyncNode) float64 {
+		if cfg.Algo.Schedule.Kind(nd.steps) == core.RoundTrain {
+			return vf.TrainCostWh(nd.id)
+		}
+		return vf.CommCostWh(nd.id)
+	}
+
 	for queue.Len() > 0 {
 		ev := heap.Pop(queue).(event)
 		if ev.time > cfg.Horizon {
 			break
 		}
-		if cfg.EvalEverySeconds > 0 && ev.time >= nextEval {
-			evaluate(nextEval)
-			nextEval += cfg.EvalEverySeconds
+		if ev.kind == evEval {
+			if vf != nil {
+				vf.AdvanceAll(ev.time)
+			}
+			evaluate(ev.time)
+			ledgerTick(ev.time)
+			if next := ev.time + cfg.EvalEverySeconds; next < cfg.Horizon {
+				push(next, evEval, -1)
+			}
+			continue
 		}
+
 		nd := nodes[ev.node]
+		now := ev.time
+
+		if ev.kind == evBrownout {
+			if vf == nil || nd.down {
+				continue
+			}
+			vf.AdvanceNode(nd.id, now)
+			markDown(nd, now)
+			if !nd.wakePending {
+				sleep(nd, now, nextCostWh(nd))
+			}
+			continue
+		}
+
+		if ev.kind == evWake {
+			nd.wakePending = false
+			vf.AdvanceNode(nd.id, now)
+			if nd.down {
+				nd.down = false
+				nd.downTotal += now - nd.downSince
+				probe.Emit(obs.Event{
+					Kind: obs.KindRevival, Round: vf.TraceRound(now), Node: nd.id, VTime: now,
+					Staleness: int((now - nd.downSince) / vf.RoundSeconds()),
+				})
+			}
+			// Fall through into the step logic below.
+		}
+
 		if cfg.StepsPerNode > 0 && nd.steps >= cfg.StepsPerNode {
 			continue
+		}
+		if vf != nil {
+			vf.AdvanceNode(nd.id, now)
 		}
 
 		// 1. Merge everything that arrived while we were busy (AD-PSGD
@@ -266,13 +525,39 @@ func Run(cfg Config) (*Result, error) {
 			nd.net.SetParams(nd.params)
 		}
 
-		// 2. Decide the step kind from the node's own step counter: the
-		//    same Γ pattern and budget policy as the synchronous variant.
-		// The async engine is open-ended (no fixed horizon) and carries no
-		// battery or forecast state, so the context is schedule-only.
-		trainingStep := cfg.Algo.Schedule.Kind(nd.steps) == core.RoundTrain &&
-			cfg.Algo.Policy.Participate(nd.id, core.ContextAt(cfg.Algo.Schedule, nd.steps, 0), nd.policy)
-		dur := cfg.Devices[nd.id].TrainRoundSeconds(cfg.Workload)
+		// 2. Decide the step kind from the node's own step counter — the
+		//    same Γ pattern and policy contract as the synchronous engine,
+		//    with the virtual-time battery and forecast state threaded
+		//    through the context when a fleet is attached.
+		ctx := core.VirtualContext(cfg.Algo.Schedule, nd.steps, hsteps[nd.id], nil, nil)
+		if vf != nil {
+			ctx.Battery = vf
+			if forecastScratch != nil {
+				cfg.Forecast.Forecast(nd.id, vf.TraceRound(now), forecastScratch[nd.id])
+				ctx.Forecast = forecastScratch[nd.id]
+			}
+		}
+		trainingStep := ctx.Kind == core.RoundTrain &&
+			cfg.Algo.Policy.Participate(nd.id, ctx, nd.policy)
+		dur := stepSec[nd.id]
+
+		if trainingStep && vf != nil {
+			// Battery policies admit via TryTrain themselves; admit on
+			// their behalf for energy-oblivious policies. An unaffordable
+			// step puts the node to sleep until the charge arrives.
+			if !vf.TryTrain(nd.id) {
+				sleep(nd, now, vf.TrainCostWh(nd.id))
+				continue
+			}
+			stop, browned := vf.TrainStep(nd.id, now+dur)
+			if browned {
+				// The in-flight step hit the cutoff: computation discarded,
+				// partial energy spent, the slot retried after revival.
+				push(stop, evBrownout, nd.id)
+				sleep(nd, stop, vf.TrainCostWh(nd.id))
+				continue
+			}
+		}
 		if trainingStep {
 			for e := 0; e < cfg.LocalSteps; e++ {
 				xs, ys := nd.batcher.Next(cfg.BatchSize)
@@ -284,26 +569,67 @@ func Run(cfg Config) (*Result, error) {
 			res.TrainedSteps[nd.id]++
 		} else {
 			dur /= cfg.SyncSpeedup
+			if vf != nil {
+				vf.ClearPending(nd.id)
+				if !vf.TrySync(nd.id) {
+					sleep(nd, now, vf.CommCostWh(nd.id))
+					continue
+				}
+			}
 		}
 
 		// 3. Symmetric gossip with one random neighbor: push our model to
 		//    the peer and pull the peer's current model into our own merge
 		//    queue — the event-driven equivalent of AD-PSGD's atomic
 		//    pairwise averaging (push-only gossip mixes half as fast and
-		//    does not preserve the network average).
+		//    does not preserve the network average). A browned-out peer is
+		//    off the air: the exchange is dropped.
 		nbrs := cfg.Graph.Adj[nd.id]
 		peer := nbrs[nd.gossip.Intn(len(nbrs))]
-		nodes[peer].incoming = append(nodes[peer].incoming, nd.params.Clone())
-		nd.incoming = append(nd.incoming, nodes[peer].params.Clone())
-		res.GossipsSent++
+		if vf != nil && nodes[peer].down {
+			res.DroppedGossips++
+			probe.DroppedSends(vf.TraceRound(now), 1)
+		} else {
+			nodes[peer].incoming = append(nodes[peer].incoming, nd.params.Clone())
+			nd.incoming = append(nd.incoming, nodes[peer].params.Clone())
+			res.GossipsSent++
+		}
 
 		nd.steps++
 		res.StepsPerNode[nd.id]++
-		heap.Push(queue, event{time: ev.time + dur, node: nd.id, seq: seq})
-		seq++
+		if !trainingStep && vf != nil {
+			// The comm lump is already paid; idle draw can still brown the
+			// node during the (short) exchange. The gossip stands either
+			// way — the model left the radio before the lights went out.
+			if stop, browned := vf.AdvanceDetect(nd.id, now+dur); browned {
+				push(stop, evBrownout, nd.id)
+				continue
+			}
+		}
+		push(now+dur, evStep, nd.id)
+	}
+
+	if vf != nil {
+		vf.AdvanceAll(cfg.Horizon)
 	}
 	evaluate(cfg.Horizon)
+	ledgerTick(cfg.Horizon)
 	res.TotalTrainWh = trainWh
+	if vf != nil {
+		down := 0.0
+		for _, nd := range nodes {
+			nd.wakePending = false
+			if nd.down {
+				nd.downTotal += cfg.Horizon - nd.downSince
+				nd.down = false
+			}
+			down += nd.downTotal
+		}
+		res.BrownoutShare = down / (float64(n) * cfg.Horizon)
+		res.HarvestedWh = vf.HarvestedWh()
+		res.ConsumedWh = vf.ConsumedWh()
+		res.WastedWh = vf.WastedWh()
+	}
 	if probe.Enabled() {
 		steps, trained := 0, 0
 		for i := range res.StepsPerNode {
@@ -322,7 +648,7 @@ func Run(cfg Config) (*Result, error) {
 // buildManifest derives the async run's content-addressable identity from
 // the experiment-defining config fields (GOMAXPROCS and telemetry excluded:
 // the event loop is serial and bit-reproducible regardless).
-func buildManifest(cfg *Config, paramCount int) obs.RunManifest {
+func buildManifest(cfg *Config, paramCount int, roundSec float64) obs.RunManifest {
 	b := obs.NewManifest("async", cfg.Algo.Label, cfg.Seed).
 		Scale(cfg.Graph.N, 0).
 		Set("schedule", cfg.Algo.Schedule.Name()).
@@ -338,6 +664,14 @@ func buildManifest(cfg *Config, paramCount int) obs.RunManifest {
 		Setf("eval_every_s", "%g", cfg.EvalEverySeconds).
 		Setf("eval_subsample", "%d", cfg.EvalSubsample).
 		Setf("devices", "%d", len(cfg.Devices))
+	if cfg.Trace != nil {
+		b = b.Set("trace", cfg.Trace.Name()).
+			Setf("round_seconds", "%g", roundSec)
+		if cfg.Forecast != nil {
+			b = b.Set("forecaster", cfg.Forecast.Name()).
+				Setf("fhorizon", "%d", cfg.ForecastHorizon)
+		}
+	}
 	return b.Build()
 }
 

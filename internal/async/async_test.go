@@ -213,8 +213,9 @@ func TestAsyncValidation(t *testing.T) {
 		"devices":    func(c *Config) { c.Devices = c.Devices[:3] },
 		"partition":  func(c *Config) { c.Partition = c.Partition[:3] },
 		"nil policy": func(c *Config) { c.Algo.Policy = nil },
-		// The async engine models no batteries or forecasts: a policy that
-		// needs either would silently never train, so it is rejected.
+		// Battery/forecast policies run natively when a trace is attached
+		// (see harvest_test.go); without one they would silently never
+		// train, so the config is rejected.
 		"battery policy": func(c *Config) {
 			p, err := harvest.NewSoCThreshold(0.2)
 			if err != nil {
@@ -231,6 +232,47 @@ func TestAsyncValidation(t *testing.T) {
 		},
 	}
 	for name, mutate := range mutations {
+		cfg := testConfig(t, 8)
+		mutate(&cfg)
+		if _, err := Run(cfg); err == nil {
+			t.Fatalf("%s: want validation error", name)
+		}
+	}
+	// Harvest-specific knobs need a consistent configuration too.
+	harvestMutations := map[string]func(*Config){
+		"negative round seconds": func(c *Config) { c.RoundSeconds = -1 },
+		"forecast without trace": func(c *Config) {
+			o, err := harvest.NewOracle(harvest.Constant{Wh: 0.01})
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.Forecast = o
+			c.ForecastHorizon = 4
+		},
+		"fhorizon without forecast": func(c *Config) { c.ForecastHorizon = 4 },
+		"forecast without horizon": func(c *Config) {
+			c.Trace = harvest.Constant{Wh: 0.01}
+			o, err := harvest.NewOracle(harvest.Constant{Wh: 0.01})
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.Forecast = o
+		},
+		"learning forecaster": func(c *Config) {
+			c.Trace = harvest.Constant{Wh: 0.01}
+			p, err := harvest.NewPersistence(12, 6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.Forecast = p
+			c.ForecastHorizon = 4
+		},
+		"bad fleet options": func(c *Config) {
+			c.Trace = harvest.Constant{Wh: 0.01}
+			c.FleetOptions = harvest.Options{CutoffSoC: 2}
+		},
+	}
+	for name, mutate := range harvestMutations {
 		cfg := testConfig(t, 8)
 		mutate(&cfg)
 		if _, err := Run(cfg); err == nil {
@@ -299,6 +341,109 @@ func TestAsyncTelemetry(t *testing.T) {
 	for _, ev := range mem.Events() {
 		if ev.Kind == obs.KindEval && ev.VTime <= 0 {
 			t.Fatalf("eval event missing virtual time: %+v", ev)
+		}
+	}
+}
+
+// Eval ticks are heap events now, so a sparse event stream cannot skip
+// evaluation periods: two slow nodes stepping every ~6 virtual seconds
+// with a 5-second eval period must still produce every snapshot. The old
+// pop-coupled catch-up fired at most one eval per popped event and
+// silently dropped the rest.
+func TestAsyncEvalCatchUpOnSparseStreams(t *testing.T) {
+	g, err := graph.Complete(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgData := dataset.SyntheticConfig{Classes: 4, Dim: 6, Train: 64, Test: 64, Noise: 1.5, Seed: 11}
+	train, test, err := dataset.Generate(cfgData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := dataset.ShardPartition(train, 2, 2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	devices := energy.Devices()
+	slow := []energy.Device{devices[3], devices[3]} // Poco X3: 6.12 s/step
+	cfg := Config{
+		Graph:   g,
+		Algo:    core.DPSGD(),
+		Horizon: 100,
+		ModelFactory: func(node int, r *rng.RNG) *nn.Network {
+			return nn.LogisticRegression(6, 4, r)
+		},
+		LR: 0.1, BatchSize: 8, LocalSteps: 1,
+		Partition: part, Test: test,
+		Devices:          slow,
+		Workload:         energy.CIFAR10Workload(),
+		EvalEverySeconds: 5,
+		Seed:             11,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ticks at 5, 10, ..., 95 plus the final evaluation at the horizon.
+	if want := 20; len(res.History) != want {
+		t.Fatalf("history has %d snapshots, want %d", len(res.History), want)
+	}
+	for i, snap := range res.History[:len(res.History)-1] {
+		if want := float64(i+1) * 5; snap.Time != want {
+			t.Fatalf("snapshot %d at t=%v, want %v", i, snap.Time, want)
+		}
+	}
+	if last := res.History[len(res.History)-1]; last.Time != 100 {
+		t.Fatalf("final snapshot at t=%v, want horizon 100", last.Time)
+	}
+}
+
+// horizonRecorder captures the contexts a policy sees.
+type horizonRecorder struct {
+	horizons map[int][]int
+}
+
+func (h *horizonRecorder) Participate(node int, ctx core.RoundContext, _ *rng.RNG) bool {
+	if h.horizons == nil {
+		h.horizons = map[int][]int{}
+	}
+	h.horizons[node] = append(h.horizons[node], ctx.Horizon)
+	return true
+}
+
+func (h *horizonRecorder) Name() string { return "horizon-recorder" }
+
+// The async engine threads a real step-count horizon into every round
+// context (the old engine hardcoded 0, degenerating horizon-aware
+// schedules). Each node's horizon is how many of its training-step
+// durations fit in the virtual horizon, clamped by StepsPerNode.
+func TestAsyncContextCarriesHorizon(t *testing.T) {
+	cfg := testConfig(t, 12)
+	rec := &horizonRecorder{}
+	cfg.Algo = core.Algorithm{Label: "rec", Schedule: core.AllTrain{}, Policy: rec}
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	for node, hs := range rec.horizons {
+		want := int(math.Ceil(cfg.Horizon / cfg.Devices[node].TrainRoundSeconds(cfg.Workload)))
+		for _, h := range hs {
+			if h != want {
+				t.Fatalf("node %d saw horizon %d, want %d", node, h, want)
+			}
+		}
+	}
+	capped := testConfig(t, 12)
+	capped.StepsPerNode = 3
+	rec2 := &horizonRecorder{}
+	capped.Algo = core.Algorithm{Label: "rec", Schedule: core.AllTrain{}, Policy: rec2}
+	if _, err := Run(capped); err != nil {
+		t.Fatal(err)
+	}
+	for node, hs := range rec2.horizons {
+		for _, h := range hs {
+			if h != 3 {
+				t.Fatalf("node %d saw horizon %d with StepsPerNode 3", node, h)
+			}
 		}
 	}
 }

@@ -1,0 +1,291 @@
+package async
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/harvest"
+	"repro/internal/obs"
+	"repro/internal/obs/analyze"
+)
+
+// harvestConfig is testConfig plus a trace sized so batteries genuinely
+// bind: per-round arrivals comparable to a training step's cost.
+func harvestConfig(t *testing.T, seed uint64, trace harvest.Trace) Config {
+	t.Helper()
+	cfg := testConfig(t, seed)
+	cfg.Trace = trace
+	cfg.FleetOptions = harvest.Options{
+		CapacityRounds: 8, InitialSoC: 0.4, CutoffSoC: 0.1,
+	}
+	return cfg
+}
+
+// meanStepWh returns the fleet-average training-step energy — the scale
+// harvest traces are sized against.
+func meanStepWh(cfg Config) float64 {
+	total := 0.0
+	for _, d := range cfg.Devices {
+		total += d.TrainRoundWh(cfg.Workload)
+	}
+	return total / float64(len(cfg.Devices))
+}
+
+func scarceDiurnal(t *testing.T, cfg Config) *harvest.Diurnal {
+	t.Helper()
+	d, err := harvest.NewDiurnal(1.2*meanStepWh(cfg), 12, harvest.LongitudePhase(cfg.Graph.N))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func scarceMarkov(t *testing.T, cfg Config, seed uint64) *harvest.MarkovOnOff {
+	t.Helper()
+	m, err := harvest.NewMarkovOnOff(cfg.Graph.N, 1.5*meanStepWh(cfg), 0.3, 0.3, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// Every battery/forecast policy of the synchronous engine must run in the
+// event-driven engine — the marker-interface rejection is gone.
+func TestAsyncHarvestPoliciesRun(t *testing.T) {
+	base := testConfig(t, 21)
+	policies := map[string]func(c *Config){
+		"threshold": func(c *Config) {
+			p, err := harvest.NewSoCThreshold(0.2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.Algo.Policy = p
+		},
+		"hysteresis": func(c *Config) {
+			p, err := harvest.NewSoCHysteresis(c.Graph.N, 0.15, 0.4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.Algo.Policy = p
+		},
+		"proportional": func(c *Config) {
+			p, err := harvest.NewSoCProportional(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.Algo.Policy = p
+		},
+		"mpc": func(c *Config) {
+			p, err := harvest.NewHorizonPlan(0.05)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.Algo.Policy = p
+			o, err := harvest.NewOracle(c.Trace)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.Forecast = o
+			c.ForecastHorizon = 6
+		},
+	}
+	for name, attach := range policies {
+		cfg := harvestConfig(t, 21, scarceDiurnal(t, base))
+		// Ample but not unlimited energy so policies both admit and refuse.
+		attach(&cfg)
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		trained := 0
+		for _, tr := range res.TrainedSteps {
+			trained += tr
+		}
+		if trained == 0 {
+			t.Fatalf("%s: no node ever trained", name)
+		}
+		if res.ConsumedWh <= 0 || res.HarvestedWh <= 0 {
+			t.Fatalf("%s: fleet ledgers empty (consumed %v, harvested %v)", name, res.ConsumedWh, res.HarvestedWh)
+		}
+	}
+}
+
+// Under scarce energy the engine must produce genuine brown-out/wake
+// cycles: interrupts counted, outage share in (0, 1), and training still
+// making progress between outages.
+func TestAsyncHarvestBrownoutWakeCycle(t *testing.T) {
+	cfg := harvestConfig(t, 22, nil)
+	cfg.Trace = scarceDiurnal(t, cfg)
+	cfg.FleetOptions = harvest.Options{CapacityRounds: 4, InitialSoC: 0.15, CutoffSoC: 0.1, IdleWh: 0.3 * meanStepWh(cfg)}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Brownouts == 0 {
+		t.Fatal("scarce diurnal run produced no brown-outs")
+	}
+	if res.BrownoutShare <= 0 || res.BrownoutShare >= 1 {
+		t.Fatalf("brown-out share %v outside (0, 1)", res.BrownoutShare)
+	}
+	steps := 0
+	for _, s := range res.StepsPerNode {
+		steps += s
+	}
+	if steps == 0 {
+		t.Fatal("fleet never stepped")
+	}
+	// TotalTrainWh counts completed steps only, and the fleet ledger must
+	// cover training plus overheads.
+	want := 0.0
+	for i, tr := range res.TrainedSteps {
+		want += float64(tr) * cfg.Devices[i].TrainRoundWh(cfg.Workload)
+	}
+	if math.Abs(res.TotalTrainWh-want) > 1e-9 {
+		t.Fatalf("TotalTrainWh %v, completed steps account for %v", res.TotalTrainWh, want)
+	}
+	if res.ConsumedWh < res.TotalTrainWh {
+		t.Fatalf("fleet consumed %v < training energy %v", res.ConsumedWh, res.TotalTrainWh)
+	}
+}
+
+// The event-driven engine on a constant trace with ample energy (no
+// brown-outs, costs always affordable) must reproduce the budget-contract
+// path exactly: same step counts, same gossip count, same accuracy — the
+// battery machinery is energy-transparent when energy never binds.
+func TestAsyncHarvestParityWithBudgetPath(t *testing.T) {
+	plain, err := Run(testConfig(t, 23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(t, 23)
+	cfg.Trace = harvest.Constant{Wh: 1} // far above any per-round draw
+	cfg.FleetOptions = harvest.Options{CapacityRounds: 1000, InitialSoC: 1, CutoffSoC: 0}
+	rich, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rich.Brownouts != 0 {
+		t.Fatalf("ample-energy run browned out %d times", rich.Brownouts)
+	}
+	if plain.FinalMeanAcc != rich.FinalMeanAcc {
+		t.Fatalf("accuracy diverged: plain %v, harvest %v", plain.FinalMeanAcc, rich.FinalMeanAcc)
+	}
+	if plain.GossipsSent != rich.GossipsSent {
+		t.Fatalf("gossip diverged: plain %d, harvest %d", plain.GossipsSent, rich.GossipsSent)
+	}
+	for i := range plain.StepsPerNode {
+		if plain.StepsPerNode[i] != rich.StepsPerNode[i] || plain.TrainedSteps[i] != rich.TrainedSteps[i] {
+			t.Fatalf("node %d steps diverged: plain %d/%d, harvest %d/%d", i,
+				plain.StepsPerNode[i], plain.TrainedSteps[i], rich.StepsPerNode[i], rich.TrainedSteps[i])
+		}
+	}
+}
+
+// Harvest-coupled async runs stay bit-reproducible, on both trace
+// families (the Markov chain is sampled once per node-round through the
+// step integrator, on the same per-node streams as the round engines).
+func TestAsyncHarvestDeterministic(t *testing.T) {
+	for _, family := range []string{"diurnal", "markov"} {
+		mk := func() Config {
+			cfg := harvestConfig(t, 24, nil)
+			if family == "diurnal" {
+				cfg.Trace = scarceDiurnal(t, cfg)
+			} else {
+				cfg.Trace = scarceMarkov(t, cfg, 24)
+			}
+			return cfg
+		}
+		r1, err := Run(mk())
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := Run(mk())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.FinalMeanAcc != r2.FinalMeanAcc || r1.Brownouts != r2.Brownouts ||
+			r1.GossipsSent != r2.GossipsSent || r1.BrownoutShare != r2.BrownoutShare ||
+			r1.ConsumedWh != r2.ConsumedWh || r1.HarvestedWh != r2.HarvestedWh {
+			t.Fatalf("%s: runs differ: %+v vs %+v", family, r1, r2)
+		}
+		for i := range r1.StepsPerNode {
+			if r1.StepsPerNode[i] != r2.StepsPerNode[i] {
+				t.Fatalf("%s: node %d step counts differ", family, i)
+			}
+		}
+	}
+}
+
+// The async telemetry stream — VTime-stamped brownouts, revivals, and
+// eval-tick energy ledgers — must pass every auditor invariant on both
+// trace families.
+func TestAsyncHarvestAuditorClean(t *testing.T) {
+	for _, family := range []string{"diurnal", "markov"} {
+		cfg := harvestConfig(t, 25, nil)
+		if family == "diurnal" {
+			cfg.Trace = scarceDiurnal(t, cfg)
+		} else {
+			cfg.Trace = scarceMarkov(t, cfg, 25)
+		}
+		cfg.FleetOptions = harvest.Options{CapacityRounds: 4, InitialSoC: 0.15, CutoffSoC: 0.1, IdleWh: 0.3 * meanStepWh(cfg)}
+		auditor := analyze.NewAuditor()
+		mem := obs.NewMemory()
+		cfg.Probe = obs.NewProbe(obs.Multi(mem, auditor))
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		auditor.Close()
+		if !auditor.Ok() {
+			t.Fatalf("%s: auditor found violations:\n%s", family, auditor.Summary())
+		}
+		if res.Brownouts > 0 && mem.Count(obs.KindBrownout) == 0 {
+			t.Fatalf("%s: %d brown-outs but no brownout events", family, res.Brownouts)
+		}
+		if mem.Count(obs.KindRoundEnd) == 0 {
+			t.Fatalf("%s: no ledger checkpoints in the stream", family)
+		}
+		// Ledger checkpoints and brownouts carry the virtual clock.
+		for _, ev := range mem.Events() {
+			if ev.Kind == obs.KindRoundEnd && ev.VTime <= 0 {
+				t.Fatalf("%s: ledger checkpoint without virtual time: %+v", family, ev)
+			}
+		}
+	}
+}
+
+// A revived node reports its outage length in trace rounds, and the
+// alternation brownout → revival shows up in stream order.
+func TestAsyncHarvestRevivalStaleness(t *testing.T) {
+	cfg := harvestConfig(t, 26, nil)
+	cfg.Trace = scarceDiurnal(t, cfg)
+	cfg.FleetOptions = harvest.Options{CapacityRounds: 4, InitialSoC: 0.15, CutoffSoC: 0.1, IdleWh: 0.3 * meanStepWh(cfg)}
+	mem := obs.NewMemory()
+	cfg.Probe = obs.NewProbe(mem)
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	revivals := 0
+	downAt := map[int]float64{}
+	for _, ev := range mem.Events() {
+		switch ev.Kind {
+		case obs.KindBrownout:
+			downAt[ev.Node] = ev.VTime
+		case obs.KindRevival:
+			revivals++
+			if _, ok := downAt[ev.Node]; !ok {
+				t.Fatalf("revival of node %d without a prior brownout", ev.Node)
+			}
+			if ev.VTime < downAt[ev.Node] {
+				t.Fatalf("node %d revived at %v before its brownout at %v", ev.Node, ev.VTime, downAt[ev.Node])
+			}
+			if ev.Staleness < 0 {
+				t.Fatalf("negative staleness %d", ev.Staleness)
+			}
+			delete(downAt, ev.Node)
+		}
+	}
+	if revivals == 0 {
+		t.Fatal("no revival ever happened under a diurnal trace")
+	}
+}

@@ -181,7 +181,9 @@ type BatteryView interface {
 type RoundContext struct {
 	// Round is t, 0-based.
 	Round int
-	// Horizon is the total round count T; 0 when open-ended (async runs).
+	// Horizon is the total round count T. Virtual-time engines pass the
+	// node's step capacity within the simulated horizon (see
+	// VirtualContext); 0 when genuinely open-ended.
 	Horizon int
 	// Kind is the coordinated kind of this round.
 	Kind RoundKind
@@ -206,6 +208,19 @@ func ContextAt(s Schedule, t, horizon int) RoundContext {
 	if s != nil {
 		ctx.Kind = s.Kind(t)
 	}
+	return ctx
+}
+
+// VirtualContext builds the round context a virtual-time engine presents
+// to a policy: the schedule slot is the node's local step counter (each
+// node advances its own clock, so "round" is per-node), while the battery
+// view and forecast window describe fleet state at the decision's virtual
+// time. Battery-aware and forecast-aware policies thereby run unchanged in
+// both the round-synchronous and the event-driven engine.
+func VirtualContext(s Schedule, step, horizon int, b BatteryView, forecast []float64) RoundContext {
+	ctx := ContextAt(s, step, horizon)
+	ctx.Battery = b
+	ctx.Forecast = forecast
 	return ctx
 }
 

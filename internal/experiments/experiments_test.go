@@ -844,3 +844,64 @@ func TestTableBrownoutReproducibleAcrossGOMAXPROCS(t *testing.T) {
 		}
 	}
 }
+
+func TestTableAsyncHarvest(t *testing.T) {
+	var sb strings.Builder
+	o := tiny()
+	o.Rounds = 24
+	o.Out = &sb
+	rows, err := TableAsyncHarvest(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows, want 4 (2 regimes x 2 engines)", len(rows))
+	}
+	byKey := map[string]AsyncHarvestRow{}
+	for _, r := range rows {
+		byKey[r.Regime+"/"+r.Engine] = r
+		if r.Trained <= 0 {
+			t.Fatalf("%s/%s never trained", r.Regime, r.Engine)
+		}
+		if r.HarvestedWh <= 0 || r.ConsumedWh <= 0 {
+			t.Fatalf("%s/%s energy ledgers empty: %+v", r.Regime, r.Engine, r)
+		}
+		if r.BrownoutShare < 0 || r.BrownoutShare >= 100 {
+			t.Fatalf("%s/%s brown-out share %.1f%% out of range", r.Regime, r.Engine, r.BrownoutShare)
+		}
+	}
+	for _, regime := range []string{"diurnal", "markov"} {
+		a := byKey[regime+"/async-event"]
+		// The event engine must exercise intermittency, not bypass it.
+		if a.BrownoutShare <= 0 {
+			t.Fatalf("%s async leg saw no outage time", regime)
+		}
+		if a.Steps < a.Trained {
+			t.Fatalf("%s async leg trained %d of only %d steps", regime, a.Trained, a.Steps)
+		}
+	}
+	if !strings.Contains(sb.String(), "Intermittency engines") {
+		t.Fatalf("table not rendered:\n%s", sb.String())
+	}
+}
+
+func TestTableAsyncHarvestReproducibleAcrossGOMAXPROCS(t *testing.T) {
+	run := func(procs int) []AsyncHarvestRow {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		o := tiny()
+		o.Rounds = 16
+		rows, err := TableAsyncHarvest(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	serial := run(1)
+	wide := run(8)
+	for i := range serial {
+		if serial[i] != wide[i] {
+			t.Fatalf("row %d differs across GOMAXPROCS:\n%+v\n%+v", i, serial[i], wide[i])
+		}
+	}
+}

@@ -1,6 +1,9 @@
 package harvest
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Battery is one node's charge state. Construct with NewBattery; the zero
 // value is not usable.
@@ -13,6 +16,10 @@ type Battery struct {
 	CutoffWh float64
 
 	chargeWh float64
+	// clock is the battery's virtual-time cursor, advanced by AdvanceTo.
+	// Round-driven engines (Fleet.EndRound) never touch it; the
+	// continuous-time VFleet advances it per event.
+	clock float64
 }
 
 // NewBattery returns a battery with the given capacity, initial charge and
@@ -75,6 +82,74 @@ func (b *Battery) TryConsume(wh float64) bool {
 	}
 	b.chargeWh -= wh
 	return true
+}
+
+// Clock returns the battery's virtual-time cursor: how far AdvanceTo has
+// integrated. Batteries driven round-by-round stay at 0.
+func (b *Battery) Clock() float64 { return b.clock }
+
+// AdvanceTo integrates constant harvest and drain rates (Wh per unit of
+// virtual time) from the battery's clock to t, paying drain before storing
+// harvest — the same settle order Fleet.EndRound applies per round — and
+// moves the clock to t. It returns the energy actually stored and actually
+// drained (both clamp: a full battery wastes arrivals, an empty one cannot
+// pay). Callers split intervals at rate changes (trace round boundaries)
+// and at the crossing times TimeToCharge/TimeToCutoff solve for, so the
+// rates are genuinely constant within one call; t at or before the clock
+// is a no-op.
+func (b *Battery) AdvanceTo(t, harvestRateWh, drainRateWh float64) (storedWh, drainedWh float64) {
+	dt := t - b.clock
+	if dt <= 0 {
+		return 0, 0
+	}
+	b.clock = t
+	drainedWh = b.Drain(drainRateWh * dt)
+	storedWh = b.Harvest(harvestRateWh * dt)
+	return storedWh, drainedWh
+}
+
+// TimeToCharge solves the charge-arrival crossing: how long until the
+// battery reaches targetWh under a constant net inflow rate (Wh per unit
+// of virtual time). 0 when already there; +Inf when the net rate is
+// non-positive or the target exceeds capacity. The event-driven engine
+// schedules wake-ups at this crossing instead of polling per round.
+func (b *Battery) TimeToCharge(targetWh, netRateWh float64) float64 {
+	return timeToCharge(b.chargeWh, targetWh, b.CapacityWh, netRateWh)
+}
+
+// TimeToCutoff solves the brown-out crossing: how long until the battery
+// drains to its cutoff under a constant net load rate (Wh per unit of
+// virtual time, positive = net outflow). 0 when already at or below the
+// cutoff; +Inf when the battery is not losing charge.
+func (b *Battery) TimeToCutoff(loadRateWh float64) float64 {
+	return timeToCutoff(b.chargeWh, b.CutoffWh, -loadRateWh)
+}
+
+// timeToCharge is the shared rising-crossing solver under a constant net
+// inflow netRateWh (signed; Wh per unit time): the first time a store at
+// chargeWh reaches targetWh, given ceiling capacityWh. Both Battery and
+// SoAFleet expose it so the two engines cannot drift on crossing math.
+func timeToCharge(chargeWh, targetWh, capacityWh, netRateWh float64) float64 {
+	if chargeWh >= targetWh {
+		return 0
+	}
+	if netRateWh <= 0 || targetWh > capacityWh {
+		return math.Inf(1)
+	}
+	return (targetWh - chargeWh) / netRateWh
+}
+
+// timeToCutoff is the shared falling-crossing solver under a constant net
+// inflow netRateWh (signed): the first time a store at chargeWh falls to
+// cutoffWh. +Inf when the store is not falling.
+func timeToCutoff(chargeWh, cutoffWh, netRateWh float64) float64 {
+	if chargeWh <= cutoffWh {
+		return 0
+	}
+	if netRateWh >= 0 {
+		return math.Inf(1)
+	}
+	return (chargeWh - cutoffWh) / -netRateWh
 }
 
 func clamp(x, lo, hi float64) float64 {

@@ -148,6 +148,21 @@ func (f *SoAFleet) CutoffWh(i int) float64 { return f.cutoffWh[i] }
 // of participation.
 func (f *SoAFleet) OverheadWh(i int) float64 { return f.idleWh + f.commWh[i] }
 
+// TimeToCharge solves node i's charge-arrival crossing under a constant
+// net inflow rate (Wh per unit of virtual time) through the shared solver
+// — the same math Battery.TimeToCharge applies, on the flat slices, so
+// event-driven schedulers can run over either layout without drift.
+func (f *SoAFleet) TimeToCharge(i int, targetWh, netRateWh float64) float64 {
+	return timeToCharge(f.chargeWh[i], targetWh, f.capacityWh[i], netRateWh)
+}
+
+// TimeToCutoff solves node i's brown-out crossing under a constant load
+// rate (Wh per unit of virtual time, positive = net outflow); see
+// Battery.TimeToCutoff.
+func (f *SoAFleet) TimeToCutoff(i int, loadRateWh float64) float64 {
+	return timeToCutoff(f.chargeWh[i], f.cutoffWh[i], -loadRateWh)
+}
+
 // Context returns the direct-drive round context for round t; see
 // Fleet.Context.
 func (f *SoAFleet) Context(t int) core.RoundContext {

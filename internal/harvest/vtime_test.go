@@ -1,0 +1,263 @@
+package harvest
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/energy"
+)
+
+func TestConstantEnergyBetween(t *testing.T) {
+	c := Constant{Wh: 0.4}
+	if got := c.EnergyBetween(0, 1.5, 4.0); math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("EnergyBetween(1.5, 4.0) = %v, want 1.0", got)
+	}
+	if got := c.EnergyBetween(0, 3, 3); got != 0 {
+		t.Fatalf("empty interval = %v, want 0", got)
+	}
+	if got := c.EnergyBetween(0, 5, 2); got != 0 {
+		t.Fatalf("reversed interval = %v, want 0", got)
+	}
+}
+
+func TestDiurnalEnergyBetweenClosedForm(t *testing.T) {
+	const peak, period = 2.0, 24
+	d, err := NewDiurnal(peak, period, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One whole period integrates the daylight half-sine exactly:
+	// peak·period/π.
+	want := peak * float64(period) / math.Pi
+	if got := d.EnergyBetween(0, 0, period); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("whole period = %v, want %v", got, want)
+	}
+	// Any period-long window sees the same energy regardless of offset.
+	if got := d.EnergyBetween(0, 7.3, 7.3+period); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("offset period = %v, want %v", got, want)
+	}
+	// The night half contributes nothing.
+	if got := d.EnergyBetween(0, period/2, period); got != 0 {
+		t.Fatalf("night half = %v, want 0", got)
+	}
+	// Closed form matches numerical integration of the instantaneous rate.
+	rate := func(x float64) float64 {
+		if s := math.Sin(2 * math.Pi * x / period); s > 0 {
+			return peak * s
+		}
+		return 0
+	}
+	t0, t1 := 3.25, 17.8
+	num, steps := 0.0, 200000
+	h := (t1 - t0) / float64(steps)
+	for i := 0; i < steps; i++ {
+		num += rate(t0+(float64(i)+0.5)*h) * h
+	}
+	if got := d.EnergyBetween(0, t0, t1); math.Abs(got-num) > 1e-6 {
+		t.Fatalf("closed form %v vs numerical %v", got, num)
+	}
+}
+
+func TestDiurnalEnergyBetweenPhaseShift(t *testing.T) {
+	d, err := NewDiurnal(1.0, 12, LongitudePhase(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 2 is phase-shifted half a period from node 0: its energy over
+	// [0, 6) equals node 0's over [6, 12).
+	a := d.EnergyBetween(2, 0, 6)
+	b := d.EnergyBetween(0, 6, 12)
+	if math.Abs(a-b) > 1e-12 {
+		t.Fatalf("phase shift broken: node2[0,6)=%v node0[6,12)=%v", a, b)
+	}
+}
+
+func TestEnergyBetweenAdditive(t *testing.T) {
+	rep, err := NewReplay([][]float64{{0.5}, {0.0}, {1.25}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := NewDiurnal(1.5, 6, nil)
+	for _, tr := range []ContinuousTrace{Constant{Wh: 0.3}, d, rep} {
+		whole := tr.EnergyBetween(0, 0.4, 5.7)
+		split := tr.EnergyBetween(0, 0.4, 2.1) + tr.EnergyBetween(0, 2.1, 5.7)
+		if math.Abs(whole-split) > 1e-12 {
+			t.Fatalf("%s not additive: whole %v split %v", tr.Name(), whole, split)
+		}
+	}
+}
+
+func TestReplayEnergyBetweenWraps(t *testing.T) {
+	rep, err := NewReplay([][]float64{{1.0}, {2.0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// [1.5, 3.5) covers half of round 1 (rate 2), all of round 2 (wraps to
+	// rate 1), half of round 3 (rate 2): 1 + 1 + 1 = 3.
+	if got := rep.EnergyBetween(0, 1.5, 3.5); math.Abs(got-3.0) > 1e-12 {
+		t.Fatalf("wrap integral = %v, want 3.0", got)
+	}
+	// Negative start clamps to 0.
+	if got := rep.EnergyBetween(0, -2, 1); math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("clamped start = %v, want 1.0", got)
+	}
+}
+
+// countingTrace records every (node, round) HarvestWh call to pin the
+// once-per-round discipline through the Integrator.
+type countingTrace struct {
+	calls map[[2]int]int
+}
+
+func (c *countingTrace) HarvestWh(node, t int) float64 {
+	if c.calls == nil {
+		c.calls = map[[2]int]int{}
+	}
+	c.calls[[2]int{node, t}]++
+	return float64(t + 1)
+}
+
+func (c *countingTrace) Name() string { return "counting" }
+
+func TestIntegratorSamplesOncePerRound(t *testing.T) {
+	ct := &countingTrace{}
+	in := NewIntegrator(ct, 2)
+	// Query overlapping intervals and repeat lookups; the generator must
+	// see each (node, round) exactly once, in increasing round order.
+	in.EnergyBetween(0, 0, 3)
+	in.EnergyBetween(0, 1.5, 2.5)
+	in.EnergyBetween(0, 0, 4)
+	if got := in.HarvestWh(0, 2); math.Abs(got-3.0) > 1e-12 {
+		t.Fatalf("HarvestWh(0,2) = %v, want 3", got)
+	}
+	in.HarvestWh(0, 2) // repeat must hit the cache
+	for k := 0; k < 4; k++ {
+		if n := ct.calls[[2]int{0, k}]; n != 1 {
+			t.Fatalf("round %d sampled %d times, want 1", k, n)
+		}
+	}
+	if len(ct.calls) != 4 {
+		t.Fatalf("generator saw %d samples, want 4", len(ct.calls))
+	}
+	// Step integration of the cached rates: rounds 0..2 have rates 1,2,3.
+	if got := in.EnergyBetween(0, 0.5, 2.5); math.Abs(got-(0.5+2+1.5)) > 1e-12 {
+		t.Fatalf("integrator EnergyBetween = %v, want 4.0", got)
+	}
+}
+
+func TestIntegratorWrapsMarkovDeterministically(t *testing.T) {
+	mk := func() *Integrator {
+		tr, err := NewMarkovOnOff(3, 0.8, 0.3, 0.4, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return NewIntegrator(tr, 3)
+	}
+	a, b := mk(), mk()
+	for node := 0; node < 3; node++ {
+		for k := 0; k < 16; k++ {
+			if a.HarvestWh(node, k) != b.HarvestWh(node, k) {
+				t.Fatalf("markov integrator not deterministic at node %d round %d", node, k)
+			}
+		}
+	}
+	// ResetTrace replays the identical sequence.
+	want := a.EnergyBetween(1, 0, 16)
+	a.ResetTrace()
+	if got := a.EnergyBetween(1, 0, 16); got != want {
+		t.Fatalf("post-reset energy %v, want %v", got, want)
+	}
+}
+
+func TestAsContinuous(t *testing.T) {
+	c := Constant{Wh: 1}
+	if _, ok := AsContinuous(c, 4).(Constant); !ok {
+		t.Fatal("Constant should pass through AsContinuous unwrapped")
+	}
+	tr, err := NewMarkovOnOff(4, 1, 0.5, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := AsContinuous(tr, 4).(*Integrator); !ok {
+		t.Fatal("MarkovOnOff should wrap in an Integrator")
+	}
+}
+
+func TestBatteryAdvanceTo(t *testing.T) {
+	b, err := NewBattery(10, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Net +0.5/s for 4s: drain 2, harvest 4.
+	stored, drained := b.AdvanceTo(4, 1.0, 0.5)
+	if math.Abs(stored-4) > 1e-12 || math.Abs(drained-2) > 1e-12 {
+		t.Fatalf("stored %v drained %v, want 4, 2", stored, drained)
+	}
+	if math.Abs(b.ChargeWh()-7) > 1e-12 || b.Clock() != 4 {
+		t.Fatalf("charge %v clock %v, want 7, 4", b.ChargeWh(), b.Clock())
+	}
+	// Time at or before the clock is a no-op.
+	if s, d := b.AdvanceTo(4, 1, 1); s != 0 || d != 0 {
+		t.Fatalf("no-op advance moved energy: %v, %v", s, d)
+	}
+	// Harvest clamps at capacity: 7 + 10·1 caps at 10, 7 wasted implicitly.
+	stored, _ = b.AdvanceTo(14, 1.0, 0)
+	if math.Abs(stored-3) > 1e-12 || math.Abs(b.ChargeWh()-10) > 1e-12 {
+		t.Fatalf("clamped store %v charge %v, want 3, 10", stored, b.ChargeWh())
+	}
+	// Drain clamps at empty.
+	_, drained = b.AdvanceTo(100, 0, 1.0)
+	if math.Abs(drained-10) > 1e-12 || b.ChargeWh() != 0 {
+		t.Fatalf("clamped drain %v charge %v, want 10, 0", drained, b.ChargeWh())
+	}
+}
+
+func TestBatteryCrossingSolvers(t *testing.T) {
+	b, err := NewBattery(10, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.TimeToCharge(7, 0.5); math.Abs(got-6) > 1e-12 {
+		t.Fatalf("TimeToCharge rising = %v, want 6", got)
+	}
+	if got := b.TimeToCharge(3, -2); got != 0 {
+		t.Fatalf("TimeToCharge already there = %v, want 0", got)
+	}
+	if got := b.TimeToCharge(7, 0); !math.IsInf(got, 1) {
+		t.Fatalf("TimeToCharge flat = %v, want +Inf", got)
+	}
+	if got := b.TimeToCharge(11, 5); !math.IsInf(got, 1) {
+		t.Fatalf("TimeToCharge beyond capacity = %v, want +Inf", got)
+	}
+	if got := b.TimeToCutoff(0.5); math.Abs(got-6) > 1e-12 {
+		t.Fatalf("TimeToCutoff falling = %v, want 6", got)
+	}
+	if got := b.TimeToCutoff(-0.5); !math.IsInf(got, 1) {
+		t.Fatalf("TimeToCutoff charging = %v, want +Inf", got)
+	}
+	drained, err2 := NewBattery(10, 1, 1)
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	if got := drained.TimeToCutoff(0.5); got != 0 {
+		t.Fatalf("TimeToCutoff at cutoff = %v, want 0", got)
+	}
+}
+
+func TestSoAFleetCrossingSolversMatchBattery(t *testing.T) {
+	devs := energy.AssignDevices(4, energy.Devices())
+	f, err := NewSoAFleet(devs, energy.CIFAR10Workload(), Constant{Wh: 0}, Options{CapacityRounds: 8, InitialSoC: 0.5, CutoffSoC: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < f.Nodes(); i++ {
+		b := Battery{CapacityWh: f.CapacityWh(i), CutoffWh: f.CutoffWh(i), chargeWh: f.ChargeWh(i)}
+		target := f.CutoffWh(i) + 2*f.TrainCostWh(i)
+		if got, want := f.TimeToCharge(i, target, 0.25), b.TimeToCharge(target, 0.25); got != want {
+			t.Fatalf("node %d TimeToCharge: soa %v battery %v", i, got, want)
+		}
+		if got, want := f.TimeToCutoff(i, 0.125), b.TimeToCutoff(0.125); got != want {
+			t.Fatalf("node %d TimeToCutoff: soa %v battery %v", i, got, want)
+		}
+	}
+}

@@ -45,6 +45,10 @@ const (
 	// ClassPhaseTime: phase-time accounting — the sum of a round's phase
 	// wall clocks cannot exceed the round's wall clock.
 	ClassPhaseTime = "phase-time"
+	// ClassVTime: virtual-time monotonicity — VTime-stamped events of one
+	// run segment (the event-driven engine's streams) must not go
+	// backwards.
+	ClassVTime = "vtime"
 )
 
 // EnergyRelTol is the documented relative float tolerance of the energy
@@ -111,6 +115,8 @@ type Auditor struct {
 	cumHarvest  float64
 	cumConsumed float64
 	cumWasted   float64
+	vtime       bool    // this segment carries virtual-time stamps
+	lastVTime   float64 // highest VTime seen in this segment
 
 	violations []Violation
 	overflow   int // violations dropped past maxViolations
@@ -140,6 +146,15 @@ func (a *Auditor) Emit(ev obs.Event) {
 	if a.runs == 0 && ev.Kind != obs.KindRunStart {
 		a.violate(ev.Round, ev.Node, ClassStructure, "%s before run_start", ev.Kind)
 	}
+	// Virtual-time monotonicity: the event-driven engine stamps its stream
+	// with VTime, which must never regress within a run segment (events
+	// without a stamp — zero VTime — are outside the virtual clock).
+	if ev.VTime > 0 && ev.Kind != obs.KindRunStart {
+		if a.vtime && ev.VTime < a.lastVTime {
+			a.violate(ev.Round, ev.Node, ClassVTime, "vtime %g regresses behind %g", ev.VTime, a.lastVTime)
+		}
+		a.vtime, a.lastVTime = true, math.Max(a.lastVTime, ev.VTime)
+	}
 	switch ev.Kind {
 	case obs.KindRunStart:
 		if a.openRound >= 0 {
@@ -151,6 +166,7 @@ func (a *Auditor) Emit(ev obs.Event) {
 		a.roundEnds, a.trainedSum, a.phaseNs = 0, 0, 0
 		a.down = map[int]bool{}
 		a.cumHarvest, a.cumConsumed, a.cumWasted = 0, 0, 0
+		a.vtime, a.lastVTime = false, 0
 		a.fleetSize = 0
 		if ev.Manifest != nil {
 			a.fleetSize = ev.Manifest.Nodes
@@ -167,9 +183,11 @@ func (a *Auditor) Emit(ev obs.Event) {
 			a.openRound = -1
 		}
 		// Run totals must agree with the rounds that were streamed — but
-		// only for engines that stream rounds at all (async and the grid
-		// runner close runs with engine-specific step counts instead).
-		if a.roundEnds > 0 {
+		// only for engines whose run is made of rounds. Async and the grid
+		// runner close runs with engine-specific step counts instead; a
+		// VTime-stamped segment's round_ends are eval-tick ledger
+		// checkpoints, not steps, so the totals are unrelated by design.
+		if a.roundEnds > 0 && !a.vtime {
 			if ev.Steps != a.roundEnds {
 				a.violate(-1, -1, ClassCounter, "run_end reports %d rounds, stream carried %d round_ends", ev.Steps, a.roundEnds)
 			}

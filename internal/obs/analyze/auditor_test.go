@@ -203,6 +203,126 @@ func TestAuditorDetectsEachInvariantClass(t *testing.T) {
 	}
 }
 
+// asyncStream is a well-formed event-driven (roundless, VTime-stamped)
+// harvest run: eval-tick ledger checkpoints, one brown-out/wake cycle,
+// and a run_end whose Steps total is an event-loop count, not a tick
+// count — legal only because the segment carries virtual time.
+func asyncStream() []obs.Event {
+	b := &streamBuilder{}
+	b.add(obs.Event{Kind: obs.KindRunStart, Round: -1, Node: -1, Manifest: testManifest(4), ChargeWh: 2.0})
+	b.add(obs.Event{Kind: obs.KindBrownout, Round: 0, Node: 1, VTime: 12.5})
+	b.add(obs.Event{Kind: obs.KindEval, Round: 0, Node: -1, MeanAcc: 0.4, VTime: 50})
+	b.add(obs.Event{Kind: obs.KindRoundStart, Round: 0, Node: -1, Label: "tick", VTime: 50})
+	// Dyadic values, conservation float-exact: 2.0 + 0.5 - 0.25 - 0.125.
+	b.add(obs.Event{Kind: obs.KindRoundEnd, Round: 0, Node: -1, Live: 3, Depleted: 1,
+		HarvestWh: 0.5, ConsumedWh: 0.25, WastedWh: 0.125, ChargeWh: 2.125, VTime: 50})
+	b.add(obs.Event{Kind: obs.KindRevival, Round: 1, Node: 1, Staleness: 2, VTime: 75})
+	b.add(obs.Event{Kind: obs.KindEval, Round: 1, Node: -1, MeanAcc: 0.5, VTime: 100})
+	b.add(obs.Event{Kind: obs.KindRoundStart, Round: 1, Node: -1, Label: "tick", VTime: 100})
+	// 2.125 + 0.25 - 0.5 = 1.875.
+	b.add(obs.Event{Kind: obs.KindRoundEnd, Round: 1, Node: -1, Live: 4,
+		HarvestWh: 0.25, ConsumedWh: 0.5, ChargeWh: 1.875, VTime: 100})
+	b.add(obs.Event{Kind: obs.KindRunEnd, Round: -1, Node: -1, Steps: 37, Trained: 21, VTime: 100})
+	return b.events
+}
+
+// The event-driven stream must audit clean: two ledger ticks against 37
+// loop steps is not a counter violation once the segment is VTime-stamped.
+func TestAuditorAcceptsVTimeStreamWithTickLedgers(t *testing.T) {
+	if a := audit(asyncStream()); !a.Ok() {
+		t.Fatalf("async stream flagged: %v", a.Violations())
+	}
+	// The vtime gate is per segment: a round-based segment following the
+	// async one still has its run_end totals checked.
+	evs := asyncStream()
+	tail := cleanStream()
+	tail[len(tail)-1].Steps = 5 // wrong round count in the sync segment
+	if a := audit(append(evs, tail...)); a.Ok() {
+		t.Fatal("round-count corruption hidden behind a preceding vtime segment")
+	}
+}
+
+// Corruptions specific to the event-driven stream: each targets one
+// invariant class and must be caught.
+func TestAuditorDetectsAsyncStreamCorruption(t *testing.T) {
+	base := asyncStream
+	cases := []struct {
+		name    string
+		class   string
+		corrupt func() []obs.Event
+	}{
+		{"vtime-regresses-across-wake", ClassVTime, func() []obs.Event {
+			evs := base()
+			for i := range evs {
+				if evs[i].Kind == obs.KindRevival {
+					evs[i].VTime = 40 // behind the tick at vtime 50
+				}
+			}
+			return evs
+		}},
+		{"brownout-without-revival-in-vtime-order", ClassAlternation, func() []obs.Event {
+			// Node 1 browns out a second time at vtime 60 while still down:
+			// no revival separates the two interrupts.
+			evs := base()
+			var out []obs.Event
+			for _, ev := range evs {
+				if ev.Kind == obs.KindRevival {
+					out = append(out, obs.Event{Kind: obs.KindBrownout, Round: 1, Node: 1, VTime: 60})
+					continue
+				}
+				out = append(out, ev)
+			}
+			return out
+		}},
+		{"revival-precedes-brownout-in-vtime", ClassAlternation, func() []obs.Event {
+			// The wake is stamped before the interrupt on the virtual
+			// clock — stream order and vtime order agree, alternation does
+			// not: the node revives without ever having browned out.
+			evs := base()
+			var out []obs.Event
+			for _, ev := range evs {
+				if ev.Kind == obs.KindBrownout {
+					out = append(out, obs.Event{Kind: obs.KindRevival, Round: 0, Node: 1, Staleness: 0, VTime: 10})
+				}
+				if ev.Kind == obs.KindRevival {
+					ev = obs.Event{Kind: obs.KindBrownout, Round: 1, Node: 1, VTime: 75}
+				}
+				out = append(out, ev)
+			}
+			return out
+		}},
+		{"ledger-drifts-across-wake", ClassEnergy, func() []obs.Event {
+			// The checkpoint after node 1's revival reports 50 mWh that no
+			// arrival accounts for.
+			evs := base()
+			for i := range evs {
+				if evs[i].Kind == obs.KindRoundEnd && evs[i].Round == 1 {
+					evs[i].ChargeWh += 0.05
+				}
+			}
+			return evs
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := audit(tc.corrupt())
+			if a.Ok() {
+				t.Fatal("corruption not detected")
+			}
+			found := false
+			for _, v := range a.Violations() {
+				if v.Class == tc.class {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("no %s violation; got %v", tc.class, a.Violations())
+			}
+		})
+	}
+}
+
 // A harvest stream whose run_start lacks the charge baseline (fleet
 // starting empty) must still audit conservation from the first round_end.
 func TestAuditorBaselinesAtFirstRoundEndWithoutRunStartCharge(t *testing.T) {

@@ -27,9 +27,10 @@ func readBench(t *testing.T, path string) obs.BenchFile {
 
 // The committed snapshot sequence must pass the default gate at every
 // step: PR 7's SoA engine improved ns/node-round, PR 8 and PR 9 added
-// benchmarks without regressing the tracked ones.
+// benchmarks without regressing the tracked ones, PR 10 added the sweep
+// service benchmarks (warm-vs-cold and worker scaling).
 func TestCommittedBenchSnapshotsPassGate(t *testing.T) {
-	history := []string{"BENCH_6.json", "BENCH_7.json", "BENCH_8.json", "BENCH_9.json"}
+	history := []string{"BENCH_6.json", "BENCH_7.json", "BENCH_8.json", "BENCH_9.json", "BENCH_10.json"}
 	for i := 1; i < len(history); i++ {
 		old := readBench(t, history[i-1])
 		new := readBench(t, history[i])

@@ -1,0 +1,79 @@
+// Command sweepd is the long-running sweep service (internal/sweep): it
+// serves the experiment grid workloads over TCP with every simulation
+// cell content-addressed and memoized, so repeated or overlapping grid
+// searches — from any number of gridsearch clients — recompute only what
+// has never been computed before.
+//
+//	sweepd -addr :7600 -cache /var/tmp/sweep-cache -workers 8
+//	gridsearch -server localhost:7600 -job degree -progress
+//
+// With -cache the cell store is tiered: an in-memory LRU in front of an
+// atomic on-disk JSON store, so cached cells survive daemon restarts and
+// are invalidated only by a config or git-revision change. Without -cache
+// everything lives in memory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/experiments"
+	"repro/internal/par"
+	"repro/internal/sweep"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:7600", "listen address")
+		cache   = flag.String("cache", "", "cell cache directory (empty = in-memory only)")
+		mem     = flag.Int("mem", 4096, "in-memory LRU capacity in cells (0 = unbounded)")
+		workers = flag.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "error: unexpected arguments %v\n", flag.Args())
+		os.Exit(2)
+	}
+
+	var store sweep.Store = sweep.NewMemStore(*mem)
+	if *cache != "" {
+		disk, err := sweep.NewFileStore(*cache)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		store = sweep.Tiered(sweep.NewMemStore(*mem), disk)
+	}
+
+	srv, err := sweep.NewServer(*addr, store, par.NewPool(*workers))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	experiments.RegisterSweepHandlers(srv)
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		fmt.Fprintln(os.Stderr, "sweepd: shutting down")
+		srv.Close()
+	}()
+
+	fmt.Printf("sweepd: serving on %s (cache %s, %d workers)\n",
+		srv.Addr(), cacheDesc(*cache), par.NewPool(*workers).Workers())
+	if err := srv.Serve(); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+func cacheDesc(dir string) string {
+	if dir == "" {
+		return "in-memory"
+	}
+	return dir
+}

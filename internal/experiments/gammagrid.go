@@ -11,9 +11,9 @@ import (
 	"repro/internal/graph"
 	"repro/internal/harvest"
 	"repro/internal/obs"
-	"repro/internal/par"
 	"repro/internal/report"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 )
 
 // The harvest-aware Γ-schedule search reruns the paper's Figure 3 grid
@@ -36,26 +36,40 @@ const gammaGridMax = 4
 
 // forEachGammaCell evaluates all gammaGridMax² schedule cells with the
 // given per-cell body, fanning cells out across workers. Each cell writes
-// only its own preallocated slot and errors land in per-cell slots
-// (par.ForErr), so the returned grid — layout grid[gs-1][gt-1], like
-// Figure3Result — is identical at any worker count, and the reported error
-// is always the lowest-indexed cell's.
+// only its own preallocated slot and errors land in per-cell slots, so
+// the returned grid — layout grid[gs-1][gt-1], like Figure3Result — is
+// identical at any worker count, and the reported error is always the
+// lowest-indexed cell's. This is the uncached entry point; keyed grids go
+// through gammaCells with a sweep.Runner.
 func forEachGammaCell[C any](run func(gt, gs int) (C, error)) ([][]C, error) {
-	grid := make([][]C, gammaGridMax)
-	for gs := range grid {
-		grid[gs] = make([]C, gammaGridMax)
-	}
-	err := par.ForErr(gammaGridMax*gammaGridMax, 0, func(k int) error {
-		gs, gt := k/gammaGridMax+1, k%gammaGridMax+1
-		cell, err := run(gt, gs)
-		if err != nil {
-			return err
+	return gammaCells(nil, nil, run)
+}
+
+// gammaCells executes the Γ grid through the sweep scheduler: cells with
+// a key are served from the runner's cache when present and computed
+// (then cached) otherwise; a nil runner or nil key degrades to the plain
+// pool fan-out. Cached and computed cells are interchangeable
+// bit-for-bit (see sweep.Grid), so a grid's values are independent of
+// which cells hit.
+func gammaCells[C any](r *sweep.Runner, key func(gt, gs int) sweep.CellKey, run func(gt, gs int) (C, error)) ([][]C, error) {
+	at := func(k int) (gt, gs int) { return k%gammaGridMax + 1, k/gammaGridMax + 1 }
+	var keyAt func(int) sweep.CellKey
+	if key != nil {
+		keyAt = func(k int) sweep.CellKey {
+			gt, gs := at(k)
+			return key(gt, gs)
 		}
-		grid[gs-1][gt-1] = cell
-		return nil
+	}
+	cells, err := sweep.Grid(r, gammaGridMax*gammaGridMax, keyAt, func(k int) (C, error) {
+		gt, gs := at(k)
+		return run(gt, gs)
 	})
 	if err != nil {
 		return nil, err
+	}
+	grid := make([][]C, gammaGridMax)
+	for gs := range grid {
+		grid[gs] = cells[gs*gammaGridMax : (gs+1)*gammaGridMax]
 	}
 	return grid, nil
 }
@@ -191,7 +205,16 @@ func RunGammaGrid(o Options, regime GammaRegime) (*GammaGridResult, error) {
 }
 
 func newGammaWorld(o Options) (*gammaWorld, error) {
-	g, weights, err := topologyFor(o.Nodes, 6, o.Seed)
+	return newGammaWorldDegree(o, 6)
+}
+
+// newGammaWorldDegree builds the shared world on a d-regular topology —
+// the degree axis of the degree-coupled grid (TableDegreeGamma). The
+// graph fingerprint in each cell manifest covers the degree, so cells
+// from different degrees never collide in the cache while identical
+// (degree, regime, Γ) cells from overlapping sweeps dedupe.
+func newGammaWorldDegree(o Options, degree int) (*gammaWorld, error) {
+	g, weights, err := topologyFor(o.Nodes, degree, o.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -210,6 +233,38 @@ func newGammaWorld(o Options) (*gammaWorld, error) {
 		workload:    workload,
 		meanTrainWh: energy.NetworkRoundWh(o.Nodes, energy.Devices(), workload) / float64(o.Nodes),
 	}, nil
+}
+
+// cellManifest is the content-addressable identity of one (regime, Γt,
+// Γs) cell: every Options and regime field that changes the computed bits
+// is hashed, so sweep.KeyFromManifest(cellManifest(...)) is a safe cache
+// key. Deliberately excluded, because they cannot change the bits:
+// FleetEngine (pointer and SoA are pinned bit-identical by
+// internal/harvest/difftest — a cell computed on either engine serves
+// both), Probe/Out (telemetry is read-only), EvalEvery (cells always run
+// with EvalEvery 0), and worker count (GOMAXPROCS is unhashed by design).
+func (w *gammaWorld) cellManifest(regime GammaRegime, traceName string, gt, gs int) obs.RunManifest {
+	o := w.o
+	fo := gammaGridFleetOptions()
+	return obs.NewManifest("gammacell", regime.Name, o.Seed).
+		Scale(o.Nodes, o.Rounds).
+		Set("regime", regime.Name).
+		Set("trace", traceName).
+		Setf("graph", "%016x", w.graph.Fingerprint()).
+		Setf("gamma_train", "%d", gt).
+		Setf("gamma_sync", "%d", gs).
+		Setf("lr", "%g", o.LR).
+		Setf("batch", "%d", o.BatchSize).
+		Setf("local_steps", "%d", o.LocalSteps).
+		Setf("train_per_node", "%d", o.TrainPerNode).
+		Setf("test_samples", "%d", o.TestSamples).
+		Setf("noise", "%g", o.Noise).
+		Setf("eval_subsample", "%d", o.EvalSubsample).
+		Set("policy", "soc-threshold").
+		Setf("min_soc", "%g", gammaGridMinSoC).
+		Setf("fleet_capacity_rounds", "%g", fo.CapacityRounds).
+		Setf("fleet_initial_soc", "%g", fo.InitialSoC).
+		Build()
 }
 
 func (w *gammaWorld) runRegime(regime GammaRegime) (*GammaGridResult, error) {
@@ -237,7 +292,16 @@ func (w *gammaWorld) runRegime(regime GammaRegime) (*GammaGridResult, error) {
 			Build()
 		p.RunStart(&manifest)
 	}
-	grid, err := forEachGammaCell(func(gt, gs int) (GammaHarvestCell, error) {
+	// Keys only exist when a sweep runner is attached: keyed cells cache
+	// under their content hash, unkeyed grids behave exactly as before.
+	var key func(gt, gs int) sweep.CellKey
+	if w.o.Sweep != nil {
+		traceName := sample.Name()
+		key = func(gt, gs int) sweep.CellKey {
+			return sweep.KeyFromManifest(w.cellManifest(regime, traceName, gt, gs))
+		}
+	}
+	grid, err := gammaCells(w.o.Sweep, key, func(gt, gs int) (GammaHarvestCell, error) {
 		start := time.Now()
 		cell, err := w.runCell(regime, gt, gs)
 		if err == nil && p.Enabled() {
@@ -341,6 +405,14 @@ func TableGammaHarvest(o Options) ([]GammaHarvestRow, error) {
 		res.Render(o.Out)
 		rows = append(rows, GammaHarvestRow{Regime: res.Regime, Trace: res.Trace, Best: res.Best})
 	}
+	RenderGammaHarvestRows(o.Out, rows)
+	return rows, nil
+}
+
+// RenderGammaHarvestRows writes the per-regime summary table. It is
+// shared by TableGammaHarvest and the gridsearch client, which receives
+// rows from a sweep server and renders them locally.
+func RenderGammaHarvestRows(out io.Writer, rows []GammaHarvestRow) {
 	tb := report.NewTable("Harvest-aware Γ-schedule search: best (Γtrain, Γsync) per regime (sim scale)",
 		"Regime", "Trace", "Γt", "Γs", "Acc %", "Particip %", "Harvested Wh", "Consumed Wh", "Wasted %")
 	for _, r := range rows {
@@ -348,8 +420,7 @@ func TableGammaHarvest(o Options) ([]GammaHarvestRow, error) {
 			r.Regime, r.Trace, r.Best.GammaTrain, r.Best.GammaSync, r.Best.FinalAcc,
 			r.Best.Participation, r.Best.HarvestedWh, r.Best.ConsumedWh, 100*r.Best.WastedFrac)
 	}
-	tb.Render(o.Out)
-	return rows, nil
+	tb.Render(out)
 }
 
 // Render writes the regime's validation-accuracy heatmap (best cell

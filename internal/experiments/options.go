@@ -21,6 +21,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/obs"
 	"repro/internal/rng"
+	"repro/internal/sweep"
 )
 
 // PaperNodes is the node count of every experiment in the paper.
@@ -65,6 +66,15 @@ type Options struct {
 	// passed into per-cell simulations — a 16-cell grid streaming
 	// per-round events would drown the signal. Nil is the off state.
 	Probe *obs.Probe
+
+	// Sweep optionally routes grid cells through the memoized sweep
+	// scheduler (internal/sweep): cells are content-addressed by their
+	// manifest hash, cached results are served instead of recomputed, and
+	// overlapping grids dedupe. Nil runs every cell fresh (the historical
+	// behavior). Sweep never affects computed values — cached cells are
+	// bit-identical to fresh ones — so, like Probe, it is not part of any
+	// cell's cache key.
+	Sweep *sweep.Runner
 }
 
 // Defaults fills unset fields with laptop-scale values.

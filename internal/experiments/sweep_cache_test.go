@@ -1,0 +1,306 @@
+package experiments
+
+import (
+	"encoding/json"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/harvest"
+	"repro/internal/obs"
+	"repro/internal/sweep"
+)
+
+// TestSweepCacheCrossEngineBitIdentical is the cache-correctness
+// differential: a grid computed cold on the pointer fleet, the same grid
+// served entirely from cache to the SoA fleet, and the same grid computed
+// fresh on the SoA fleet must agree bit-for-bit, cell by cell and as JSON
+// bytes. This is what licenses excluding FleetEngine from the cell key —
+// the engines are pinned bit-identical by internal/harvest/difftest, so a
+// cached cell serves both. (Forced-revision invalidation is pinned at the
+// sweep layer: see sweep.TestGridRevisionChangeInvalidates.)
+func TestSweepCacheCrossEngineBitIdentical(t *testing.T) {
+	o := tiny()
+	o.Rounds = 8
+	regime := GammaGridRegimes(o)[3] // markov-lo: stateful trace, hardest case
+
+	store := sweep.NewMemStore(0)
+	runGrid := func(engine string, st sweep.Store) (*GammaGridResult, sweep.Stats) {
+		oo := o
+		oo.FleetEngine = engine
+		r := sweep.NewRunner(st, nil)
+		oo.Sweep = r
+		res, err := RunGammaGrid(oo, regime)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, r.Stats()
+	}
+
+	cold, st := runGrid(harvest.EnginePointer, store)
+	if st.Misses != 16 || st.Hits != 0 {
+		t.Fatalf("cold pointer run stats %+v", st)
+	}
+	cached, st := runGrid(harvest.EngineSoA, store)
+	if !st.AllHits() || st.Cells != 16 {
+		t.Fatalf("soa run against warm cache stats %+v", st)
+	}
+	fresh, st := runGrid(harvest.EngineSoA, sweep.NewMemStore(0))
+	if st.Misses != 16 {
+		t.Fatalf("fresh soa run stats %+v", st)
+	}
+
+	for gs := range cold.Grid {
+		for gt := range cold.Grid[gs] {
+			if cold.Grid[gs][gt] != cached.Grid[gs][gt] || cold.Grid[gs][gt] != fresh.Grid[gs][gt] {
+				t.Fatalf("cell Γt=%d Γs=%d diverges:\npointer-cold %+v\nsoa-cached  %+v\nsoa-fresh   %+v",
+					gt+1, gs+1, cold.Grid[gs][gt], cached.Grid[gs][gt], fresh.Grid[gs][gt])
+			}
+		}
+	}
+	enc := func(r *GammaGridResult) string {
+		b, err := json.Marshal(r.Grid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	if enc(cold) != enc(cached) || enc(cold) != enc(fresh) {
+		t.Fatal("grid JSON bytes differ between cached and computed paths")
+	}
+}
+
+// A warm rerun of the full TableGammaHarvest recomputes nothing: every one
+// of the 80 cells is served from the cache and the rows are identical.
+func TestSweepWarmTableGammaHarvestAllHits(t *testing.T) {
+	o := tiny()
+	o.Rounds = 8
+	store := sweep.NewMemStore(0)
+
+	o.Sweep = sweep.NewRunner(store, nil)
+	cold, err := TableGammaHarvest(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := o.Sweep.Stats(); st.Misses != 80 || st.Hits != 0 {
+		t.Fatalf("cold table stats %+v", st)
+	}
+
+	o.Sweep = sweep.NewRunner(store, nil)
+	warm, err := TableGammaHarvest(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := o.Sweep.Stats(); !st.AllHits() || st.Cells != 80 {
+		t.Fatalf("warm table stats %+v", st)
+	}
+	for i := range cold {
+		if cold[i] != warm[i] {
+			t.Fatalf("row %d differs warm vs cold:\n%+v\n%+v", i, warm[i], cold[i])
+		}
+	}
+
+	// And without a runner the table still matches: the sweep path is an
+	// overlay, not a fork.
+	o.Sweep = nil
+	plain, err := TableGammaHarvest(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cold {
+		if cold[i] != plain[i] {
+			t.Fatalf("row %d differs with sweep detached:\n%+v\n%+v", i, plain[i], cold[i])
+		}
+	}
+}
+
+// The sweep probe narrates cell outcomes: a cold grid streams 16 "miss"
+// cell events, a warm rerun 16 "hit" events — without perturbing values.
+func TestSweepProbeStreamsCellVerdicts(t *testing.T) {
+	o := tiny()
+	o.Rounds = 8
+	regime := GammaGridRegimes(o)[0]
+	store := sweep.NewMemStore(0)
+
+	count := func(mem *obs.MemorySink, prefix string) int {
+		n := 0
+		for _, ev := range mem.Events() {
+			if ev.Kind == obs.KindCell && strings.HasPrefix(ev.Label, prefix) {
+				n++
+			}
+		}
+		return n
+	}
+	run := func() *obs.MemorySink {
+		mem := obs.NewMemory()
+		o.Sweep = sweep.NewRunner(store, nil).Scope(obs.NewProbe(mem))
+		if _, err := RunGammaGrid(o, regime); err != nil {
+			t.Fatal(err)
+		}
+		return mem
+	}
+	if mem := run(); count(mem, "miss ") != 16 {
+		t.Fatalf("cold run streamed %d miss events, want 16", count(mem, "miss "))
+	}
+	if mem := run(); count(mem, "hit ") != 16 {
+		t.Fatalf("warm run streamed %d hit events, want 16", count(mem, "hit "))
+	}
+}
+
+func TestTableDegreeGammaStructure(t *testing.T) {
+	o := tiny()
+	o.Rounds = 8
+	var sb strings.Builder
+	o.Out = &sb
+	o.Sweep = sweep.NewRunner(sweep.NewMemStore(0), nil)
+	res, err := TableDegreeGamma(o, []int{4, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Degrees) != 2 || len(res.Regimes) != len(GammaGridRegimes(o)) {
+		t.Fatalf("axes %v x %v", res.Degrees, res.Regimes)
+	}
+	if st := o.Sweep.Stats(); st.Misses != 2*len(res.Regimes)*16 {
+		t.Fatalf("degree grid stats %+v, want one miss per simulation", st)
+	}
+	for di := range res.Best {
+		if len(res.Best[di]) != len(res.Regimes) {
+			t.Fatalf("row %d has %d cells", di, len(res.Best[di]))
+		}
+		for ri, c := range res.Best[di] {
+			if c.GammaTrain < 1 || c.GammaTrain > 4 || c.GammaSync < 1 || c.GammaSync > 4 {
+				t.Fatalf("best cell [%d][%d] outside grid: %+v", di, ri, c)
+			}
+		}
+	}
+	if res.TopologyDistinct < 1 || res.ArrivalDistinct < 1 {
+		t.Fatalf("distinct counts below 1: %+v", res)
+	}
+	switch res.Dominant {
+	case "arrival", "topology", "neither":
+	default:
+		t.Fatalf("dominant verdict %q", res.Dominant)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Degree-coupled harvest grid") || !strings.Contains(out, "dominates schedule choice") {
+		t.Fatalf("table or verdict not rendered:\n%s", out)
+	}
+}
+
+// The degree-6 column of the degree grid shares cells bit-for-bit with the
+// plain Γ search: running TableDegreeGamma after TableGammaHarvest on one
+// store serves the whole degree-6 column from cache.
+func TestTableDegreeGammaSharesDegreeSixCells(t *testing.T) {
+	o := tiny()
+	o.Rounds = 8
+	store := sweep.NewMemStore(0)
+
+	o.Sweep = sweep.NewRunner(store, nil)
+	rows, err := TableGammaHarvest(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Sweep = sweep.NewRunner(store, nil)
+	res, err := TableDegreeGamma(o, []int{4, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := o.Sweep.Stats()
+	nReg := len(res.Regimes)
+	if st.Hits != nReg*16 || st.Misses != nReg*16 {
+		t.Fatalf("degree grid after Γ search: stats %+v, want the degree-6 half served from cache", st)
+	}
+	// The shared column selects the same winners.
+	for ri := range res.Regimes {
+		if res.Best[1][ri] != rows[ri].Best {
+			t.Fatalf("degree-6 best for %s differs from TableGammaHarvest: %+v vs %+v",
+				res.Regimes[ri], res.Best[1][ri], rows[ri].Best)
+		}
+	}
+}
+
+// TestSweepServiceDegreeGridEndToEnd drives the degree grid through the
+// real service: a client submits JobDegreeGrid over TCP, progress events
+// stream back per cell, the reply decodes into a DegreeGammaResult that
+// renders locally, and a warm resubmission is served entirely from cache.
+func TestSweepServiceDegreeGridEndToEnd(t *testing.T) {
+	srv, err := sweep.NewServer("127.0.0.1:0", sweep.NewMemStore(0), nil)
+	if err != nil {
+		t.Skipf("cannot open localhost sockets in this environment: %v", err)
+	}
+	RegisterSweepHandlers(srv)
+	go srv.Serve()
+	defer srv.Close()
+
+	c, err := sweep.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	o := tiny()
+	params := SweepJobParams{Nodes: o.Nodes, Rounds: 8, Seed: o.Seed, Degrees: []int{4, 6}}
+	var progress int
+	raw, stats, err := c.Do(JobDegreeGrid, params, func(ev obs.Event) {
+		if ev.Kind == obs.KindCell {
+			progress++
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * len(GammaGridRegimes(Options{})) * 16
+	if stats.Misses != want || progress != want {
+		t.Fatalf("cold job: stats %+v, %d progress events, want %d cells", stats, progress, want)
+	}
+	var res DegreeGammaResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Best) != 2 || res.Dominant == "" {
+		t.Fatalf("decoded result %+v", res)
+	}
+	var sb strings.Builder
+	res.Render(&sb)
+	if !strings.Contains(sb.String(), "Degree-coupled harvest grid") {
+		t.Fatalf("client-side render failed:\n%s", sb.String())
+	}
+
+	// Identical params reconstruct identical Options on the server, so a
+	// resubmission is served entirely from the shared cache.
+	_, stats, err = c.Do(JobDegreeGrid, params, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.AllHits() {
+		t.Fatalf("warm resubmission stats %+v", stats)
+	}
+}
+
+// TestTableDegreeGammaReproducibleAcrossGOMAXPROCS extends the grid
+// bit-identity pin to the degree axis.
+func TestTableDegreeGammaReproducibleAcrossGOMAXPROCS(t *testing.T) {
+	run := func(procs int) *DegreeGammaResult {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		o := tiny()
+		o.Rounds = 8
+		res, err := TableDegreeGamma(o, []int{4, 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(1), run(8)
+	for di := range a.Best {
+		for ri := range a.Best[di] {
+			if a.Best[di][ri] != b.Best[di][ri] {
+				t.Fatalf("best[%d][%d] differs across GOMAXPROCS:\n%+v\n%+v",
+					di, ri, a.Best[di][ri], b.Best[di][ri])
+			}
+		}
+	}
+	if a.Dominant != b.Dominant {
+		t.Fatalf("verdict differs: %q vs %q", a.Dominant, b.Dominant)
+	}
+}

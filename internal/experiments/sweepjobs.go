@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"encoding/json"
+
+	"repro/internal/sweep"
+)
+
+// Job kinds served by a sweep server with RegisterSweepHandlers installed.
+const (
+	// JobGammaGrid runs TableGammaHarvest (the 5-regime 4x4 Γ search) and
+	// replies with its []GammaHarvestRow.
+	JobGammaGrid = "gamma-grid"
+	// JobDegreeGrid runs TableDegreeGamma (degree x regime x Γ) and
+	// replies with its DegreeGammaResult.
+	JobDegreeGrid = "degree-grid"
+)
+
+// SweepJobParams is the wire parameter block for both grid jobs. Zero
+// fields take Options.Defaults (48 nodes, 64 rounds, seed 42); Degrees is
+// only read by JobDegreeGrid and defaults to DefaultDegreeGrid.
+type SweepJobParams struct {
+	Nodes   int    `json:"nodes,omitempty"`
+	Rounds  int    `json:"rounds,omitempty"`
+	Seed    uint64 `json:"seed,omitempty"`
+	Degrees []int  `json:"degrees,omitempty"`
+}
+
+// options maps wire params onto experiment Options bound to the job's
+// scoped runner, so every grid cell flows through the server's shared
+// cache and the client's progress stream.
+func (p SweepJobParams) options(r *sweep.Runner) Options {
+	return Options{Nodes: p.Nodes, Rounds: p.Rounds, Seed: p.Seed, Sweep: r}.Defaults()
+}
+
+// RegisterSweepHandlers installs the experiment grid workloads on a sweep
+// server. Handlers receive the per-job scoped runner, so hit/miss stats
+// and per-cell progress events are reported per client while all jobs
+// share one content-addressed cell store.
+func RegisterSweepHandlers(s *sweep.Server) {
+	decode := func(raw json.RawMessage) (SweepJobParams, error) {
+		var p SweepJobParams
+		if len(raw) > 0 {
+			if err := json.Unmarshal(raw, &p); err != nil {
+				return p, err
+			}
+		}
+		return p, nil
+	}
+	s.Handle(JobGammaGrid, func(r *sweep.Runner, raw json.RawMessage) (any, error) {
+		p, err := decode(raw)
+		if err != nil {
+			return nil, err
+		}
+		return TableGammaHarvest(p.options(r))
+	})
+	s.Handle(JobDegreeGrid, func(r *sweep.Runner, raw json.RawMessage) (any, error) {
+		p, err := decode(raw)
+		if err != nil {
+			return nil, err
+		}
+		return TableDegreeGamma(p.options(r), p.Degrees)
+	})
+}

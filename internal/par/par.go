@@ -1,8 +1,8 @@
 // Package par holds the engine's worker fan-out primitive, shared by the
-// simulation phases (internal/sim) and the fleet round close-out
-// (internal/harvest). Callers guarantee fn(i) touches index-i state only,
-// which makes results bit-identical to a serial loop regardless of worker
-// count or scheduling.
+// simulation phases (internal/sim), the fleet round close-out
+// (internal/harvest), and the sweep scheduler (internal/sweep). Callers
+// guarantee fn(i) touches index-i state only, which makes results
+// bit-identical to a serial loop regardless of worker count or scheduling.
 package par
 
 import (
@@ -10,12 +10,44 @@ import (
 	"sync"
 )
 
-// For runs fn(0..n-1) across GOMAXPROCS workers and waits. Workloads with
+// Pool is a bounded fan-out executor: every For/ForErr call it serves runs
+// at most Workers() bodies concurrently. The zero value and a nil *Pool
+// both behave like NewPool(0) — one worker per GOMAXPROCS, resolved at
+// call time — so callers can thread an optional *Pool without nil checks.
+//
+// A Pool carries no goroutines or queues of its own; it is a concurrency
+// bound, cheap to copy and safe for concurrent use. Determinism contract:
+// results and errors land in per-index slots, so the outcome of a call is
+// independent of the worker count and of scheduling order.
+type Pool struct {
+	workers int
+}
+
+// NewPool returns a pool bounded to the given worker count. workers <= 0
+// means "track GOMAXPROCS at call time", matching the historical behavior
+// of the package-level For/ForErr.
+func NewPool(workers int) *Pool {
+	if workers < 0 {
+		workers = 0
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers reports the concurrency bound: the configured worker count, or
+// the current GOMAXPROCS for an unbounded (zero/nil) pool.
+func (p *Pool) Workers() int {
+	if p == nil || p.workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return p.workers
+}
+
+// For runs fn(0..n-1) across the pool's workers and waits. Workloads with
 // fewer than minSerial items take the serial path outright — goroutine
 // fan-out only pays for itself above a caller-known size (use 0 to always
 // fan out).
-func For(n, minSerial int, fn func(i int)) {
-	forIndices(n, minSerial, fn)
+func (p *Pool) For(n, minSerial int, fn func(i int)) {
+	p.forIndices(n, minSerial, fn)
 }
 
 // ForErr is For with a fallible body: every fn(i) runs to completion (no
@@ -24,9 +56,9 @@ func For(n, minSerial int, fn func(i int)) {
 // per-index slots, which keeps the result independent of worker count and
 // scheduling — the property the experiment grids pin with their
 // GOMAXPROCS tests.
-func ForErr(n, minSerial int, fn func(i int) error) error {
+func (p *Pool) ForErr(n, minSerial int, fn func(i int) error) error {
 	errs := make([]error, n)
-	forIndices(n, minSerial, func(i int) {
+	p.forIndices(n, minSerial, func(i int) {
 		errs[i] = fn(i)
 	})
 	for _, err := range errs {
@@ -37,8 +69,18 @@ func ForErr(n, minSerial int, fn func(i int) error) error {
 	return nil
 }
 
-func forIndices(n, minSerial int, fn func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
+// For runs fn on the default (GOMAXPROCS-wide) pool. See Pool.For.
+func For(n, minSerial int, fn func(i int)) {
+	(*Pool)(nil).For(n, minSerial, fn)
+}
+
+// ForErr runs fn on the default (GOMAXPROCS-wide) pool. See Pool.ForErr.
+func ForErr(n, minSerial int, fn func(i int) error) error {
+	return (*Pool)(nil).ForErr(n, minSerial, fn)
+}
+
+func (p *Pool) forIndices(n, minSerial int, fn func(i int)) {
+	workers := p.Workers()
 	if workers > n {
 		workers = n
 	}

@@ -1,0 +1,81 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/transport"
+)
+
+// Client submits jobs to a sweep server over one persistent connection.
+// Do is serialized (one job in flight per client); open a second client
+// for concurrent submissions.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	seq  int
+}
+
+// Dial connects to a sweep server at addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Close tears the connection down.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Do submits one job and blocks until its result. params is JSON-encoded
+// into the request (use nil for parameterless jobs); onEvent, when
+// non-nil, receives each streamed progress event as it arrives. The
+// returned Stats are the job's cache statistics; server-side workload
+// failures come back as errors alongside them.
+func (c *Client) Do(kind string, params any, onEvent func(obs.Event)) (json.RawMessage, Stats, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	req := JobRequest{Kind: kind}
+	if params != nil {
+		b, err := json.Marshal(params)
+		if err != nil {
+			return nil, Stats{}, fmt.Errorf("sweep: encode params: %w", err)
+		}
+		req.Params = b
+	}
+	if err := writeFrame(c.conn, transport.KindJob, c.seq, req); err != nil {
+		return nil, Stats{}, err
+	}
+	for {
+		m, err := transport.ReadMessage(c.conn)
+		if err != nil {
+			return nil, Stats{}, fmt.Errorf("sweep: connection lost mid-job: %w", err)
+		}
+		switch m.Kind {
+		case transport.KindProgress:
+			var ev obs.Event
+			if err := decodeFrame(m, &ev); err != nil {
+				return nil, Stats{}, err
+			}
+			if onEvent != nil {
+				onEvent(ev)
+			}
+		case transport.KindResult:
+			var reply JobReply
+			if err := decodeFrame(m, &reply); err != nil {
+				return nil, Stats{}, err
+			}
+			if reply.Error != "" {
+				return nil, reply.Stats, fmt.Errorf("sweep: server: %s", reply.Error)
+			}
+			return reply.Result, reply.Stats, nil
+		default:
+			return nil, Stats{}, fmt.Errorf("sweep: unexpected frame kind %d", m.Kind)
+		}
+	}
+}

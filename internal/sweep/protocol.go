@@ -1,0 +1,94 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/transport"
+)
+
+// The sweep service speaks the transport wire format: each frame is one
+// transport.Message whose Vec carries a JSON document via
+// transport.PackBytes. Round echoes the client's job sequence number.
+//
+//	client -> server   KindJob       JobRequest
+//	server -> client   KindProgress  obs.Event   (zero or more per job)
+//	server -> client   KindResult    JobReply    (exactly one per job)
+//
+// A connection carries one job at a time but stays open across jobs —
+// clients amortize the dial and the server's cache stays warm across
+// submissions.
+
+// JobRequest names a registered workload and carries its parameters.
+type JobRequest struct {
+	Kind   string          `json:"kind"`
+	Params json.RawMessage `json:"params,omitempty"`
+}
+
+// JobReply closes a job: the workload's JSON result, the job's cache
+// statistics, and the error string when the workload failed (in which
+// case Result is empty).
+type JobReply struct {
+	Result json.RawMessage `json:"result,omitempty"`
+	Stats  Stats           `json:"stats"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// writeFrame JSON-encodes v and writes it as one framed message.
+func writeFrame(w io.Writer, kind transport.Kind, seq int, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("sweep: encode frame: %w", err)
+	}
+	vec, err := transport.PackBytes(b)
+	if err != nil {
+		return err
+	}
+	return transport.WriteMessage(w, transport.Message{Round: seq, Kind: kind, Vec: vec})
+}
+
+// decodeFrame unpacks a framed JSON document into v.
+func decodeFrame(m transport.Message, v any) error {
+	b, err := transport.UnpackBytes(m.Vec)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(b, v); err != nil {
+		return fmt.Errorf("sweep: decode %T frame: %w", v, err)
+	}
+	return nil
+}
+
+// progressSink forwards probe events to the client as KindProgress
+// frames. Write errors are sticky: once the connection fails, remaining
+// events are dropped and the job runs to completion (its cells still land
+// in the cache for the client's retry).
+type progressSink struct {
+	w   io.Writer
+	mu  *connWriteMu
+	seq int
+}
+
+// connWriteMu serializes all writes on one connection: progress frames
+// are emitted from pool workers while the result frame comes from the
+// job goroutine.
+type connWriteMu struct {
+	mu     sync.Mutex
+	broken bool
+}
+
+func (s *progressSink) Emit(ev obs.Event) {
+	s.mu.mu.Lock()
+	defer s.mu.mu.Unlock()
+	if s.mu.broken {
+		return
+	}
+	if err := writeFrame(s.w, transport.KindProgress, s.seq, ev); err != nil {
+		s.mu.broken = true
+	}
+}
+
+func (s *progressSink) Close() error { return nil }

@@ -1,0 +1,244 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/par"
+)
+
+type cellValue struct {
+	Index int     `json:"index"`
+	Acc   float64 `json:"acc"`
+}
+
+func gridKeys(n int, rev string) func(int) CellKey {
+	return func(i int) CellKey {
+		k := mustKey(uint64(i), "grid")
+		if rev != "" {
+			k.Revision = rev
+		}
+		return k
+	}
+}
+
+func computeCell(calls *int64) func(int) (cellValue, error) {
+	return func(i int) (cellValue, error) {
+		atomic.AddInt64(calls, 1)
+		return cellValue{Index: i, Acc: float64(i) / 7}, nil
+	}
+}
+
+func TestGridMissThenHit(t *testing.T) {
+	store := NewMemStore(0)
+	var calls int64
+
+	cold := NewRunner(store, nil)
+	got, err := Grid(cold, 8, gridKeys(8, ""), computeCell(&calls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 8 {
+		t.Fatalf("cold run computed %d cells, want 8", calls)
+	}
+	st := cold.Stats()
+	if st.Cells != 8 || st.Misses != 8 || st.Hits != 0 {
+		t.Fatalf("cold stats %+v", st)
+	}
+
+	warm := NewRunner(store, nil)
+	got2, err := Grid(warm, 8, gridKeys(8, ""), computeCell(&calls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 8 {
+		t.Fatalf("warm run recomputed: %d total calls", calls)
+	}
+	st = warm.Stats()
+	if !st.AllHits() || st.Hits != 8 {
+		t.Fatalf("warm stats %+v", st)
+	}
+	for i := range got {
+		if got[i] != got2[i] {
+			t.Fatalf("cell %d: warm %+v != cold %+v", i, got2[i], got[i])
+		}
+	}
+}
+
+// A forced revision change must invalidate every cell: same configs, new
+// code, fresh computes.
+func TestGridRevisionChangeInvalidates(t *testing.T) {
+	store := NewMemStore(0)
+	var calls int64
+	r1 := NewRunner(store, nil)
+	if _, err := Grid(r1, 4, gridKeys(4, "rev-a"), computeCell(&calls)); err != nil {
+		t.Fatal(err)
+	}
+	r2 := NewRunner(store, nil)
+	if _, err := Grid(r2, 4, gridKeys(4, "rev-b"), computeCell(&calls)); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 8 {
+		t.Fatalf("revision change served stale cells: %d computes, want 8", calls)
+	}
+	if st := r2.Stats(); st.Hits != 0 || st.Misses != 4 {
+		t.Fatalf("stats after revision change %+v", st)
+	}
+	// And the old revision still hits — invalidation is structural.
+	r3 := NewRunner(store, nil)
+	if _, err := Grid(r3, 4, gridKeys(4, "rev-a"), computeCell(&calls)); err != nil {
+		t.Fatal(err)
+	}
+	if st := r3.Stats(); !st.AllHits() {
+		t.Fatalf("old revision stopped hitting: %+v", st)
+	}
+}
+
+// Concurrent identical cells collapse into one computation (singleflight)
+// even before anything lands in the store.
+func TestGridSingleflightSharesInflightCells(t *testing.T) {
+	store := NewMemStore(0)
+	r := NewRunner(store, par.NewPool(8))
+	var calls int64
+	started := make(chan struct{})
+	var once sync.Once
+	sameKey := mustKey(42, "shared")
+	got, err := Grid(r, 8,
+		func(int) CellKey { return sameKey },
+		func(i int) (cellValue, error) {
+			atomic.AddInt64(&calls, 1)
+			once.Do(func() { close(started) })
+			<-started // hold all entrants at the same point
+			return cellValue{Index: 999, Acc: 0.5}, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("%d computes for one key, want 1 (singleflight)", calls)
+	}
+	for i, v := range got {
+		if v.Index != 999 {
+			t.Fatalf("cell %d got %+v", i, v)
+		}
+	}
+	st := r.Stats()
+	if st.Misses != 1 || st.Hits+st.Shared != 7 || st.Cells != 8 {
+		t.Fatalf("singleflight stats %+v", st)
+	}
+}
+
+// Errors surface like par.ForErr (lowest index wins, every cell runs) and
+// are never cached.
+func TestGridErrorsNotCachedLowestIndexWins(t *testing.T) {
+	store := NewMemStore(0)
+	var calls int64
+	fail := func(i int) (cellValue, error) {
+		atomic.AddInt64(&calls, 1)
+		if i == 2 || i == 5 {
+			return cellValue{}, fmt.Errorf("cell %d failed", i)
+		}
+		return cellValue{Index: i}, nil
+	}
+	r := NewRunner(store, nil)
+	_, err := Grid(r, 8, gridKeys(8, ""), fail)
+	if err == nil || err.Error() != "cell 2 failed" {
+		t.Fatalf("err = %v, want lowest-index cell error", err)
+	}
+	if calls != 8 {
+		t.Fatalf("%d calls, want 8 (no early cancellation)", calls)
+	}
+	// The failed cells retry next run; successes were cached.
+	calls = 0
+	r2 := NewRunner(store, nil)
+	if _, err := Grid(r2, 8, gridKeys(8, ""), computeCell(&calls)); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Fatalf("%d recomputes, want exactly the 2 failed cells", calls)
+	}
+}
+
+// Nil runners and invalid keys degrade to a plain uncached fan-out.
+func TestGridUncachedFallbacks(t *testing.T) {
+	var calls int64
+	got, err := Grid[cellValue](nil, 4, nil, computeCell(&calls))
+	if err != nil || len(got) != 4 {
+		t.Fatalf("nil runner: %v (%d cells)", err, len(got))
+	}
+	r := NewRunner(NewMemStore(0), nil)
+	for range 2 {
+		if _, err := Grid(r, 4, func(int) CellKey { return CellKey{} }, computeCell(&calls)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if calls != 12 {
+		t.Fatalf("%d computes, want 12 (invalid keys never cache)", calls)
+	}
+	if st := r.Stats(); st.Hits != 0 || st.Misses != 8 {
+		t.Fatalf("uncached stats %+v", st)
+	}
+}
+
+// Hit payload bytes are exactly the bytes the original compute produced:
+// decode(payload) == the freshly computed value for JSON-clean types.
+func TestGridHitBytesIdenticalToCompute(t *testing.T) {
+	store := NewMemStore(0)
+	var calls int64
+	r := NewRunner(store, nil)
+	if _, err := Grid(r, 3, gridKeys(3, ""), computeCell(&calls)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		k := gridKeys(3, "")(i)
+		res, ok, err := store.Get(k)
+		if !ok || err != nil {
+			t.Fatalf("cell %d not stored", i)
+		}
+		fresh, _ := json.Marshal(cellValue{Index: i, Acc: float64(i) / 7})
+		if string(res.Payload) != string(fresh) {
+			t.Fatalf("cell %d payload %s != fresh encode %s", i, res.Payload, fresh)
+		}
+	}
+}
+
+// Scoped handles share the cache but account separately, and the probe
+// sees one cell event per cell with the hit/miss verdict.
+func TestScopedStatsAndProbeEvents(t *testing.T) {
+	store := NewMemStore(0)
+	base := NewRunner(store, nil)
+	var calls int64
+
+	sink := &obs.MemorySink{}
+	scoped := base.Scope(obs.NewProbe(sink))
+	if _, err := Grid(scoped, 4, gridKeys(4, ""), computeCell(&calls)); err != nil {
+		t.Fatal(err)
+	}
+	scoped2 := base.Scope(nil)
+	if _, err := Grid(scoped2, 4, gridKeys(4, ""), computeCell(&calls)); err != nil {
+		t.Fatal(err)
+	}
+	if st := scoped.Stats(); st.Misses != 4 || st.Cells != 4 {
+		t.Fatalf("first scope stats %+v", st)
+	}
+	if st := scoped2.Stats(); !st.AllHits() {
+		t.Fatalf("second scope stats %+v", st)
+	}
+	if base.Stats().Cells != 0 {
+		t.Fatalf("base handle must not absorb scoped stats: %+v", base.Stats())
+	}
+	evs := sink.Events()
+	if len(evs) != 4 {
+		t.Fatalf("%d probe events, want 4", len(evs))
+	}
+	for _, ev := range evs {
+		if ev.Kind != obs.KindCell || !strings.HasPrefix(ev.Label, "miss ") {
+			t.Fatalf("unexpected event %+v", ev)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// The sweep service reuses the model wire format for its control plane:
+// job requests, replies, and streamed progress events are JSON documents
+// packed into the float64 payload vector. Element 0 carries the byte
+// length; each following element carries 8 payload bytes in its IEEE-754
+// bit pattern (little-endian). Float64bits round-trips every bit pattern
+// exactly, so arbitrary bytes survive the Marshal/Unmarshal path.
+
+// MaxPackedBytes caps a packed byte payload; it mirrors MaxPayload on the
+// element count ((MaxPayload-1) elements of 8 bytes each).
+const MaxPackedBytes = (MaxPayload - 1) * 8
+
+// PackBytes encodes raw bytes into a payload vector for KindJob,
+// KindResult, and KindProgress frames.
+func PackBytes(b []byte) (tensor.Vector, error) {
+	if len(b) > MaxPackedBytes {
+		return nil, fmt.Errorf("transport: packed payload %d exceeds max %d", len(b), MaxPackedBytes)
+	}
+	vec := tensor.NewVector(1 + (len(b)+7)/8)
+	vec[0] = float64(len(b))
+	var chunk [8]byte
+	for i := 0; i < len(b); i += 8 {
+		copy(chunk[:], b[i:min(i+8, len(b))])
+		vec[1+i/8] = math.Float64frombits(binary.LittleEndian.Uint64(chunk[:]))
+		chunk = [8]byte{}
+	}
+	return vec, nil
+}
+
+// UnpackBytes reverses PackBytes.
+func UnpackBytes(vec tensor.Vector) ([]byte, error) {
+	if len(vec) == 0 {
+		return nil, fmt.Errorf("transport: packed payload missing length element")
+	}
+	n := int(vec[0])
+	if float64(n) != vec[0] || n < 0 || n > MaxPackedBytes {
+		return nil, fmt.Errorf("transport: bad packed length %v", vec[0])
+	}
+	if want := 1 + (n+7)/8; len(vec) != want {
+		return nil, fmt.Errorf("transport: packed payload has %d elements, want %d for %d bytes", len(vec), want, n)
+	}
+	out := make([]byte, (n+7)/8*8)
+	for i := 1; i < len(vec); i++ {
+		binary.LittleEndian.PutUint64(out[(i-1)*8:], math.Float64bits(vec[i]))
+	}
+	return out[:n], nil
+}

@@ -1,0 +1,94 @@
+package transport
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPackBytesRoundTrip(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		[]byte("x"),
+		[]byte("12345678"),  // exactly one chunk
+		[]byte("123456789"), // one chunk + 1
+		[]byte(`{"kind":"gamma-grid","params":{"nodes":12}}`),
+		bytes.Repeat([]byte{0x00, 0xff, 0x7f, 0x80}, 1000),
+	}
+	for _, in := range cases {
+		vec, err := PackBytes(in)
+		if err != nil {
+			t.Fatalf("pack %d bytes: %v", len(in), err)
+		}
+		out, err := UnpackBytes(vec)
+		if err != nil {
+			t.Fatalf("unpack %d bytes: %v", len(in), err)
+		}
+		if !bytes.Equal(out, in) {
+			t.Fatalf("round trip of %d bytes lost data", len(in))
+		}
+	}
+}
+
+// Packed payloads must survive the full wire codec — including NaN-pattern
+// float64 elements that arbitrary byte strings produce.
+func TestPackedBytesSurviveWireCodec(t *testing.T) {
+	payload := []byte(strings.Repeat("\xff\x00nan-pattern\x7f", 64))
+	vec, err := PackBytes(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []Kind{KindJob, KindResult, KindProgress} {
+		buf, err := Marshal(nil, Message{From: 1, To: 2, Round: 7, Kind: kind, Vec: vec})
+		if err != nil {
+			t.Fatalf("kind %d: %v", kind, err)
+		}
+		m, n, err := Unmarshal(buf)
+		if err != nil || n != len(buf) {
+			t.Fatalf("kind %d: unmarshal: %v (consumed %d of %d)", kind, err, n, len(buf))
+		}
+		if m.Kind != kind || m.Round != 7 {
+			t.Fatalf("kind %d: header %+v", kind, m)
+		}
+		got, err := UnpackBytes(m.Vec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("kind %d: payload corrupted on the wire", kind)
+		}
+	}
+}
+
+func TestUnpackBytesRejectsMalformed(t *testing.T) {
+	if _, err := UnpackBytes(nil); err == nil {
+		t.Fatal("empty vector must error")
+	}
+	if _, err := UnpackBytes([]float64{-8, 0}); err == nil {
+		t.Fatal("negative length must error")
+	}
+	if _, err := UnpackBytes([]float64{3.5, 0}); err == nil {
+		t.Fatal("fractional length must error")
+	}
+	if _, err := UnpackBytes([]float64{16, 0}); err == nil {
+		t.Fatal("length/element mismatch must error")
+	}
+	if _, err := UnpackBytes([]float64{float64(MaxPackedBytes) + 8, 0}); err == nil {
+		t.Fatal("oversize length must error")
+	}
+}
+
+func TestUnknownKindStillRejected(t *testing.T) {
+	buf, err := Marshal(nil, Message{From: 0, To: 1, Round: 0, Kind: KindProgress})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[4] = byte(KindProgress) + 1 // first undefined kind value
+	if _, _, err := Unmarshal(buf); err == nil {
+		t.Fatal("undefined kind must be rejected")
+	}
+	if !ValidKind(KindJob) || !ValidKind(KindResult) || ValidKind(0) || ValidKind(KindProgress+1) {
+		t.Fatal("ValidKind bounds wrong")
+	}
+}

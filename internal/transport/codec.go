@@ -88,7 +88,7 @@ func Unmarshal(b []byte) (Message, int, error) {
 		To:    int(binary.LittleEndian.Uint32(b[9:13])),
 		Round: int(binary.LittleEndian.Uint32(b[13:17])),
 	}
-	if m.Kind != KindModel && m.Kind != KindControl {
+	if !ValidKind(m.Kind) {
 		return Message{}, 0, fmt.Errorf("transport: unknown kind %d", b[4])
 	}
 	if count > 0 {

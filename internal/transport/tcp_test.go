@@ -165,6 +165,67 @@ func TestTCPCloseUnblocksRecv(t *testing.T) {
 	}
 }
 
+// The sweep server holds TCP transports open across many jobs, so the
+// shutdown edges matter: Send after Close must fail with ErrClosed
+// instead of writing to a dead socket.
+func TestTCPSendAfterClose(t *testing.T) {
+	net := newTCPNet(t, 2)
+	e0, _ := net.Endpoint(0)
+	if err := e0.Send(1, Message{Round: 1, Kind: KindModel, Vec: tensor.Vector{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Close(); err != nil {
+		t.Fatal(err)
+	}
+	err := e0.Send(1, Message{Round: 2, Kind: KindModel, Vec: tensor.Vector{2}})
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("Send after Close = %v, want ErrClosed", err)
+	}
+}
+
+// Recv on a closed transport drains buffered messages first, then reports
+// ErrClosed forever — it must never block or return a zero message.
+func TestTCPRecvOnClosedDrainsThenErrs(t *testing.T) {
+	net := newTCPNet(t, 2)
+	e0, _ := net.Endpoint(0)
+	e1, _ := net.Endpoint(1)
+	if err := e0.Send(1, Message{Round: 3, Kind: KindControl}); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for delivery before closing, so the message is buffered in the
+	// inbox rather than in flight on the socket.
+	m, err := e1.Recv()
+	if err != nil || m.Round != 3 {
+		t.Fatalf("recv before close: %v %+v", err, m)
+	}
+	net.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := e1.Recv(); !errors.Is(err, ErrClosed) {
+			t.Fatalf("Recv %d on closed transport = %v, want ErrClosed", i, err)
+		}
+	}
+}
+
+// Close must be idempotent: the second call is a no-op that returns nil
+// and must not double-close inboxes or connections.
+func TestTCPDoubleClose(t *testing.T) {
+	net := newTCPNet(t, 2)
+	e0, _ := net.Endpoint(0)
+	if err := e0.Send(1, Message{Round: 1, Kind: KindModel, Vec: tensor.Vector{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Close(); err != nil {
+		t.Fatalf("second Close = %v, want nil", err)
+	}
+	// Endpoint claims after close fail loudly too.
+	if _, err := net.Endpoint(1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Endpoint after Close = %v, want ErrClosed", err)
+	}
+}
+
 func TestTCPAddrExposed(t *testing.T) {
 	net := newTCPNet(t, 2)
 	if net.Addr(0) == "" || net.Addr(0) == net.Addr(1) {

@@ -16,7 +16,19 @@ const (
 	KindModel Kind = iota + 1
 	// KindControl carries scheduling/coordination signals.
 	KindControl
+	// KindJob carries a sweep-service job request (JSON packed into Vec
+	// via PackBytes).
+	KindJob
+	// KindResult carries a sweep-service job reply (JSON via PackBytes).
+	KindResult
+	// KindProgress carries one streamed obs.Event for an in-flight job
+	// (JSON via PackBytes).
+	KindProgress
 )
+
+// ValidKind reports whether k is a defined message kind. The codec rejects
+// frames with undefined kinds, so extend this when adding a Kind.
+func ValidKind(k Kind) bool { return k >= KindModel && k <= KindProgress }
 
 // Message is one transfer between nodes. Vec is the flat model vector; for
 // KindControl messages it may be empty.

@@ -1,0 +1,55 @@
+package repro_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/sweep"
+)
+
+// TestSweepWarmRerunAtLeast50xFaster pins the PR's perf acceptance
+// criterion: a warm rerun of the full TableGammaHarvest against a
+// populated cell store is at least 50x faster than the cold run that
+// filled it. The warm run performs no simulation at all — 80 store hits
+// and JSON decodes — so in practice the ratio is in the thousands; 50x
+// leaves room for scheduler jitter on loaded CI machines.
+func TestSweepWarmRerunAtLeast50xFaster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full grid search (80 simulations) skipped in -short mode")
+	}
+	o := experiments.Options{Nodes: 16, Rounds: 20, Seed: 7}
+	store := sweep.NewMemStore(0)
+
+	o.Sweep = sweep.NewRunner(store, nil)
+	start := time.Now()
+	cold, err := experiments.TableGammaHarvest(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldDur := time.Since(start)
+	if st := o.Sweep.Stats(); st.Misses != 80 {
+		t.Fatalf("cold run stats %s", st)
+	}
+
+	o.Sweep = sweep.NewRunner(store, nil)
+	start = time.Now()
+	warm, err := experiments.TableGammaHarvest(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmDur := time.Since(start)
+	if st := o.Sweep.Stats(); !st.AllHits() {
+		t.Fatalf("warm run stats %s", st)
+	}
+	for i := range cold {
+		if cold[i] != warm[i] {
+			t.Fatalf("row %d differs warm vs cold:\n%+v\n%+v", i, warm[i], cold[i])
+		}
+	}
+	if speedup := float64(coldDur) / float64(warmDur); speedup < 50 {
+		t.Fatalf("warm rerun only %.1fx faster (cold %v, warm %v), want >= 50x", speedup, coldDur, warmDur)
+	} else {
+		t.Logf("warm rerun %.0fx faster (cold %v, warm %v)", speedup, coldDur, warmDur)
+	}
+}
